@@ -1,0 +1,110 @@
+// A1 (ablation) — scalar vs AVX2 kernels underneath the schemes.
+//
+// DESIGN.md §4 substitutes CPU SIMD lanes for the paper's GPU context ([8]);
+// this ablation quantifies what the substitution buys per kernel: bit
+// unpacking across widths, inclusive prefix sum (DELTA and Algorithm 1/2's
+// scans), constant addition (FOR's final +) and gather (RLE/DICT's final
+// step). Each case runs both dispatch paths on identical inputs.
+
+#include "bench_common.h"
+#include "gen/generators.h"
+#include "ops/dispatch.h"
+#include "ops/elementwise.h"
+#include "ops/gather.h"
+#include "ops/kernels_avx2.h"
+#include "ops/pack.h"
+#include "ops/prefix_sum.h"
+#include "util/bits.h"
+
+namespace {
+
+using namespace recomp;
+
+constexpr uint64_t kValues = 1u << 22;
+
+void PrintTables() {
+  bench::Section("A1: kernel ablation — scalar vs AVX2 dispatch");
+  std::printf(
+      "AVX2 compiled in and supported: %s (unpack widths 1..%d take the "
+      "vector path)\n",
+      ops::HasAvx2() ? "yes" : "no", ops::avx2::kMaxUnpackWidth);
+}
+
+void BM_UnpackByWidth(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  const bool scalar = state.range(1) == 1;
+  Column<uint32_t> col =
+      gen::Uniform(kValues, uint64_t{1} << width, width);
+  PackedColumn packed =
+      bench::ValueOrDie(ops::Pack(col, width), "pack");
+  ops::ForceScalar(scalar);
+  for (auto _ : state) {
+    auto out = ops::Unpack<uint32_t>(packed);
+    bench::CheckOk(out.status(), "unpack");
+    benchmark::DoNotOptimize(out->data());
+  }
+  ops::ForceScalar(false);
+  state.SetLabel(std::string("w=") + std::to_string(width) +
+                 (scalar ? " scalar" : " avx2"));
+  bench::SetThroughput(state, kValues * sizeof(uint32_t));
+}
+BENCHMARK(BM_UnpackByWidth)
+    ->Args({1, 1})
+    ->Args({1, 0})
+    ->Args({7, 1})
+    ->Args({7, 0})
+    ->Args({13, 1})
+    ->Args({13, 0})
+    ->Args({25, 1})
+    ->Args({25, 0})
+    ->Args({31, 1})  // Beyond the AVX2 gather path: both rows are scalar.
+    ->Args({31, 0})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PrefixSum(benchmark::State& state) {
+  const bool scalar = state.range(0) == 1;
+  Column<uint32_t> col = gen::Uniform(kValues, 1 << 8, 3);
+  ops::ForceScalar(scalar);
+  for (auto _ : state) {
+    Column<uint32_t> out = ops::PrefixSumInclusive(col);
+    benchmark::DoNotOptimize(out.data());
+  }
+  ops::ForceScalar(false);
+  state.SetLabel(scalar ? "scalar" : "avx2");
+  bench::SetThroughput(state, kValues * sizeof(uint32_t));
+}
+BENCHMARK(BM_PrefixSum)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+void BM_AddConstant(benchmark::State& state) {
+  const bool scalar = state.range(0) == 1;
+  Column<uint32_t> col = gen::Uniform(kValues, 1 << 20, 4);
+  ops::ForceScalar(scalar);
+  for (auto _ : state) {
+    auto out = ops::ElementwiseScalar<uint32_t>(ops::BinOp::kAdd, col, 12345);
+    bench::CheckOk(out.status(), "add");
+    benchmark::DoNotOptimize(out->data());
+  }
+  ops::ForceScalar(false);
+  state.SetLabel(scalar ? "scalar" : "avx2");
+  bench::SetThroughput(state, kValues * sizeof(uint32_t));
+}
+BENCHMARK(BM_AddConstant)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+void BM_Gather(benchmark::State& state) {
+  const bool scalar = state.range(0) == 1;
+  Column<uint32_t> values = gen::Uniform(1 << 16, ~uint32_t{0}, 5);
+  Column<uint32_t> indices = gen::Uniform(kValues, 1 << 16, 6);
+  ops::ForceScalar(scalar);
+  for (auto _ : state) {
+    Column<uint32_t> out = ops::GatherUnchecked(values, indices);
+    benchmark::DoNotOptimize(out.data());
+  }
+  ops::ForceScalar(false);
+  state.SetLabel(scalar ? "scalar" : "avx2");
+  bench::SetThroughput(state, kValues * sizeof(uint32_t));
+}
+BENCHMARK(BM_Gather)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+RECOMP_BENCH_MAIN(PrintTables)

@@ -1,0 +1,70 @@
+// Shared helpers for the experiment benchmarks (E1..E11, DESIGN.md §3).
+//
+// Every binary prints (a) a deterministic paper-style table computed before
+// any timing, then (b) google-benchmark timing series. Binaries exit
+// non-zero if a structural expectation (e.g. a roundtrip) fails, so the
+// bench suite doubles as an integration check.
+
+#ifndef RECOMP_BENCH_BENCH_COMMON_H_
+#define RECOMP_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/pipeline.h"
+#include "util/result.h"
+
+namespace recomp::bench {
+
+/// Prints a rule line and a section title.
+inline void Section(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Aborts the binary with a message when a Result/Status is not OK
+/// (benchmarks must not time broken configurations).
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T ValueOrDie(Result<T> result, const char* what) {
+  CheckOk(result.status(), what);
+  return std::move(result).ValueOrDie();
+}
+
+/// Compresses or dies; returns the envelope.
+inline CompressedColumn MustCompress(const AnyColumn& input,
+                                     const SchemeDescriptor& desc) {
+  return ValueOrDie(Compress(input, desc), desc.ToString().c_str());
+}
+
+/// Sets bytes-per-second throughput (uncompressed bytes pushed per
+/// iteration) on a benchmark state.
+inline void SetThroughput(benchmark::State& state, uint64_t bytes) {
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+}
+
+}  // namespace recomp::bench
+
+/// Standard main: deterministic tables first, then timing.
+#define RECOMP_BENCH_MAIN(print_tables)                       \
+  int main(int argc, char** argv) {                           \
+    print_tables();                                           \
+    benchmark::Initialize(&argc, argv);                       \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) { \
+      return 1;                                               \
+    }                                                         \
+    benchmark::RunSpecifiedBenchmarks();                      \
+    benchmark::Shutdown();                                    \
+    return 0;                                                 \
+  }
+
+#endif  // RECOMP_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,102 @@
+// E1 — Composition beats every single scheme on the paper's intro workload.
+//
+// Claim (paper §I): on a shipped-orders date column, "applying an RLE scheme
+// to the dates, then applying DELTA to the run values, achieves a much
+// stronger compression ratio than any single scheme individually."
+//
+// Table: compression ratio of each classic scheme and of the composite, on
+// the dates column at several order rates. Timing: compression and
+// decompression throughput of the single vs composite schemes.
+
+#include "bench_common.h"
+#include "core/catalog.h"
+#include "gen/generators.h"
+
+namespace {
+
+using namespace recomp;
+using bench::MustCompress;
+
+constexpr uint64_t kRows = 1u << 20;
+
+struct Contender {
+  const char* name;
+  SchemeDescriptor descriptor;
+};
+
+std::vector<Contender> Contenders() {
+  return {
+      {"ID", Id()},
+      {"NS", Ns()},
+      {"VBYTE", VByte()},
+      {"DICT-NS", MakeDictNs()},
+      {"DELTA-NS", MakeDeltaNs()},
+      {"FOR", MakeFor()},
+      {"RLE-NS", MakeRleNs()},
+      {"RLE-DELTA (composite)", MakeRleDelta()},
+  };
+}
+
+void PrintTables() {
+  bench::Section(
+      "E1: scheme vs composite ratio on shipped-order dates "
+      "(rows=" + std::to_string(kRows) + ")");
+  std::printf("%-22s", "scheme \\ orders/day");
+  for (double opd : {20.0, 100.0, 500.0}) std::printf(" %14.0f", opd);
+  std::printf("\n");
+
+  for (const Contender& contender : Contenders()) {
+    std::printf("%-22s", contender.name);
+    for (double orders_per_day : {20.0, 100.0, 500.0}) {
+      Column<uint32_t> dates =
+          gen::ShippedOrderDates(kRows, orders_per_day, /*seed=*/2018);
+      CompressedColumn compressed =
+          MustCompress(AnyColumn(dates), contender.descriptor);
+      auto back = Decompress(compressed);
+      bench::CheckOk(back.status(), contender.name);
+      if (!(back->As<uint32_t>() == dates)) {
+        std::fprintf(stderr, "FATAL roundtrip mismatch: %s\n", contender.name);
+        std::exit(1);
+      }
+      std::printf(" %13.1fx", compressed.Ratio());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nExpected shape: the composite's ratio exceeds every single scheme "
+      "by an order of magnitude on run-heavy dates.\n");
+}
+
+void BM_Compress(benchmark::State& state) {
+  const auto contenders = Contenders();
+  const Contender& contender = contenders[state.range(0)];
+  Column<uint32_t> dates = gen::ShippedOrderDates(kRows, 100.0, 2018);
+  const AnyColumn input(dates);
+  for (auto _ : state) {
+    CompressedColumn compressed = MustCompress(input, contender.descriptor);
+    benchmark::DoNotOptimize(compressed.PayloadBytes());
+  }
+  state.SetLabel(contender.name);
+  bench::SetThroughput(state, kRows * sizeof(uint32_t));
+}
+BENCHMARK(BM_Compress)->DenseRange(1, 7)->Unit(benchmark::kMillisecond);
+
+void BM_Decompress(benchmark::State& state) {
+  const auto contenders = Contenders();
+  const Contender& contender = contenders[state.range(0)];
+  Column<uint32_t> dates = gen::ShippedOrderDates(kRows, 100.0, 2018);
+  CompressedColumn compressed =
+      MustCompress(AnyColumn(dates), contender.descriptor);
+  for (auto _ : state) {
+    auto back = Decompress(compressed);
+    bench::CheckOk(back.status(), contender.name);
+    benchmark::DoNotOptimize(back->size());
+  }
+  state.SetLabel(contender.name);
+  bench::SetThroughput(state, kRows * sizeof(uint32_t));
+}
+BENCHMARK(BM_Decompress)->DenseRange(1, 7)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+RECOMP_BENCH_MAIN(PrintTables)

@@ -1,0 +1,105 @@
+// E3 — RPE: trading compression ratio for decompression speed (paper §II-A).
+//
+// Claim: holding run_positions instead of lengths removes the integration
+// (PrefixSum) from decompression, at no ratio cost before packing and a
+// modest cost after packing (positions need bits(n), lengths only
+// bits(max_run)). This bench sweeps run lengths for the ratio side and
+// prices decompression of both forms — including RPE obtained from RLE *by
+// peeling*, never recompressing.
+
+#include "bench_common.h"
+#include "core/catalog.h"
+#include "core/fused.h"
+#include "core/plan_builder.h"
+#include "core/plan_executor.h"
+#include "core/rewrite.h"
+#include "gen/generators.h"
+
+namespace {
+
+using namespace recomp;
+using bench::MustCompress;
+using bench::ValueOrDie;
+
+constexpr uint64_t kRows = 1u << 22;
+
+void PrintTables() {
+  bench::Section("E3: RLE vs RPE footprint across run lengths (rows=2^22)");
+  std::printf("%-14s %16s %16s %16s %10s\n", "avg run len", "RLE-NS bytes",
+              "RPE-NS bytes", "overhead", "plan ops");
+  for (double run_length : {2.0, 8.0, 32.0, 128.0, 512.0}) {
+    Column<uint32_t> col = gen::SortedRuns(kRows, run_length, 3, 12);
+    // Packed RLE vs packed RPE (positions NS'd instead of DELTA+NS'd).
+    CompressedColumn rle = MustCompress(AnyColumn(col), MakeRleNs());
+    CompressedColumn rpe = MustCompress(
+        AnyColumn(col),
+        Rpe().With("positions", Ns()).With("values", Ns()));
+    Plan rle_plan = ValueOrDie(BuildDecompressionPlan(rle), "plan");
+    Plan rpe_plan = ValueOrDie(BuildDecompressionPlan(rpe), "plan");
+    std::printf("%-14.0f %16llu %16llu %15.2f%% %4llu vs %llu\n", run_length,
+                static_cast<unsigned long long>(rle.PayloadBytes()),
+                static_cast<unsigned long long>(rpe.PayloadBytes()),
+                100.0 * (static_cast<double>(rpe.PayloadBytes()) /
+                             static_cast<double>(rle.PayloadBytes()) -
+                         1.0),
+                static_cast<unsigned long long>(rle_plan.OperatorCount()),
+                static_cast<unsigned long long>(rpe_plan.OperatorCount()));
+  }
+  std::printf(
+      "\nExpected shape: RPE pays a bounded byte overhead (bits(n) vs "
+      "bits(max_run) per run) and always saves one PrefixSum.\n");
+
+  bench::Section("E3: unpacked forms are byte-identical to peeled RLE");
+  Column<uint32_t> col = gen::SortedRuns(1u << 18, 32.0, 3, 13);
+  CompressedColumn rle = MustCompress(AnyColumn(col), MakeRle());
+  CompressedColumn peeled = ValueOrDie(PeelPart(rle, "positions"), "peel");
+  CompressedColumn direct = MustCompress(AnyColumn(col), Rpe());
+  const bool identical =
+      *peeled.root().parts.at("positions").column ==
+          *direct.root().parts.at("positions").column &&
+      *peeled.root().parts.at("values").column ==
+          *direct.root().parts.at("values").column;
+  std::printf("PeelPart(RLE, positions) == Compress(RPE): %s\n",
+              identical ? "byte-identical" : "MISMATCH");
+  if (!identical) std::exit(1);
+}
+
+void BM_DecompressViaPlan(benchmark::State& state) {
+  const bool use_rpe = state.range(0) == 1;
+  Column<uint32_t> col = gen::SortedRuns(kRows, 32.0, 3, 14);
+  CompressedColumn rle = MustCompress(AnyColumn(col), MakeRle());
+  CompressedColumn compressed =
+      use_rpe ? ValueOrDie(PeelPart(rle, "positions"), "peel") : rle.Clone();
+  Plan plan = ValueOrDie(BuildDecompressionPlan(compressed), "plan");
+  for (auto _ : state) {
+    auto out = ExecutePlan(plan, compressed);
+    bench::CheckOk(out.status(), "decompress");
+    benchmark::DoNotOptimize(out->size());
+  }
+  state.SetLabel(use_rpe ? "RPE (one fewer PrefixSum)" : "RLE");
+  bench::SetThroughput(state, kRows * sizeof(uint32_t));
+}
+BENCHMARK(BM_DecompressViaPlan)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_DecompressFusedKernels(benchmark::State& state) {
+  const bool use_rpe = state.range(0) == 1;
+  Column<uint32_t> col = gen::SortedRuns(kRows, 32.0, 3, 14);
+  CompressedColumn rle = MustCompress(AnyColumn(col), MakeRle());
+  CompressedColumn compressed =
+      use_rpe ? ValueOrDie(PeelPart(rle, "positions"), "peel") : rle.Clone();
+  for (auto _ : state) {
+    auto out = FusedDecompress(compressed);
+    bench::CheckOk(out.status(), "decompress");
+    benchmark::DoNotOptimize(out->size());
+  }
+  state.SetLabel(use_rpe ? "RPE" : "RLE");
+  bench::SetThroughput(state, kRows * sizeof(uint32_t));
+}
+BENCHMARK(BM_DecompressFusedKernels)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+RECOMP_BENCH_MAIN(PrintTables)

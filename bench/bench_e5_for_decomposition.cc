@@ -1,0 +1,76 @@
+// E5 — FOR ≡ STEP + NS, measured (paper §II-B).
+//
+// The additive decomposition is an identity on bytes: the FOR footprint is
+// exactly the STEP model's refs plus the NS-packed residual, with the
+// segment length trading refs overhead against residual width. The table
+// sweeps segment length × in-segment variation and verifies the identity;
+// timings decompress at the footprint-optimal and extreme settings.
+
+#include "bench_common.h"
+#include "core/catalog.h"
+#include "gen/generators.h"
+#include "util/bits.h"
+
+namespace {
+
+using namespace recomp;
+using bench::MustCompress;
+
+constexpr uint64_t kRows = 1u << 21;
+
+void PrintTables() {
+  for (int noise_bits : {2, 6, 10}) {
+    bench::Section(
+        "E5: FOR footprint vs segment length (in-segment variation = " +
+        std::to_string(noise_bits) + " bits, rows=2^21)");
+    std::printf("%-10s %12s %14s %16s %14s %8s\n", "ell", "refs B",
+                "residual w", "residual B", "total B", "check");
+    // Generate once at locality scale 1024; smaller ells over-segment,
+    // larger ells widen the residual.
+    Column<uint32_t> col = gen::StepLevels(kRows, 1024, 24, noise_bits, 31);
+    for (uint64_t ell : {16u, 64u, 256u, 1024u, 4096u, 16384u}) {
+      CompressedColumn compressed =
+          MustCompress(AnyColumn(col), MakeFor(ell));
+      const uint64_t refs_bytes =
+          compressed.root().parts.at("refs").column->ByteSize();
+      const CompressedNode& residual =
+          *compressed.root().parts.at("residual").sub;
+      const uint64_t residual_bytes = residual.PayloadBytes();
+      const int width = residual.scheme.params.width;
+      const bool identity =
+          compressed.PayloadBytes() == refs_bytes + residual_bytes;
+      std::printf("%-10llu %12llu %14d %16llu %14llu %8s\n",
+                  static_cast<unsigned long long>(ell),
+                  static_cast<unsigned long long>(refs_bytes), width,
+                  static_cast<unsigned long long>(residual_bytes),
+                  static_cast<unsigned long long>(compressed.PayloadBytes()),
+                  identity ? "ok" : "FAIL");
+      if (!identity) std::exit(1);
+    }
+  }
+  std::printf(
+      "\nExpected shape: total bytes are U-shaped in ell; the optimum sits "
+      "at the data's locality scale (1024) and shifts with the variation.\n");
+}
+
+void BM_ForDecompressAtEll(benchmark::State& state) {
+  const uint64_t ell = static_cast<uint64_t>(state.range(0));
+  Column<uint32_t> col = gen::StepLevels(kRows, 1024, 24, 6, 31);
+  CompressedColumn compressed = MustCompress(AnyColumn(col), MakeFor(ell));
+  for (auto _ : state) {
+    auto out = Decompress(compressed);
+    bench::CheckOk(out.status(), "decompress");
+    benchmark::DoNotOptimize(out->size());
+  }
+  state.SetLabel("ell=" + std::to_string(ell));
+  bench::SetThroughput(state, kRows * sizeof(uint32_t));
+}
+BENCHMARK(BM_ForDecompressAtEll)
+    ->Arg(16)
+    ->Arg(1024)
+    ->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+RECOMP_BENCH_MAIN(PrintTables)

@@ -1,0 +1,81 @@
+// E6 — The L0 patch extension (paper §II-B).
+//
+// Claim: for data that is "'really' a step function, but with the occasional
+// divergent arbitrary-value element", adding patches to the model keeps the
+// residual narrow where plain FOR's width explodes. The table sweeps the
+// outlier fraction: FOR's bytes jump as soon as one outlier per column
+// appears; PFOR degrades smoothly and converges back to FOR when everything
+// is an outlier.
+
+#include "bench_common.h"
+#include "core/catalog.h"
+#include "gen/generators.h"
+
+namespace {
+
+using namespace recomp;
+using bench::MustCompress;
+
+constexpr uint64_t kRows = 1u << 21;
+constexpr uint64_t kSegment = 1024;
+
+Column<uint32_t> MakeData(double outlier_fraction, uint64_t seed) {
+  // Step levels plus occasional wide spikes.
+  Column<uint32_t> col = gen::StepLevels(kRows, kSegment, 20, 6, seed);
+  Column<uint32_t> spikes =
+      gen::OutlierMix(kRows, 1, 28, outlier_fraction, seed + 1);
+  for (uint64_t i = 0; i < kRows; ++i) {
+    if (spikes[i] > 1) col[i] += spikes[i];
+  }
+  return col;
+}
+
+void PrintTables() {
+  bench::Section("E6: FOR vs PFOR bytes across outlier fractions (rows=2^21)");
+  std::printf("%-12s %14s %14s %12s %14s\n", "outliers", "FOR bytes",
+              "PFOR bytes", "PFOR/FOR", "patches");
+  for (double fraction :
+       {0.0, 0.0001, 0.001, 0.01, 0.05, 0.2, 0.5, 1.0}) {
+    Column<uint32_t> col = MakeData(fraction, 41);
+    CompressedColumn plain = MustCompress(AnyColumn(col), MakeFor(kSegment));
+    CompressedColumn patched = MustCompress(AnyColumn(col), MakePfor(kSegment));
+    const CompressedNode& residual =
+        *patched.root().parts.at("residual").sub;
+    const uint64_t patches =
+        residual.parts.at("patch_positions").column->size();
+    std::printf("%-12.4f %14llu %14llu %11.2fx %14llu\n", fraction,
+                static_cast<unsigned long long>(plain.PayloadBytes()),
+                static_cast<unsigned long long>(patched.PayloadBytes()),
+                static_cast<double>(patched.PayloadBytes()) /
+                    static_cast<double>(plain.PayloadBytes()),
+                static_cast<unsigned long long>(patches));
+  }
+  std::printf(
+      "\nExpected shape: equal at fraction 0; PFOR << FOR through the "
+      "small-fraction regime; converging again (no patches chosen) as "
+      "outliers dominate.\n");
+}
+
+void BM_DecompressPatched(benchmark::State& state) {
+  const bool use_pfor = state.range(1) == 1;
+  const double fraction = static_cast<double>(state.range(0)) / 10000.0;
+  Column<uint32_t> col = MakeData(fraction, 42);
+  CompressedColumn compressed = MustCompress(
+      AnyColumn(col), use_pfor ? MakePfor(kSegment) : MakeFor(kSegment));
+  for (auto _ : state) {
+    auto out = Decompress(compressed);
+    bench::CheckOk(out.status(), "decompress");
+    benchmark::DoNotOptimize(out->size());
+  }
+  state.SetLabel(std::string(use_pfor ? "PFOR" : "FOR") + " @" +
+                 std::to_string(fraction));
+  bench::SetThroughput(state, kRows * sizeof(uint32_t));
+}
+BENCHMARK(BM_DecompressPatched)
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+RECOMP_BENCH_MAIN(PrintTables)

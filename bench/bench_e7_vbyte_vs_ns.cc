@@ -1,0 +1,65 @@
+// E7 — The log-metric residual: variable-width vs fixed-width encoding
+// (paper §II-B).
+//
+// Claim: under d(x,y) = ceil(log2|x-y|+1), a variable-width encoding pays
+// each value its own magnitude instead of the global maximum. The table
+// mixes value magnitudes: NS pays the max everywhere, PATCHED-NS pays the
+// bulk width plus exceptions, VBYTE pays per value (in byte quanta). Timing
+// contrasts decode speed — the price of variable width.
+
+#include "bench_common.h"
+#include "core/catalog.h"
+#include "gen/generators.h"
+
+namespace {
+
+using namespace recomp;
+using bench::MustCompress;
+
+constexpr uint64_t kRows = 1u << 21;
+
+void PrintTables() {
+  bench::Section("E7: NS vs PATCHED-NS vs VBYTE across magnitude mixes");
+  std::printf("%-14s %14s %16s %14s\n", "wide frac", "NS bytes",
+              "PATCHED-NS bytes", "VBYTE bytes");
+  for (double wide : {0.0, 0.001, 0.01, 0.1, 0.5, 1.0}) {
+    Column<uint32_t> col = gen::OutlierMix(kRows, 6, 27, wide, 51);
+    const uint64_t ns =
+        MustCompress(AnyColumn(col), Ns()).PayloadBytes();
+    const uint64_t patched =
+        MustCompress(AnyColumn(col), Patched().With("base", Ns()))
+            .PayloadBytes();
+    const uint64_t vbyte =
+        MustCompress(AnyColumn(col), VByte()).PayloadBytes();
+    std::printf("%-14.3f %14llu %16llu %14llu\n", wide,
+                static_cast<unsigned long long>(ns),
+                static_cast<unsigned long long>(patched),
+                static_cast<unsigned long long>(vbyte));
+  }
+  std::printf(
+      "\nExpected shape: NS flat at the wide width once any outlier exists; "
+      "VBYTE tracks the mix linearly; PATCHED-NS wins the sparse regime, "
+      "VBYTE the mixed-magnitude middle (in byte quanta).\n");
+}
+
+void BM_Decode(benchmark::State& state) {
+  Column<uint32_t> col = gen::OutlierMix(kRows, 6, 27, 0.01, 52);
+  const SchemeDescriptor descriptors[] = {Ns(),
+                                          Patched().With("base", Ns()),
+                                          VByte()};
+  const char* labels[] = {"NS", "PATCHED-NS", "VBYTE"};
+  CompressedColumn compressed =
+      MustCompress(AnyColumn(col), descriptors[state.range(0)]);
+  for (auto _ : state) {
+    auto out = Decompress(compressed);
+    bench::CheckOk(out.status(), "decode");
+    benchmark::DoNotOptimize(out->size());
+  }
+  state.SetLabel(labels[state.range(0)]);
+  bench::SetThroughput(state, kRows * sizeof(uint32_t));
+}
+BENCHMARK(BM_Decode)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+RECOMP_BENCH_MAIN(PrintTables)

@@ -1,0 +1,119 @@
+// E9 — The model accelerates selections; approximate answers carry proven
+// bounds (paper §II-B).
+//
+// Claim: "the rough correspondence of the column data to a simple model can
+// be used to speed up selections (e.g. range queries) and joins, or in the
+// context of approximate or gradual-refinement query processing."
+//
+// Table 1: selectivity sweep — segments skipped / decoded under pruned
+// selection vs the full decompress-and-scan. Table 2: gradual refinement of
+// an approximate SUM. Timing: pruned vs scan selection across
+// selectivities.
+
+#include <algorithm>
+
+#include "bench_common.h"
+#include "core/catalog.h"
+#include "exec/approx.h"
+#include "exec/selection.h"
+#include "gen/generators.h"
+#include "ops/reduce.h"
+
+namespace {
+
+using namespace recomp;
+using bench::MustCompress;
+using bench::ValueOrDie;
+
+constexpr uint64_t kRows = 1u << 22;
+constexpr uint64_t kSegment = 1024;
+
+CompressedColumn MakeInput() {
+  Column<uint32_t> col = gen::StepLevels(kRows, kSegment, 24, 8, 71);
+  return MustCompress(AnyColumn(col), MakeFor(kSegment));
+}
+
+/// Predicate hitting roughly `selectivity` of the level domain.
+exec::RangePredicate PredicateFor(double selectivity) {
+  const uint64_t domain = uint64_t{1} << 24;
+  const uint64_t span = static_cast<uint64_t>(selectivity * domain);
+  return {domain / 3, domain / 3 + span};
+}
+
+void PrintTables() {
+  bench::Section("E9: segment pruning under a selectivity sweep (rows=2^22)");
+  CompressedColumn compressed = MakeInput();
+  std::printf("%-14s %10s %10s %10s %16s %10s\n", "selectivity", "skipped",
+              "full", "partial", "values decoded", "matches");
+  for (double selectivity : {0.0001, 0.001, 0.01, 0.1, 0.5, 1.0}) {
+    auto result =
+        exec::SelectCompressed(compressed, PredicateFor(selectivity));
+    bench::CheckOk(result.status(), "select");
+    std::printf("%-14.4f %10llu %10llu %10llu %16llu %10zu\n", selectivity,
+                static_cast<unsigned long long>(result->stats.segments_skipped),
+                static_cast<unsigned long long>(result->stats.segments_full),
+                static_cast<unsigned long long>(result->stats.segments_partial),
+                static_cast<unsigned long long>(result->stats.values_decoded),
+                result->positions.size());
+  }
+  std::printf(
+      "\nExpected shape: at low selectivity nearly every segment is skipped "
+      "and almost no residual bits are decoded; decoded values grow with "
+      "selectivity until pruning stops helping.\n");
+
+  bench::Section("E9: gradual refinement of SUM from the model");
+  auto column = ValueOrDie(Decompress(compressed), "decompress");
+  const uint64_t exact = ops::Sum(column.As<uint32_t>());
+  std::printf("exact sum = %llu\n", static_cast<unsigned long long>(exact));
+  std::printf("%-20s %22s %22s %14s\n", "refined segments", "lower", "upper",
+              "rel err");
+  auto initial = ValueOrDie(exec::ApproximateSum(compressed), "approx");
+  for (uint64_t k :
+       {uint64_t{0}, initial.total_segments / 16, initial.total_segments / 4,
+        initial.total_segments}) {
+    auto refined = ValueOrDie(exec::RefineSum(compressed, k), "refine");
+    if (refined.lower > exact || refined.upper < exact) {
+      std::fprintf(stderr, "FATAL: bound violation\n");
+      std::exit(1);
+    }
+    std::printf("%8llu / %-9llu %22llu %22llu %13.5f%%\n",
+                static_cast<unsigned long long>(refined.refined_segments),
+                static_cast<unsigned long long>(refined.total_segments),
+                static_cast<unsigned long long>(refined.lower),
+                static_cast<unsigned long long>(refined.upper),
+                100.0 * static_cast<double>(refined.Width()) /
+                    static_cast<double>(exact));
+  }
+}
+
+void BM_Selection(benchmark::State& state) {
+  const bool pruned = state.range(1) == 1;
+  const double selectivity =
+      1.0 / static_cast<double>(uint64_t{1} << state.range(0));
+  CompressedColumn for_compressed = MakeInput();
+  // The scan baseline goes through a shape without a pruning fast path.
+  auto input = ValueOrDie(Decompress(for_compressed), "decompress");
+  CompressedColumn scan_compressed = MustCompress(input, MakeDeltaNs());
+  const exec::RangePredicate pred = PredicateFor(selectivity);
+  for (auto _ : state) {
+    auto result = exec::SelectCompressed(
+        pruned ? for_compressed : scan_compressed, pred);
+    bench::CheckOk(result.status(), "select");
+    benchmark::DoNotOptimize(result->positions.size());
+  }
+  state.SetLabel(std::string(pruned ? "model-pruned" : "decompress-scan") +
+                 " sel=2^-" + std::to_string(state.range(0)));
+  bench::SetThroughput(state, kRows * sizeof(uint32_t));
+}
+BENCHMARK(BM_Selection)
+    ->Args({12, 0})
+    ->Args({12, 1})
+    ->Args({6, 0})
+    ->Args({6, 1})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+RECOMP_BENCH_MAIN(PrintTables)

@@ -1,0 +1,80 @@
+// Scheme explorer: run the analyzer over several workloads and print the
+// ranked composition space — estimated vs measured footprints and the
+// decompression-cost estimate for each candidate.
+//
+// Optionally pass a descriptor string to compress each workload with it:
+//   $ ./build/examples/scheme_explorer "RPE{positions:DELTA{deltas:NS}}"
+
+#include <cstdio>
+
+#include "core/analyzer.h"
+#include "core/pipeline.h"
+#include "gen/generators.h"
+
+namespace {
+
+struct Workload {
+  const char* name;
+  recomp::Column<uint32_t> column;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace recomp;
+
+  const Workload workloads[] = {
+      {"shipped-order dates", gen::ShippedOrderDates(200000, 150.0, 1)},
+      {"zipf categories", gen::ZipfValues(200000, 1000, 1.1, 2)},
+      {"sensor step levels", gen::StepLevels(200000, 512, 24, 6, 3)},
+      {"linear trend", gen::LinearTrend(200000, 3.25, 32, 4)},
+      {"narrow uniform", gen::Uniform(200000, 4096, 5)},
+      {"outlier mixture", gen::OutlierMix(200000, 8, 28, 0.01, 6)},
+  };
+
+  // Explicit descriptor mode.
+  if (argc > 1) {
+    auto desc = SchemeDescriptor::Parse(argv[1]);
+    if (!desc.ok()) {
+      std::fprintf(stderr, "bad descriptor: %s\n",
+                   desc.status().ToString().c_str());
+      return 1;
+    }
+    for (const Workload& workload : workloads) {
+      auto compressed = Compress(AnyColumn(workload.column), *desc);
+      if (!compressed.ok()) {
+        std::printf("%-22s %s\n", workload.name,
+                    compressed.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%-22s %10llu bytes  %6.1fx  %s\n", workload.name,
+                  static_cast<unsigned long long>(compressed->PayloadBytes()),
+                  compressed->Ratio(),
+                  compressed->Descriptor().ToString().c_str());
+    }
+    return 0;
+  }
+
+  for (const Workload& workload : workloads) {
+    std::printf("== %s (%zu rows) ==\n", workload.name,
+                workload.column.size());
+    auto outcomes = TrialCompressCandidates(AnyColumn(workload.column));
+    if (!outcomes.ok()) {
+      std::printf("  analyzer: %s\n", outcomes.status().ToString().c_str());
+      continue;
+    }
+    std::printf("  %-18s %12s %12s %9s   %s\n", "candidate", "estimated",
+                "measured", "cost/val", "descriptor");
+    int shown = 0;
+    for (const TrialOutcome& outcome : *outcomes) {
+      if (++shown > 6) break;  // Top six per workload.
+      std::printf("  %-18s %12llu %12llu %9.2f   %s\n", outcome.name.c_str(),
+                  static_cast<unsigned long long>(outcome.estimated_bytes),
+                  static_cast<unsigned long long>(outcome.measured_bytes),
+                  outcome.estimated_cost,
+                  outcome.descriptor.ToString().c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

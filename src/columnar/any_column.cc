@@ -1,0 +1,57 @@
+#include "columnar/any_column.h"
+
+#include "util/string_util.h"
+
+namespace recomp {
+
+std::string PackedColumn::ToString() const {
+  return StringFormat("packed<%s,w=%d>[%llu]", TypeIdName(logical_type),
+                      bit_width, static_cast<unsigned long long>(n));
+}
+
+TypeId AnyColumn::type() const {
+  return std::visit(
+      [](const auto& col) -> TypeId {
+        using C = std::decay_t<decltype(col)>;
+        if constexpr (std::is_same_v<C, PackedColumn>) {
+          return col.logical_type;
+        } else {
+          return TypeIdOf<typename C::value_type>();
+        }
+      },
+      v_);
+}
+
+uint64_t AnyColumn::size() const {
+  return std::visit(
+      [](const auto& col) -> uint64_t {
+        using C = std::decay_t<decltype(col)>;
+        if constexpr (std::is_same_v<C, PackedColumn>) {
+          return col.n;
+        } else {
+          return col.size();
+        }
+      },
+      v_);
+}
+
+uint64_t AnyColumn::ByteSize() const {
+  return std::visit(
+      [](const auto& col) -> uint64_t {
+        using C = std::decay_t<decltype(col)>;
+        if constexpr (std::is_same_v<C, PackedColumn>) {
+          return col.ByteSize();
+        } else {
+          return col.size() * sizeof(typename C::value_type);
+        }
+      },
+      v_);
+}
+
+std::string AnyColumn::ToString() const {
+  if (is_packed()) return packed().ToString();
+  return StringFormat("%s[%llu]", TypeIdName(type()),
+                      static_cast<unsigned long long>(size()));
+}
+
+}  // namespace recomp

@@ -1,0 +1,101 @@
+// AnyColumn: a type-erased column, the unit of exchange between schemes.
+//
+// A compressed form is a named map of AnyColumns (the paper's "pure columns"
+// view); each part may be a plain integer column of any supported width or a
+// bit-packed column.
+
+#ifndef RECOMP_COLUMNAR_ANY_COLUMN_H_
+#define RECOMP_COLUMNAR_ANY_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "columnar/column.h"
+#include "columnar/packed.h"
+#include "columnar/type.h"
+#include "util/macros.h"
+
+namespace recomp {
+
+/// A column of any supported physical type, or a bit-packed column.
+class AnyColumn {
+ public:
+  using Variant =
+      std::variant<Column<uint8_t>, Column<uint16_t>, Column<uint32_t>,
+                   Column<uint64_t>, Column<int8_t>, Column<int16_t>,
+                   Column<int32_t>, Column<int64_t>, PackedColumn>;
+
+  /// Default: an empty uint32 column.
+  AnyColumn() : v_(Column<uint32_t>{}) {}
+
+  template <typename T>
+  AnyColumn(Column<T> col) : v_(std::move(col)) {}  // NOLINT(runtime/explicit)
+
+  AnyColumn(PackedColumn p) : v_(std::move(p)) {}  // NOLINT(runtime/explicit)
+
+  /// True iff this holds a PackedColumn rather than a plain column.
+  bool is_packed() const { return std::holds_alternative<PackedColumn>(v_); }
+
+  /// Logical element type (for packed columns, the type values decode to).
+  TypeId type() const;
+
+  /// Number of logical elements.
+  uint64_t size() const;
+
+  /// Physical payload footprint in bytes (the quantity compression ratios
+  /// are computed from).
+  uint64_t ByteSize() const;
+
+  /// Typed access; aborts if the held type differs.
+  template <typename T>
+  const Column<T>& As() const {
+    RECOMP_DCHECK(std::holds_alternative<Column<T>>(v_),
+                  "AnyColumn::As<T> type mismatch");
+    return std::get<Column<T>>(v_);
+  }
+  template <typename T>
+  Column<T>& As() {
+    RECOMP_DCHECK(std::holds_alternative<Column<T>>(v_),
+                  "AnyColumn::As<T> type mismatch");
+    return std::get<Column<T>>(v_);
+  }
+
+  /// Packed access; aborts if this is a plain column.
+  const PackedColumn& packed() const {
+    RECOMP_DCHECK(is_packed(), "AnyColumn::packed on a plain column");
+    return std::get<PackedColumn>(v_);
+  }
+
+  /// Invokes `f` with the concrete Column<T>&; aborts on packed columns
+  /// (callers dispatch on is_packed() first).
+  template <typename F>
+  decltype(auto) VisitPlain(F&& f) const {
+    RECOMP_DCHECK(!is_packed(), "VisitPlain on a packed column");
+    return std::visit(
+        [&](const auto& col) -> decltype(auto) {
+          using C = std::decay_t<decltype(col)>;
+          if constexpr (std::is_same_v<C, PackedColumn>) {
+            // Unreachable per the DCHECK; keep the type checker happy by
+            // recursing on an empty column of the logical type.
+            return f(Column<uint32_t>{});
+          } else {
+            return f(col);
+          }
+        },
+        v_);
+  }
+
+  bool operator==(const AnyColumn& other) const { return v_ == other.v_; }
+
+  /// "uint32[1024]" or "packed<uint32,w=7>[1024]".
+  std::string ToString() const;
+
+ private:
+  Variant v_;
+};
+
+}  // namespace recomp
+
+#endif  // RECOMP_COLUMNAR_ANY_COLUMN_H_

@@ -1,0 +1,45 @@
+// PackedColumn: a column whose values occupy `bit_width` bits each,
+// stored bit-contiguously (LSB-first) with no per-block headers.
+//
+// This is the physical output of the NS (null suppression) scheme. The
+// pack/unpack kernels live in ops/pack.h; this header is only the container,
+// keeping the columnar layer free of kernel dependencies.
+
+#ifndef RECOMP_COLUMNAR_PACKED_H_
+#define RECOMP_COLUMNAR_PACKED_H_
+
+#include <cstdint>
+#include <string>
+
+#include "columnar/column.h"
+#include "columnar/type.h"
+
+namespace recomp {
+
+/// Bit-packed column payload.
+struct PackedColumn {
+  /// Bit-contiguous payload, LSB-first within each byte. Padded with zero
+  /// bits to the next byte boundary.
+  Column<uint8_t> bytes;
+  /// Width of each value in bits; 0 encodes "all values are zero".
+  int bit_width = 0;
+  /// Number of logical values.
+  uint64_t n = 0;
+  /// The element type values decode to.
+  TypeId logical_type = TypeId::kUInt32;
+
+  /// Payload footprint in bytes.
+  uint64_t ByteSize() const { return bytes.size(); }
+
+  bool operator==(const PackedColumn& other) const {
+    return bit_width == other.bit_width && n == other.n &&
+           logical_type == other.logical_type && bytes == other.bytes;
+  }
+
+  /// "packed<uint32,w=7>[1024]"
+  std::string ToString() const;
+};
+
+}  // namespace recomp
+
+#endif  // RECOMP_COLUMNAR_PACKED_H_

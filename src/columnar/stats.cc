@@ -1,0 +1,117 @@
+#include "columnar/stats.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/bits.h"
+#include "util/zigzag.h"
+
+namespace recomp {
+
+template <typename T>
+ColumnStats ComputeStats(const Column<T>& col) {
+  static_assert(std::is_unsigned_v<T>, "stats are computed on unsigned columns");
+  ColumnStats s;
+  s.n = col.size();
+  if (col.empty()) return s;
+
+  s.min = col[0];
+  s.max = col[0];
+  s.run_count = 1;
+  s.sorted_nondecreasing = true;
+  s.strictly_increasing = true;
+  uint64_t current_run = 1;
+  s.max_run_length = 1;
+
+  uint64_t max_zz = zigzag::EncodeDiff<uint64_t>(col[0], 0);
+
+  for (uint64_t i = 1; i < col.size(); ++i) {
+    const uint64_t v = col[i];
+    const uint64_t prev = col[i - 1];
+    s.min = std::min<uint64_t>(s.min, v);
+    s.max = std::max<uint64_t>(s.max, v);
+    if (v == prev) {
+      ++current_run;
+      s.strictly_increasing = false;
+    } else {
+      s.max_run_length = std::max(s.max_run_length, current_run);
+      current_run = 1;
+      ++s.run_count;
+      if (v < prev) {
+        s.sorted_nondecreasing = false;
+        s.strictly_increasing = false;
+      }
+    }
+    uint64_t zz = zigzag::EncodeDiff<uint64_t>(v, prev);
+    int zz_bits = bits::BitWidth(zz);
+    s.max_delta_zigzag_bits = std::max(s.max_delta_zigzag_bits, zz_bits);
+    max_zz = std::max(max_zz, zz);
+  }
+  s.max_run_length = std::max(s.max_run_length, current_run);
+  s.avg_run_length =
+      static_cast<double>(s.n) / static_cast<double>(s.run_count);
+
+  s.value_bits = bits::BitWidth(s.max);
+  s.range_bits = bits::BitWidth(s.max - s.min);
+  s.max_delta_zigzag_bits_with_head = bits::BitWidth(max_zz);
+
+  std::unordered_set<uint64_t> seen;
+  for (const T v : col) {
+    seen.insert(static_cast<uint64_t>(v));
+    if (seen.size() >= ColumnStats::kDistinctCap) {
+      s.distinct_capped = true;
+      break;
+    }
+  }
+  s.distinct = seen.size();
+  return s;
+}
+
+template <typename T>
+int StepResidualWidth(const Column<T>& col, uint64_t ell) {
+  static_assert(std::is_unsigned_v<T>);
+  if (col.empty() || ell == 0) return 0;
+  int width = 0;
+  for (uint64_t seg = 0; seg * ell < col.size(); ++seg) {
+    const uint64_t begin = seg * ell;
+    const uint64_t end = std::min<uint64_t>(begin + ell, col.size());
+    T lo = col[begin];
+    T hi = col[begin];
+    for (uint64_t i = begin + 1; i < end; ++i) {
+      lo = std::min(lo, col[i]);
+      hi = std::max(hi, col[i]);
+    }
+    width = std::max(width, bits::BitWidth(static_cast<uint64_t>(hi - lo)));
+  }
+  return width;
+}
+
+template <typename T>
+int WidthCoveringFraction(const Column<T>& col, double outlier_fraction) {
+  static_assert(std::is_unsigned_v<T>);
+  if (col.empty()) return 0;
+  uint64_t histogram[65] = {};
+  for (const T v : col) ++histogram[bits::BitWidth(static_cast<uint64_t>(v))];
+  const uint64_t keep = static_cast<uint64_t>(
+      static_cast<double>(col.size()) * (1.0 - outlier_fraction));
+  uint64_t covered = 0;
+  for (int w = 0; w <= 64; ++w) {
+    covered += histogram[w];
+    if (covered >= keep) return w;
+  }
+  return 64;
+}
+
+#define RECOMP_INSTANTIATE_STATS(T)                                  \
+  template ColumnStats ComputeStats<T>(const Column<T>&);            \
+  template int StepResidualWidth<T>(const Column<T>&, uint64_t);     \
+  template int WidthCoveringFraction<T>(const Column<T>&, double);
+
+RECOMP_INSTANTIATE_STATS(uint8_t)
+RECOMP_INSTANTIATE_STATS(uint16_t)
+RECOMP_INSTANTIATE_STATS(uint32_t)
+RECOMP_INSTANTIATE_STATS(uint64_t)
+
+#undef RECOMP_INSTANTIATE_STATS
+
+}  // namespace recomp

@@ -1,0 +1,65 @@
+// Column statistics driving scheme selection and the cost model.
+//
+// Statistics are computed over *unsigned* columns; the compression pipeline
+// normalizes signed inputs with the ZIGZAG primitive before analysis, so the
+// analyzer only ever reasons about unsigned data.
+
+#ifndef RECOMP_COLUMNAR_STATS_H_
+#define RECOMP_COLUMNAR_STATS_H_
+
+#include <cstdint>
+
+#include "columnar/column.h"
+
+namespace recomp {
+
+/// Summary statistics of one column.
+struct ColumnStats {
+  uint64_t n = 0;
+
+  uint64_t min = 0;
+  uint64_t max = 0;
+
+  /// BitWidth(max): bits for NS without any model.
+  int value_bits = 0;
+  /// BitWidth(max - min): bits for offsets from a single global reference.
+  int range_bits = 0;
+
+  /// Number of maximal runs of equal values (0 for the empty column).
+  uint64_t run_count = 0;
+  uint64_t max_run_length = 0;
+  double avg_run_length = 0.0;
+
+  bool sorted_nondecreasing = false;
+  bool strictly_increasing = false;
+
+  /// Exact count of distinct values, capped at kDistinctCap.
+  uint64_t distinct = 0;
+  bool distinct_capped = false;
+
+  /// max over i>0 of BitWidth(zigzag(v[i] - v[i-1])); 0 when n <= 1.
+  /// Predicts the NS width of a ZIGZAG∘DELTA residual.
+  int max_delta_zigzag_bits = 0;
+  /// Same, with v[-1] := 0 included (the library's DELTA convention).
+  int max_delta_zigzag_bits_with_head = 0;
+
+  static constexpr uint64_t kDistinctCap = 1u << 16;
+};
+
+/// Computes full statistics in two passes over the column.
+template <typename T>
+ColumnStats ComputeStats(const Column<T>& col);
+
+/// Max over fixed-length segments of BitWidth(seg_max - seg_min): the NS
+/// width a MODELED(STEP(ell)) residual needs. Returns 0 for empty input.
+template <typename T>
+int StepResidualWidth(const Column<T>& col, uint64_t ell);
+
+/// Width (bits) sufficient for at least (1 - outlier_fraction) of the
+/// values; the PATCHED base width that leaves ~outlier_fraction patches.
+template <typename T>
+int WidthCoveringFraction(const Column<T>& col, double outlier_fraction);
+
+}  // namespace recomp
+
+#endif  // RECOMP_COLUMNAR_STATS_H_

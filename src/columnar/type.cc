@@ -1,0 +1,83 @@
+#include "columnar/type.h"
+
+namespace recomp {
+
+const char* TypeIdName(TypeId t) {
+  switch (t) {
+    case TypeId::kUInt8:
+      return "uint8";
+    case TypeId::kUInt16:
+      return "uint16";
+    case TypeId::kUInt32:
+      return "uint32";
+    case TypeId::kUInt64:
+      return "uint64";
+    case TypeId::kInt8:
+      return "int8";
+    case TypeId::kInt16:
+      return "int16";
+    case TypeId::kInt32:
+      return "int32";
+    case TypeId::kInt64:
+      return "int64";
+  }
+  return "?";
+}
+
+bool TypeIdFromName(const std::string& name, TypeId* out) {
+  for (int i = 0; i < kNumTypeIds; ++i) {
+    TypeId t = static_cast<TypeId>(i);
+    if (name == TypeIdName(t)) {
+      *out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+int TypeIdByteWidth(TypeId t) {
+  switch (t) {
+    case TypeId::kUInt8:
+    case TypeId::kInt8:
+      return 1;
+    case TypeId::kUInt16:
+    case TypeId::kInt16:
+      return 2;
+    case TypeId::kUInt32:
+    case TypeId::kInt32:
+      return 4;
+    case TypeId::kUInt64:
+    case TypeId::kInt64:
+      return 8;
+  }
+  return 0;
+}
+
+bool TypeIdIsUnsigned(TypeId t) {
+  switch (t) {
+    case TypeId::kUInt8:
+    case TypeId::kUInt16:
+    case TypeId::kUInt32:
+    case TypeId::kUInt64:
+      return true;
+    default:
+      return false;
+  }
+}
+
+TypeId TypeIdToUnsigned(TypeId t) {
+  switch (t) {
+    case TypeId::kInt8:
+      return TypeId::kUInt8;
+    case TypeId::kInt16:
+      return TypeId::kUInt16;
+    case TypeId::kInt32:
+      return TypeId::kUInt32;
+    case TypeId::kInt64:
+      return TypeId::kUInt64;
+    default:
+      return t;
+  }
+}
+
+}  // namespace recomp

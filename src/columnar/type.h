@@ -1,0 +1,62 @@
+// Physical element types of columns.
+//
+// The library compresses fixed-width integer columns; the paper's schemes are
+// defined over integers (dates, keys, measures, dictionary codes).
+
+#ifndef RECOMP_COLUMNAR_TYPE_H_
+#define RECOMP_COLUMNAR_TYPE_H_
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+namespace recomp {
+
+/// Identifier of a column's physical element type.
+enum class TypeId : int {
+  kUInt8 = 0,
+  kUInt16 = 1,
+  kUInt32 = 2,
+  kUInt64 = 3,
+  kInt8 = 4,
+  kInt16 = 5,
+  kInt32 = 6,
+  kInt64 = 7,
+};
+
+/// Number of distinct TypeIds.
+inline constexpr int kNumTypeIds = 8;
+
+/// Stable lowercase name, e.g. "uint32".
+const char* TypeIdName(TypeId t);
+
+/// Parses the result of TypeIdName; returns false on unknown names.
+bool TypeIdFromName(const std::string& name, TypeId* out);
+
+/// Width of the type in bytes.
+int TypeIdByteWidth(TypeId t);
+
+/// True for the kUInt* family.
+bool TypeIdIsUnsigned(TypeId t);
+
+/// The same-width unsigned counterpart (identity for unsigned types).
+TypeId TypeIdToUnsigned(TypeId t);
+
+/// Maps a C++ integer type to its TypeId.
+template <typename T>
+constexpr TypeId TypeIdOf() {
+  static_assert(std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                "columns hold fixed-width integers");
+  if constexpr (std::is_same_v<T, uint8_t>) return TypeId::kUInt8;
+  if constexpr (std::is_same_v<T, uint16_t>) return TypeId::kUInt16;
+  if constexpr (std::is_same_v<T, uint32_t>) return TypeId::kUInt32;
+  if constexpr (std::is_same_v<T, uint64_t>) return TypeId::kUInt64;
+  if constexpr (std::is_same_v<T, int8_t>) return TypeId::kInt8;
+  if constexpr (std::is_same_v<T, int16_t>) return TypeId::kInt16;
+  if constexpr (std::is_same_v<T, int32_t>) return TypeId::kInt32;
+  if constexpr (std::is_same_v<T, int64_t>) return TypeId::kInt64;
+}
+
+}  // namespace recomp
+
+#endif  // RECOMP_COLUMNAR_TYPE_H_

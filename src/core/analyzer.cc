@@ -1,0 +1,214 @@
+#include "core/analyzer.h"
+
+#include <algorithm>
+
+#include "columnar/stats.h"
+#include "core/catalog.h"
+#include "core/cost_model.h"
+#include "core/pipeline.h"
+#include "schemes/scheme_internal.h"
+#include "util/bits.h"
+#include "util/zigzag.h"
+
+namespace recomp {
+
+namespace {
+
+/// Derived single-pass statistics beyond ColumnStats.
+struct DerivedStats {
+  uint64_t raw_width_histogram[65] = {};
+  uint64_t delta_width_histogram[65] = {};  // zigzag deltas, incl. head
+  int run_value_delta_bits = 0;  // zigzag deltas between consecutive run values
+};
+
+template <typename T>
+DerivedStats ComputeDerived(const Column<T>& col) {
+  DerivedStats d;
+  uint64_t prev = 0;
+  uint64_t prev_run_value = 0;
+  bool first = true;
+  for (const T value : col) {
+    const uint64_t v = static_cast<uint64_t>(value);
+    ++d.raw_width_histogram[bits::BitWidth(v)];
+    ++d.delta_width_histogram[bits::BitWidth(
+        zigzag::EncodeDiff<uint64_t>(v, prev))];
+    if (first || v != prev) {
+      d.run_value_delta_bits = std::max(
+          d.run_value_delta_bits,
+          bits::BitWidth(zigzag::EncodeDiff<uint64_t>(
+              v, first ? 0 : prev_run_value)));
+      prev_run_value = v;
+      first = false;
+    }
+    prev = v;
+  }
+  return d;
+}
+
+int MaxWidth(const uint64_t histogram[65]) {
+  for (int w = 64; w >= 0; --w) {
+    if (histogram[w] != 0) return w;
+  }
+  return 0;
+}
+
+/// Exact PATCHED+NS cost from a width histogram (mirrors PatchedScheme).
+uint64_t PatchedBytes(const uint64_t histogram[65], uint64_t n,
+                      uint64_t value_size) {
+  uint64_t exceptions = 0;
+  uint64_t best = ~uint64_t{0};
+  for (int w = MaxWidth(histogram); w >= 0; --w) {
+    const uint64_t bytes = bits::PackedByteSize(n, w) +
+                           exceptions * (sizeof(uint32_t) + value_size);
+    best = std::min(best, bytes);
+    exceptions += histogram[w];
+  }
+  return best == ~uint64_t{0} ? 0 : best;
+}
+
+uint64_t VByteBytes(const uint64_t histogram[65]) {
+  uint64_t total = 0;
+  for (int w = 0; w <= 64; ++w) {
+    total += histogram[w] * static_cast<uint64_t>(
+                                w <= 7 ? 1 : bits::CeilDiv(w, 7));
+  }
+  return total;
+}
+
+template <typename T>
+std::vector<CandidateEvaluation> BuildCandidates(const Column<T>& col) {
+  const uint64_t n = col.size();
+  const uint64_t value_size = sizeof(T);
+  const ColumnStats stats = ComputeStats(col);
+  const DerivedStats derived = ComputeDerived(col);
+  std::vector<CandidateEvaluation> out;
+
+  auto add = [&](std::string name, SchemeDescriptor desc, uint64_t bytes) {
+    CandidateEvaluation c;
+    c.name = std::move(name);
+    c.estimated_cost = EstimateDecompressionCost(desc, stats);
+    c.descriptor = std::move(desc);
+    c.estimated_bytes = bytes;
+    out.push_back(std::move(c));
+  };
+
+  add("ID", Id(), n * value_size);
+  add("NS", Ns(), bits::PackedByteSize(n, stats.value_bits));
+  add("PATCHED-NS", Patched().With("base", Ns()),
+      PatchedBytes(derived.raw_width_histogram, n, value_size));
+  add("VBYTE", VByte(), VByteBytes(derived.raw_width_histogram));
+
+  add("DELTA-NS", MakeDeltaNs(),
+      bits::PackedByteSize(n, MaxWidth(derived.delta_width_histogram)));
+  add("DELTA-PATCHED-NS",
+      Delta().With("deltas",
+                   ZigZag().With("recoded", Patched().With("base", Ns()))),
+      PatchedBytes(derived.delta_width_histogram, n, value_size));
+  add("DELTA-VBYTE", MakeDeltaVByte(),
+      VByteBytes(derived.delta_width_histogram));
+
+  if (stats.run_count > 0 && stats.avg_run_length >= 1.5) {
+    const int length_bits = bits::BitWidth(stats.max_run_length);
+    add("RLE-NS", MakeRleNs(),
+        bits::PackedByteSize(stats.run_count,
+                             length_bits + stats.value_bits));
+    add("RLE-DELTA", MakeRleDelta(),
+        bits::PackedByteSize(stats.run_count,
+                             length_bits + derived.run_value_delta_bits));
+    add("RPE", Rpe(),
+        stats.run_count * (sizeof(uint32_t) + value_size));
+  }
+
+  if (!stats.distinct_capped && stats.distinct > 0) {
+    add("DICT-NS", MakeDictNs(),
+        bits::PackedByteSize(
+            n, bits::BitWidth(stats.distinct - 1)) +
+            stats.distinct * value_size);
+  }
+
+  for (const uint64_t ell : {uint64_t{128}, uint64_t{1024}}) {
+    const int residual_width = StepResidualWidth(col, ell);
+    add("FOR-" + std::to_string(ell), MakeFor(ell),
+        bits::CeilDiv(n, ell) * value_size +
+            bits::PackedByteSize(n, residual_width));
+  }
+
+  // PFOR at ell=1024: price the patched residual exactly via a residual
+  // histogram (one extra pass).
+  {
+    const uint64_t ell = 1024;
+    uint64_t residual_histogram[65] = {};
+    for (uint64_t begin = 0; begin < n; begin += ell) {
+      const uint64_t end = std::min<uint64_t>(begin + ell, n);
+      T lo = col[begin];
+      for (uint64_t i = begin + 1; i < end; ++i) lo = std::min(lo, col[i]);
+      for (uint64_t i = begin; i < end; ++i) {
+        ++residual_histogram[bits::BitWidth(
+            static_cast<uint64_t>(col[i] - lo))];
+      }
+    }
+    if (n > 0) {
+      add("PFOR-1024", MakePfor(ell),
+          bits::CeilDiv(n, ell) * value_size +
+              PatchedBytes(residual_histogram, n, value_size));
+    }
+  }
+
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<CandidateEvaluation>> RankCandidates(
+    const AnyColumn& input, const AnalyzerOptions& options) {
+  return internal::DispatchUnsignedColumn(
+      input,
+      [&](const auto& col) -> Result<std::vector<CandidateEvaluation>> {
+        std::vector<CandidateEvaluation> candidates = BuildCandidates(col);
+        std::erase_if(candidates, [&](const CandidateEvaluation& c) {
+          return c.estimated_cost > options.max_cost_per_value;
+        });
+        std::stable_sort(candidates.begin(), candidates.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.estimated_bytes < b.estimated_bytes;
+                         });
+        if (candidates.empty()) {
+          return Status::InvalidArgument(
+              "no candidate scheme satisfies the cost budget");
+        }
+        return candidates;
+      });
+}
+
+Result<SchemeDescriptor> ChooseScheme(const AnyColumn& input,
+                                      const AnalyzerOptions& options) {
+  RECOMP_ASSIGN_OR_RETURN(std::vector<CandidateEvaluation> ranked,
+                          RankCandidates(input, options));
+  return ranked.front().descriptor;
+}
+
+Result<std::vector<TrialOutcome>> TrialCompressCandidates(
+    const AnyColumn& input, const AnalyzerOptions& options) {
+  RECOMP_ASSIGN_OR_RETURN(std::vector<CandidateEvaluation> ranked,
+                          RankCandidates(input, options));
+  std::vector<TrialOutcome> outcomes;
+  outcomes.reserve(ranked.size());
+  for (const CandidateEvaluation& candidate : ranked) {
+    auto compressed = Compress(input, candidate.descriptor);
+    if (!compressed.ok()) continue;  // e.g. DICT over 2^32 distinct values
+    TrialOutcome outcome;
+    outcome.name = candidate.name;
+    outcome.descriptor = candidate.descriptor;
+    outcome.estimated_bytes = candidate.estimated_bytes;
+    outcome.estimated_cost = candidate.estimated_cost;
+    outcome.measured_bytes = compressed->PayloadBytes();
+    outcomes.push_back(std::move(outcome));
+  }
+  std::stable_sort(outcomes.begin(), outcomes.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.measured_bytes < b.measured_bytes;
+                   });
+  return outcomes;
+}
+
+}  // namespace recomp

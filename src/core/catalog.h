@@ -1,0 +1,65 @@
+// The catalog: classic lightweight schemes as named points in the
+// composition space.
+//
+// The paper's thesis is that the familiar zoo — RLE, FOR, PFOR, DELTA-based
+// codecs, dictionary coding — decomposes into a small set of primitives.
+// This catalog registers each classic as a descriptor template over
+// src/schemes' primitives; nothing here has its own compression code.
+
+#ifndef RECOMP_CORE_CATALOG_H_
+#define RECOMP_CORE_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "core/descriptor.h"
+#include "util/result.h"
+
+namespace recomp {
+
+/// One classic scheme and its decomposition.
+struct CatalogEntry {
+  std::string name;
+  std::string description;
+  SchemeDescriptor descriptor;
+};
+
+/// All registered classics (stable order).
+const std::vector<CatalogEntry>& ClassicCatalog();
+
+/// Looks a classic up by name ("RLE", "FOR", ...).
+Result<SchemeDescriptor> CatalogLookup(const std::string& name);
+
+/// RLE: RPE{positions: DELTA} — §II-A. The deltas of the run end positions
+/// are exactly the classic run lengths.
+SchemeDescriptor MakeRle();
+
+/// RLE with packed parts: lengths through NS, values through NS.
+SchemeDescriptor MakeRleNs();
+
+/// The intro's shipped-orders composite: RLE over the dates, DELTA over the
+/// run values, everything packed.
+SchemeDescriptor MakeRleDelta();
+
+/// FOR: MODELED(STEP(ell)){residual: NS(width)} — §II-B's STEP + NS.
+/// Zero parameters resolve from the data.
+SchemeDescriptor MakeFor(uint64_t segment_length = 0, int width = 0);
+
+/// PFOR: FOR with an L0-patched residual (§II-B's patch extension).
+SchemeDescriptor MakePfor(uint64_t segment_length = 0);
+
+/// LFOR: FOR with the piecewise-linear model (§II-B's slope extension).
+SchemeDescriptor MakeLfor(uint64_t segment_length = 0);
+
+/// DELTA + ZIGZAG + NS: the standard sorted-column codec.
+SchemeDescriptor MakeDeltaNs();
+
+/// DELTA + ZIGZAG + VBYTE: the log-metric variant.
+SchemeDescriptor MakeDeltaVByte();
+
+/// DICT with packed codes.
+SchemeDescriptor MakeDictNs();
+
+}  // namespace recomp
+
+#endif  // RECOMP_CORE_CATALOG_H_

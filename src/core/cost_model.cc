@@ -1,0 +1,76 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+
+namespace recomp {
+
+double SchemeKindUnitCost(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kId:
+      return 0.1;  // A copy.
+    case SchemeKind::kZigZag:
+      return 0.5;  // Shift/xor per value.
+    case SchemeKind::kNs:
+      return 1.0;  // Unpack; the unit.
+    case SchemeKind::kVByte:
+      return 4.0;  // Data-dependent branches; no SIMD.
+    case SchemeKind::kDelta:
+      return 1.0;  // Prefix sum.
+    case SchemeKind::kRpe:
+      return 1.5;  // Scatter + prefix sum + gather (or run expansion).
+    case SchemeKind::kDict:
+      return 1.5;  // Gather.
+    case SchemeKind::kStep:
+      return 1.0;  // Segment replication.
+    case SchemeKind::kPlin:
+      return 2.0;  // Multiply-shift per value.
+    case SchemeKind::kModeled:
+      return 1.0;  // The final elementwise add (plus the model's own cost).
+    case SchemeKind::kPatched:
+      return 1.2;  // Copy plus a sparse scatter.
+  }
+  return 1.0;
+}
+
+namespace {
+
+double EstimateNode(const SchemeDescriptor& desc, const ColumnStats& stats,
+                    double scale) {
+  double cost = SchemeKindUnitCost(desc.kind) * scale;
+  for (const auto& arg : desc.args) {
+    cost += SchemeKindUnitCost(arg.kind) * scale;
+  }
+  for (const auto& [part, child] : desc.children) {
+    double child_scale = scale;
+    if (desc.kind == SchemeKind::kRpe) {
+      // values/positions are per-run columns: their decompression cost
+      // amortizes over the run length.
+      child_scale = scale / std::max(1.0, stats.avg_run_length);
+    } else if (desc.kind == SchemeKind::kDict && part == "dictionary") {
+      child_scale =
+          scale * (stats.n == 0
+                       ? 1.0
+                       : static_cast<double>(stats.distinct) /
+                             static_cast<double>(stats.n));
+    } else if (desc.kind == SchemeKind::kModeled &&
+               (part == "refs" || part == "bases" || part == "slopes")) {
+      const uint64_t ell = std::max<uint64_t>(
+          1, desc.args.empty() ? 1 : desc.args[0].params.segment_length);
+      child_scale = scale / static_cast<double>(ell);
+    } else if (desc.kind == SchemeKind::kPatched &&
+               (part == "patch_positions" || part == "patch_values")) {
+      child_scale = scale * 0.05;  // Patches are sparse by design.
+    }
+    cost += EstimateNode(child, stats, child_scale);
+  }
+  return cost;
+}
+
+}  // namespace
+
+double EstimateDecompressionCost(const SchemeDescriptor& desc,
+                                 const ColumnStats& stats) {
+  return EstimateNode(desc, stats, 1.0);
+}
+
+}  // namespace recomp

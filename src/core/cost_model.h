@@ -1,0 +1,28 @@
+// A coarse decompression-cost model over descriptors.
+//
+// The paper's decomposition axis trades compression ratio against
+// decompression effort; to search that axis the analyzer needs a price for
+// "effort". We charge abstract operator applications per output value:
+// every node costs its kind's weight, and work on run-level parts (below
+// RPE's values/positions) amortizes by the average run length.
+
+#ifndef RECOMP_CORE_COST_MODEL_H_
+#define RECOMP_CORE_COST_MODEL_H_
+
+#include "columnar/stats.h"
+#include "core/descriptor.h"
+
+namespace recomp {
+
+/// Relative per-value cost of one application of `kind`'s decompression
+/// operator(s). Unitless; calibrated so NS == 1.
+double SchemeKindUnitCost(SchemeKind kind);
+
+/// Estimated decompression cost per output value for the composite `desc`
+/// on a column with statistics `stats`.
+double EstimateDecompressionCost(const SchemeDescriptor& desc,
+                                 const ColumnStats& stats);
+
+}  // namespace recomp
+
+#endif  // RECOMP_CORE_COST_MODEL_H_

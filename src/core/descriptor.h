@@ -1,0 +1,116 @@
+// SchemeDescriptor: expression trees over compression schemes.
+//
+// This is the paper's algebra made concrete. A descriptor is either a
+// primitive scheme (with parameters), possibly carrying a model argument
+// (for the MODELED combinator), and optionally composed part-wise with
+// child descriptors that further compress named parts of its output:
+//
+//   RPE{positions: DELTA}                      -- the paper's RLE
+//   MODELED(STEP(128)){residual: NS(7)}        -- the paper's FOR
+//
+// Descriptors render to and parse from a stable string grammar, so tests
+// and tools can exchange them textually.
+
+#ifndef RECOMP_CORE_DESCRIPTOR_H_
+#define RECOMP_CORE_DESCRIPTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace recomp {
+
+/// The primitive schemes (and combinators) of the library. Classic composite
+/// schemes (RLE, FOR, PFOR, ...) are *not* kinds: they are catalog entries
+/// expanding to descriptors over these primitives (see core/catalog.h).
+enum class SchemeKind : int {
+  kId = 0,       ///< No compression; terminates a composition.
+  kZigZag = 1,   ///< Signed<->unsigned bijective recoding.
+  kNs = 2,       ///< Null suppression: fixed-width bit packing.
+  kVByte = 3,    ///< Variable-byte encoding (the paper's log-metric residual).
+  kDelta = 4,    ///< Store differences; decompression is PrefixSum.
+  kRpe = 5,      ///< Run-position encoding: values + inclusive end positions.
+  kDict = 6,     ///< Sorted dictionary + codes.
+  kStep = 7,     ///< Fixed-segment step function (exact; model of FOR).
+  kPlin = 8,     ///< Fixed-segment linear function (exact; enriched model).
+  kModeled = 9,  ///< data = model(i) + residual  (the paper's "STEP + NS").
+  kPatched = 10, ///< L0 decomposition: narrow base + exception patches.
+};
+
+/// Number of scheme kinds.
+inline constexpr int kNumSchemeKinds = 11;
+
+/// Stable uppercase name used by ToString/Parse (e.g. "NS").
+const char* SchemeKindName(SchemeKind kind);
+
+/// Parses the result of SchemeKindName. Returns false on unknown names.
+bool SchemeKindFromName(const std::string& name, SchemeKind* out);
+
+/// Per-scheme numeric parameters. A zero value means "resolve automatically
+/// at compression time"; the compressed envelope always records the resolved
+/// value.
+struct SchemeParams {
+  /// Bit width: NS, PATCHED.
+  int width = 0;
+  /// Segment length: STEP, PLIN.
+  uint64_t segment_length = 0;
+
+  bool operator==(const SchemeParams&) const = default;
+};
+
+/// A scheme expression. See the file comment for the algebra.
+struct SchemeDescriptor {
+  SchemeKind kind = SchemeKind::kId;
+  SchemeParams params;
+  /// Scheme arguments of combinators: for kModeled, args[0] is the model
+  /// descriptor (kStep or kPlin). Empty otherwise.
+  std::vector<SchemeDescriptor> args;
+  /// Part-wise composition: further compress the named output parts.
+  /// Parts not listed stay as plain columns (implicitly ID).
+  std::map<std::string, SchemeDescriptor> children;
+
+  SchemeDescriptor() = default;
+  explicit SchemeDescriptor(SchemeKind k, SchemeParams p = {})
+      : kind(k), params(p) {}
+
+  /// Builder-style helpers, e.g.
+  ///   Rpe().With("positions", Delta().With("deltas", Ns()))
+  SchemeDescriptor&& With(const std::string& part, SchemeDescriptor child) &&;
+  SchemeDescriptor With(const std::string& part, SchemeDescriptor child) const&;
+
+  bool operator==(const SchemeDescriptor& other) const;
+
+  /// Renders the canonical textual form, e.g.
+  /// "MODELED(STEP(128)){residual:NS(7)}".
+  std::string ToString() const;
+
+  /// Parses the output of ToString().
+  static Result<SchemeDescriptor> Parse(const std::string& text);
+
+  /// Structural checks: args arity matches the kind, children name known
+  /// parts, parameters are in-range where specified.
+  Status Validate() const;
+
+  /// Total number of descriptor nodes (this node, args, and children).
+  uint64_t NodeCount() const;
+};
+
+/// Convenience constructors (free functions keep call sites short).
+SchemeDescriptor Id();
+SchemeDescriptor ZigZag();
+SchemeDescriptor Ns(int width = 0);
+SchemeDescriptor VByte();
+SchemeDescriptor Delta();
+SchemeDescriptor Rpe();
+SchemeDescriptor Dict();
+SchemeDescriptor Step(uint64_t segment_length = 0);
+SchemeDescriptor Plin(uint64_t segment_length = 0);
+SchemeDescriptor Modeled(SchemeDescriptor model);
+SchemeDescriptor Patched(int width = 0);
+
+}  // namespace recomp
+
+#endif  // RECOMP_CORE_DESCRIPTOR_H_

@@ -1,0 +1,162 @@
+#include "core/fused.h"
+
+#include "core/pipeline.h"
+#include "ops/pack.h"
+#include "schemes/scheme_internal.h"
+#include "util/bits.h"
+#include "util/zigzag.h"
+
+namespace recomp {
+
+namespace {
+
+bool IsTerminalPlain(const CompressedNode& node, const std::string& part) {
+  auto it = node.parts.find(part);
+  return it != node.parts.end() && it->second.is_terminal() &&
+         !it->second.column->is_packed();
+}
+
+bool IsTerminalPacked(const CompressedNode& node, const std::string& part) {
+  auto it = node.parts.find(part);
+  return it != node.parts.end() && it->second.is_terminal() &&
+         it->second.column->is_packed();
+}
+
+const CompressedNode* SubNode(const CompressedNode& node,
+                              const std::string& part) {
+  auto it = node.parts.find(part);
+  if (it == node.parts.end() || it->second.is_terminal()) return nullptr;
+  return it->second.sub.get();
+}
+
+}  // namespace
+
+FusedShape ClassifyFusedShape(const CompressedNode& node) {
+  if (!TypeIdIsUnsigned(node.out_type)) return FusedShape::kGeneric;
+
+  if (node.scheme.kind == SchemeKind::kRpe) {
+    const CompressedNode* positions = SubNode(node, "positions");
+    if (positions != nullptr && positions->scheme.kind == SchemeKind::kDelta &&
+        IsTerminalPlain(*positions, "deltas") &&
+        IsTerminalPlain(node, "values")) {
+      return FusedShape::kRle;
+    }
+  }
+
+  if (node.scheme.kind == SchemeKind::kModeled && node.scheme.args.size() == 1 &&
+      node.scheme.args[0].kind == SchemeKind::kStep &&
+      IsTerminalPlain(node, "refs")) {
+    const CompressedNode* residual = SubNode(node, "residual");
+    if (residual != nullptr && residual->scheme.kind == SchemeKind::kNs &&
+        IsTerminalPacked(*residual, "packed")) {
+      return FusedShape::kFor;
+    }
+  }
+
+  if (node.scheme.kind == SchemeKind::kDelta) {
+    const CompressedNode* zz = SubNode(node, "deltas");
+    if (zz != nullptr && zz->scheme.kind == SchemeKind::kZigZag) {
+      const CompressedNode* ns = SubNode(*zz, "recoded");
+      if (ns != nullptr && ns->scheme.kind == SchemeKind::kNs &&
+          IsTerminalPacked(*ns, "packed")) {
+        return FusedShape::kDeltaZigZagNs;
+      }
+    }
+  }
+
+  return FusedShape::kGeneric;
+}
+
+namespace {
+
+template <typename T>
+Result<AnyColumn> FusedRle(const CompressedNode& node) {
+  const Column<T>& values = node.parts.at("values").column->As<T>();
+  const CompressedNode& positions = *node.parts.at("positions").sub;
+  const AnyColumn& lengths_any = *positions.parts.at("deltas").column;
+  if (lengths_any.type() != TypeId::kUInt32) {
+    return Status::Corruption("fused RLE expects uint32 lengths");
+  }
+  const Column<uint32_t>& lengths = lengths_any.As<uint32_t>();
+  if (lengths.size() != values.size()) {
+    return Status::Corruption("fused RLE arity mismatch");
+  }
+  Column<T> out(node.n);
+  uint64_t pos = 0;
+  for (uint64_t r = 0; r < values.size(); ++r) {
+    const uint64_t end = pos + lengths[r];
+    if (end > node.n) return Status::Corruption("fused RLE overruns output");
+    std::fill(out.begin() + pos, out.begin() + end, values[r]);
+    pos = end;
+  }
+  if (pos != node.n) return Status::Corruption("fused RLE underfills output");
+  return AnyColumn(std::move(out));
+}
+
+template <typename T>
+Result<AnyColumn> FusedFor(const CompressedNode& node) {
+  const Column<T>& refs = node.parts.at("refs").column->As<T>();
+  const CompressedNode& residual = *node.parts.at("residual").sub;
+  const PackedColumn& packed = residual.parts.at("packed").column->packed();
+  const uint64_t ell = node.scheme.args[0].params.segment_length;
+  if (packed.n != node.n || ell == 0 ||
+      refs.size() != bits::CeilDiv(node.n, ell)) {
+    return Status::Corruption("fused FOR arity mismatch");
+  }
+  // Unpack one segment at a time and add the segment's reference while the
+  // values are hot; no full-length intermediate exists.
+  RECOMP_ASSIGN_OR_RETURN(Column<T> out, ops::Unpack<T>(packed));
+  for (uint64_t seg = 0; seg < refs.size(); ++seg) {
+    const uint64_t begin = seg * ell;
+    const uint64_t end = std::min<uint64_t>(begin + ell, node.n);
+    const T ref = refs[seg];
+    for (uint64_t i = begin; i < end; ++i) {
+      out[i] = static_cast<T>(out[i] + ref);
+    }
+  }
+  return AnyColumn(std::move(out));
+}
+
+template <typename T>
+Result<AnyColumn> FusedDeltaZigZagNs(const CompressedNode& node) {
+  const CompressedNode& zz = *node.parts.at("deltas").sub;
+  const CompressedNode& ns = *zz.parts.at("recoded").sub;
+  const PackedColumn& packed = ns.parts.at("packed").column->packed();
+  if (packed.n != node.n) {
+    return Status::Corruption("fused DELTA arity mismatch");
+  }
+  RECOMP_ASSIGN_OR_RETURN(Column<T> out, ops::Unpack<T>(packed));
+  T acc{0};
+  for (auto& v : out) {
+    acc = static_cast<T>(acc + static_cast<T>(zigzag::Decode(v)));
+    v = acc;
+  }
+  return AnyColumn(std::move(out));
+}
+
+}  // namespace
+
+Result<AnyColumn> FusedDecompress(const CompressedColumn& compressed) {
+  const CompressedNode& node = compressed.root();
+  const FusedShape shape = ClassifyFusedShape(node);
+  if (shape == FusedShape::kGeneric) {
+    return DecompressNode(node);
+  }
+  return internal::DispatchUnsignedTypeId(
+      node.out_type, [&](auto tag) -> Result<AnyColumn> {
+        using T = typename decltype(tag)::type;
+        switch (shape) {
+          case FusedShape::kRle:
+            return FusedRle<T>(node);
+          case FusedShape::kFor:
+            return FusedFor<T>(node);
+          case FusedShape::kDeltaZigZagNs:
+            return FusedDeltaZigZagNs<T>(node);
+          case FusedShape::kGeneric:
+            break;
+        }
+        return DecompressNode(node);
+      });
+}
+
+}  // namespace recomp

@@ -1,0 +1,35 @@
+// Fused decompression kernels.
+//
+// The operator-plan strategy (plan_executor.h) materializes every
+// intermediate column; these kernels decompress selected catalog shapes in
+// one pass with no intermediates — the conventional, "monolithic" coding of
+// a scheme the paper decomposes. Keeping both strategies lets the
+// benchmarks price the columnar formulation against hand fusion.
+
+#ifndef RECOMP_CORE_FUSED_H_
+#define RECOMP_CORE_FUSED_H_
+
+#include "core/compressed.h"
+#include "util/result.h"
+
+namespace recomp {
+
+/// Shapes with dedicated single-pass kernels.
+enum class FusedShape : int {
+  kRle = 0,         ///< RPE{positions: DELTA} with plain parts.
+  kFor = 1,         ///< MODELED(STEP){residual: NS} with packed residual.
+  kDeltaZigZagNs = 2,  ///< DELTA{deltas: ZIGZAG{recoded: NS}}.
+  kGeneric = 3,     ///< Anything else: per-scheme reference recursion.
+};
+
+/// Classifies which kernel FusedDecompress will use.
+FusedShape ClassifyFusedShape(const CompressedNode& node);
+
+/// Single-pass decompression where a specialized kernel exists; otherwise
+/// the per-scheme reference recursion (core/pipeline.h). Output always
+/// equals Decompress(compressed).
+Result<AnyColumn> FusedDecompress(const CompressedColumn& compressed);
+
+}  // namespace recomp
+
+#endif  // RECOMP_CORE_FUSED_H_

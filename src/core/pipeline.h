@@ -1,0 +1,34 @@
+// The composition pipeline: compress/decompress a column through an
+// arbitrary SchemeDescriptor expression.
+//
+// Compression applies the node's primitive scheme, then recursively
+// compresses every part named in `children`; decompression reverses the
+// recursion bottom-up using each scheme's fused kernel. (The alternative,
+// paper-faithful operator-plan strategy lives in core/plan_builder.h.)
+
+#ifndef RECOMP_CORE_PIPELINE_H_
+#define RECOMP_CORE_PIPELINE_H_
+
+#include "columnar/any_column.h"
+#include "core/compressed.h"
+#include "core/descriptor.h"
+#include "util/result.h"
+
+namespace recomp {
+
+/// Compresses `input` (a plain column) with the composite `desc`.
+/// Auto parameters are resolved and recorded in the returned envelope.
+Result<CompressedColumn> Compress(const AnyColumn& input,
+                                  const SchemeDescriptor& desc);
+
+/// Reverses Compress using the schemes' fused kernels.
+Result<AnyColumn> Decompress(const CompressedColumn& compressed);
+
+/// Node-level recursion steps (exposed for the rewrite engine and tests).
+Result<CompressedNode> CompressNode(const AnyColumn& input,
+                                    const SchemeDescriptor& desc);
+Result<AnyColumn> DecompressNode(const CompressedNode& node);
+
+}  // namespace recomp
+
+#endif  // RECOMP_CORE_PIPELINE_H_

@@ -1,0 +1,123 @@
+#include "core/plan.h"
+
+#include "util/string_util.h"
+
+namespace recomp {
+
+const char* PlanOpKindName(PlanOpKind kind) {
+  switch (kind) {
+    case PlanOpKind::kInput:
+      return "Input";
+    case PlanOpKind::kPrefixSumInclusive:
+      return "PrefixSum";
+    case PlanOpKind::kPrefixSumExclusive:
+      return "PrefixSumExcl";
+    case PlanOpKind::kPopBack:
+      return "PopBack";
+    case PlanOpKind::kConstant:
+      return "Constant";
+    case PlanOpKind::kScatter:
+      return "Scatter";
+    case PlanOpKind::kGather:
+      return "Gather";
+    case PlanOpKind::kElementwise:
+      return "Elementwise";
+    case PlanOpKind::kUnpack:
+      return "Unpack";
+    case PlanOpKind::kZigZagDecode:
+      return "ZigZagDecode";
+    case PlanOpKind::kVByteDecode:
+      return "VByteDecode";
+    case PlanOpKind::kEvalPlin:
+      return "EvalPlin";
+    case PlanOpKind::kElementwiseScalar:
+      return "ElementwiseScalar";
+    case PlanOpKind::kIota:
+      return "Iota";
+    case PlanOpKind::kScatterConst:
+      return "ScatterConst";
+    case PlanOpKind::kReplicate:
+      return "Replicate";
+  }
+  return "?";
+}
+
+uint64_t Plan::OperatorCount() const {
+  uint64_t count = 0;
+  for (const auto& node : nodes) {
+    if (node.op != PlanOpKind::kInput) ++count;
+  }
+  return count;
+}
+
+std::string Plan::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const PlanNode& node = nodes[i];
+    const std::string name =
+        node.label.empty() ? StringFormat("t%zu", i) : node.label;
+    out += StringFormat("%2zu: %s <- ", i, name.c_str());
+    if (node.op == PlanOpKind::kInput) {
+      out += StringFormat("Input(%s)", node.input_path.c_str());
+    } else {
+      out += PlanOpKindName(node.op);
+      out += "(";
+      std::vector<std::string> operands;
+      if (node.op == PlanOpKind::kElementwise ||
+          node.op == PlanOpKind::kElementwiseScalar) {
+        operands.push_back(StringFormat("'%s'", ops::BinOpName(node.bin_op)));
+      }
+      // The paper writes Constant(value, length); keep that operand order.
+      if (node.op == PlanOpKind::kConstant ||
+          node.op == PlanOpKind::kScatterConst) {
+        operands.push_back(
+            StringFormat("%llu", static_cast<unsigned long long>(node.imm)));
+      }
+      for (int in : node.inputs) {
+        const PlanNode& dep = nodes[static_cast<size_t>(in)];
+        std::string name =
+            dep.label.empty() ? StringFormat("t%d", in) : dep.label;
+        if (node.op == PlanOpKind::kConstant) name = "|" + name + "|";
+        operands.push_back(std::move(name));
+      }
+      if (node.op == PlanOpKind::kElementwiseScalar) {
+        operands.push_back(
+            StringFormat("%llu", static_cast<unsigned long long>(node.imm)));
+      }
+      if (node.op == PlanOpKind::kReplicate ||
+          node.op == PlanOpKind::kEvalPlin) {
+        operands.push_back(StringFormat(
+            "ell=%llu", static_cast<unsigned long long>(node.imm)));
+      }
+      if (node.imm2 != 0) {
+        operands.push_back(
+            StringFormat("n=%llu", static_cast<unsigned long long>(node.imm2)));
+      }
+      out += Join(operands, ", ");
+      out += ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Status Plan::Validate() const {
+  if (nodes.empty()) {
+    return Status::InvalidArgument("plan has no nodes");
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (int in : nodes[i].inputs) {
+      if (in < 0 || static_cast<size_t>(in) >= i) {
+        return Status::InvalidArgument(StringFormat(
+            "node %zu references operand %d outside [0, %zu)", i, in, i));
+      }
+    }
+    if (nodes[i].op == PlanOpKind::kInput && nodes[i].input_path.empty()) {
+      return Status::InvalidArgument(
+          StringFormat("input node %zu lacks a part path", i));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace recomp

@@ -1,0 +1,30 @@
+// Fusion passes over decompression plans.
+//
+// The paper-faithful plans materialize every intermediate column (Constant
+// columns of ones, id sequences, ...). These classic columnar-algebra
+// rewrites remove the avoidable materializations without leaving the
+// operator formulation:
+//
+//   R1  Constant ⨝ Elementwise            -> ElementwiseScalar
+//   R2  Constant(1) ⨝ PrefixSum           -> Iota
+//   R3  Constant ⨝ Scatter(into Constant0) -> ScatterConst
+//   R4  Iota ⨝ Div-by-ell ⨝ Gather         -> Replicate
+//
+// Benchmarks E2/E4 price the naive plan, the optimized plan, and the fused
+// kernels against each other.
+
+#ifndef RECOMP_CORE_PLAN_OPTIMIZER_H_
+#define RECOMP_CORE_PLAN_OPTIMIZER_H_
+
+#include "core/plan.h"
+#include "util/result.h"
+
+namespace recomp {
+
+/// Applies all fusion rules to fixpoint, then drops dead nodes. The
+/// optimized plan computes the same column as the input plan.
+Result<Plan> OptimizePlan(const Plan& plan);
+
+}  // namespace recomp
+
+#endif  // RECOMP_CORE_PLAN_OPTIMIZER_H_

@@ -1,0 +1,42 @@
+// Envelope rewrites: decomposition and re-composition as executable data
+// transformations.
+//
+// The paper's §II-A move — "suppose that rather than a length column, we
+// were instead to hold run_positions" — is PeelPart: decompress one child
+// sub-scheme and keep its output as the stored part. RLE-compressed data
+// peeled at "positions" *is* RPE-compressed data; no re-compression of the
+// full column happens. PushPart is the inverse (re-composition), further
+// compressing a stored part.
+
+#ifndef RECOMP_CORE_REWRITE_H_
+#define RECOMP_CORE_REWRITE_H_
+
+#include <string>
+
+#include "core/compressed.h"
+#include "core/descriptor.h"
+#include "util/result.h"
+
+namespace recomp {
+
+/// Partially decompresses the envelope: the sub-scheme at the
+/// slash-separated part `path` is decompressed once and its output becomes
+/// the stored (terminal) part. The result decompresses to the same column,
+/// typically occupying more bytes but needing fewer operators.
+Result<CompressedColumn> PeelPart(const CompressedColumn& compressed,
+                                  const std::string& path);
+
+/// Re-composes: compresses the terminal part at `path` with `child`. The
+/// inverse of PeelPart when `child` matches the peeled scheme.
+Result<CompressedColumn> PushPart(const CompressedColumn& compressed,
+                                  const std::string& path,
+                                  const SchemeDescriptor& child);
+
+/// Fully decompresses every composed part, leaving a one-level envelope
+/// (every part terminal) — the maximal decomposition along the paper's
+/// ratio-for-speed axis.
+Result<CompressedColumn> PeelAll(const CompressedColumn& compressed);
+
+}  // namespace recomp
+
+#endif  // RECOMP_CORE_REWRITE_H_

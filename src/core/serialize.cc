@@ -1,0 +1,268 @@
+#include "core/serialize.h"
+
+#include <cstring>
+
+#include "schemes/scheme_internal.h"
+#include "util/string_util.h"
+
+namespace recomp {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'C', 'M', 'P'};
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+class Writer {
+ public:
+  explicit Writer(std::vector<uint8_t>* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(v); }
+  void U16(uint16_t v) { Raw(&v, 2); }
+  void U32(uint32_t v) { Raw(&v, 4); }
+  void U64(uint64_t v) { Raw(&v, 8); }
+
+  void Raw(const void* data, size_t bytes) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    out_->insert(out_->end(), p, p + bytes);
+  }
+
+  void String(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+void WriteColumn(Writer& w, const AnyColumn& column) {
+  if (column.is_packed()) {
+    const PackedColumn& packed = column.packed();
+    w.U8(1);
+    w.U8(static_cast<uint8_t>(packed.logical_type));
+    w.U16(static_cast<uint16_t>(packed.bit_width));
+    w.U64(packed.n);
+    w.U64(packed.bytes.size());
+    w.Raw(packed.bytes.data(), packed.bytes.size());
+    return;
+  }
+  w.U8(0);
+  w.U8(static_cast<uint8_t>(column.type()));
+  w.U64(column.size());
+  column.VisitPlain([&](const auto& col) {
+    w.Raw(col.data(), col.size() * sizeof(typename std::decay_t<
+                                          decltype(col)>::value_type));
+  });
+}
+
+void WriteNode(Writer& w, const CompressedNode& node) {
+  w.String(node.scheme.ToString());
+  w.U64(node.n);
+  w.U8(static_cast<uint8_t>(node.out_type));
+  w.U32(static_cast<uint32_t>(node.parts.size()));
+  for (const auto& [name, part] : node.parts) {
+    w.String(name);
+    if (part.is_terminal()) {
+      w.U8(0);
+      WriteColumn(w, *part.column);
+    } else {
+      w.U8(1);
+      WriteNode(w, *part.sub);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------------
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& in) : in_(in) {}
+
+  Result<uint8_t> U8() {
+    RECOMP_RETURN_NOT_OK(Need(1));
+    return in_[pos_++];
+  }
+  Result<uint16_t> U16() { return Fixed<uint16_t>(); }
+  Result<uint32_t> U32() { return Fixed<uint32_t>(); }
+  Result<uint64_t> U64() { return Fixed<uint64_t>(); }
+
+  Result<std::string> String() {
+    RECOMP_ASSIGN_OR_RETURN(uint32_t len, U32());
+    RECOMP_RETURN_NOT_OK(Need(len));
+    std::string s(reinterpret_cast<const char*>(in_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  Status ReadRaw(void* out, uint64_t bytes) {
+    RECOMP_RETURN_NOT_OK(Need(bytes));
+    std::memcpy(out, in_.data() + pos_, bytes);
+    pos_ += bytes;
+    return Status::OK();
+  }
+
+  bool AtEnd() const { return pos_ == in_.size(); }
+
+  Status Need(uint64_t bytes) const {
+    if (in_.size() - pos_ < bytes) {
+      return Status::Corruption(StringFormat(
+          "buffer truncated: need %llu bytes at offset %zu",
+          static_cast<unsigned long long>(bytes), pos_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  template <typename T>
+  Result<T> Fixed() {
+    RECOMP_RETURN_NOT_OK(Need(sizeof(T)));
+    T v;
+    std::memcpy(&v, in_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const std::vector<uint8_t>& in_;
+  size_t pos_ = 0;
+};
+
+Result<TypeId> ReadTypeId(Reader& r) {
+  RECOMP_ASSIGN_OR_RETURN(uint8_t raw, r.U8());
+  if (raw >= kNumTypeIds) {
+    return Status::Corruption(StringFormat("unknown type id %u", raw));
+  }
+  return static_cast<TypeId>(raw);
+}
+
+Result<AnyColumn> ReadColumn(Reader& r) {
+  RECOMP_ASSIGN_OR_RETURN(uint8_t kind, r.U8());
+  if (kind == 1) {
+    PackedColumn packed;
+    RECOMP_ASSIGN_OR_RETURN(packed.logical_type, ReadTypeId(r));
+    RECOMP_ASSIGN_OR_RETURN(uint16_t width, r.U16());
+    if (width > 64) {
+      return Status::Corruption("packed width exceeds 64 bits");
+    }
+    packed.bit_width = width;
+    RECOMP_ASSIGN_OR_RETURN(packed.n, r.U64());
+    RECOMP_ASSIGN_OR_RETURN(uint64_t byte_count, r.U64());
+    RECOMP_RETURN_NOT_OK(r.Need(byte_count));
+    packed.bytes.resize(byte_count);
+    RECOMP_RETURN_NOT_OK(r.ReadRaw(packed.bytes.data(), byte_count));
+    return AnyColumn(std::move(packed));
+  }
+  if (kind != 0) {
+    return Status::Corruption("unknown column kind tag");
+  }
+  RECOMP_ASSIGN_OR_RETURN(TypeId type, ReadTypeId(r));
+  RECOMP_ASSIGN_OR_RETURN(uint64_t rows, r.U64());
+  if (rows > (uint64_t{1} << 40)) {
+    // Reject before any multiplication can wrap or any allocation is tried.
+    return Status::Corruption("implausible row count");
+  }
+  return internal::DispatchAnyTypeId(type, [&](auto tag) -> Result<AnyColumn> {
+    using T = typename decltype(tag)::type;
+    const uint64_t bytes = rows * sizeof(T);
+    RECOMP_RETURN_NOT_OK(r.Need(bytes));
+    Column<T> col(rows);
+    RECOMP_RETURN_NOT_OK(r.ReadRaw(col.data(), bytes));
+    return AnyColumn(std::move(col));
+  });
+}
+
+Result<CompressedNode> ReadNode(Reader& r, int depth) {
+  if (depth > 64) {
+    return Status::Corruption("envelope nesting exceeds 64 levels");
+  }
+  CompressedNode node;
+  RECOMP_ASSIGN_OR_RETURN(std::string descriptor, r.String());
+  RECOMP_ASSIGN_OR_RETURN(node.scheme, SchemeDescriptor::Parse(descriptor));
+  if (!node.scheme.children.empty()) {
+    return Status::Corruption(
+        "node descriptor must not carry children (structure is in parts)");
+  }
+  RECOMP_ASSIGN_OR_RETURN(node.n, r.U64());
+  RECOMP_ASSIGN_OR_RETURN(node.out_type, ReadTypeId(r));
+  RECOMP_ASSIGN_OR_RETURN(uint32_t part_count, r.U32());
+  if (part_count > 16) {
+    return Status::Corruption("implausible part count");
+  }
+  for (uint32_t i = 0; i < part_count; ++i) {
+    RECOMP_ASSIGN_OR_RETURN(std::string name, r.String());
+    if (name.empty() || node.parts.count(name) != 0) {
+      return Status::Corruption("empty or duplicate part name");
+    }
+    RECOMP_ASSIGN_OR_RETURN(uint8_t tag, r.U8());
+    CompressedPart part;
+    if (tag == 0) {
+      RECOMP_ASSIGN_OR_RETURN(AnyColumn column, ReadColumn(r));
+      part.column = std::move(column);
+    } else if (tag == 1) {
+      RECOMP_ASSIGN_OR_RETURN(CompressedNode sub, ReadNode(r, depth + 1));
+      part.sub = std::make_unique<CompressedNode>(std::move(sub));
+    } else {
+      return Status::Corruption("unknown part tag");
+    }
+    node.parts.emplace(std::move(name), std::move(part));
+  }
+  return node;
+}
+
+uint64_t ColumnSerializedSize(const AnyColumn& column) {
+  if (column.is_packed()) {
+    return 1 + 1 + 2 + 8 + 8 + column.packed().bytes.size();
+  }
+  return 1 + 1 + 8 + column.ByteSize();
+}
+
+uint64_t NodeSerializedSize(const CompressedNode& node) {
+  uint64_t size = 4 + node.scheme.ToString().size() + 8 + 1 + 4;
+  for (const auto& [name, part] : node.parts) {
+    size += 4 + name.size() + 1;
+    size += part.is_terminal() ? ColumnSerializedSize(*part.column)
+                               : NodeSerializedSize(*part.sub);
+  }
+  return size;
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> Serialize(const CompressedColumn& compressed) {
+  std::vector<uint8_t> out;
+  out.reserve(SerializedSize(compressed));
+  Writer w(&out);
+  w.Raw(kMagic, 4);
+  w.U16(kSerializedVersion);
+  WriteNode(w, compressed.root());
+  return out;
+}
+
+Result<CompressedColumn> Deserialize(const std::vector<uint8_t>& buffer) {
+  Reader r(buffer);
+  char magic[4];
+  RECOMP_RETURN_NOT_OK(r.ReadRaw(magic, 4));
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::Corruption("bad magic: not a recomp buffer");
+  }
+  RECOMP_ASSIGN_OR_RETURN(uint16_t version, r.U16());
+  if (version != kSerializedVersion) {
+    return Status::Corruption(
+        StringFormat("unsupported version %u", version));
+  }
+  RECOMP_ASSIGN_OR_RETURN(CompressedNode root, ReadNode(r, 0));
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes after envelope");
+  }
+  return CompressedColumn(std::move(root));
+}
+
+uint64_t SerializedSize(const CompressedColumn& compressed) {
+  return 4 + 2 + NodeSerializedSize(compressed.root());
+}
+
+}  // namespace recomp

@@ -1,0 +1,51 @@
+// Flat binary serialization of compressed columns.
+//
+// A CompressedColumn round-trips through a self-contained byte buffer so
+// compressed data can live in files, buffer pools, or network messages. The
+// format keeps the paper's discipline: part payloads are written as raw
+// little-endian column bytes with a minimal structural envelope, no
+// per-block headers inside the payloads.
+//
+// Layout (all integers little-endian):
+//   magic "RCMP", u16 version, then the root node:
+//     node   := descriptor-string (u32 len + bytes, children omitted)
+//               u64 n, u8 out_type, u32 part_count, part*
+//     part   := u32 name_len + name, u8 tag (0 terminal | 1 sub),
+//               tag 0: column; tag 1: node
+//     column := u8 kind (0 plain | 1 packed),
+//               plain:  u8 type, u64 rows, payload bytes
+//               packed: u8 logical_type, u16 bit_width, u64 rows,
+//                       u64 byte_count, payload bytes
+//
+// Deserialization validates structure (magic, version, types, sizes) and
+// returns Corruption on any inconsistency; it never trusts lengths without
+// bounds checks.
+
+#ifndef RECOMP_CORE_SERIALIZE_H_
+#define RECOMP_CORE_SERIALIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/compressed.h"
+#include "util/result.h"
+
+namespace recomp {
+
+/// Serialization wire version written/accepted.
+inline constexpr uint16_t kSerializedVersion = 1;
+
+/// Serializes the envelope into a self-contained buffer.
+Result<std::vector<uint8_t>> Serialize(const CompressedColumn& compressed);
+
+/// Parses a buffer produced by Serialize. The result decompresses to the
+/// original column; structural damage yields Corruption, never UB.
+Result<CompressedColumn> Deserialize(const std::vector<uint8_t>& buffer);
+
+/// Exact size Serialize will produce (envelope + payloads), for buffer
+/// planning and footprint accounting that includes metadata.
+uint64_t SerializedSize(const CompressedColumn& compressed);
+
+}  // namespace recomp
+
+#endif  // RECOMP_CORE_SERIALIZE_H_

@@ -1,0 +1,224 @@
+#include "exec/aggregate.h"
+
+#include <algorithm>
+
+#include "core/pipeline.h"
+#include "ops/pack.h"
+#include "schemes/scheme_internal.h"
+#include "util/bits.h"
+
+namespace recomp::exec {
+
+namespace {
+
+using internal::DispatchUnsignedTypeId;
+
+Result<AnyColumn> MaterializePart(const CompressedNode& node,
+                                  const std::string& part) {
+  auto it = node.parts.find(part);
+  if (it == node.parts.end()) {
+    return Status::Corruption("envelope lacks part '" + part + "'");
+  }
+  if (it->second.is_terminal()) return *it->second.column;
+  return DecompressNode(*it->second.sub);
+}
+
+bool IsStepWithPackedResidual(const CompressedNode& node) {
+  if (node.scheme.kind != SchemeKind::kModeled ||
+      node.scheme.args.size() != 1 ||
+      node.scheme.args[0].kind != SchemeKind::kStep) {
+    return false;
+  }
+  auto refs = node.parts.find("refs");
+  auto residual = node.parts.find("residual");
+  if (refs == node.parts.end() || !refs->second.is_terminal() ||
+      refs->second.column->is_packed() || residual == node.parts.end() ||
+      residual->second.is_terminal()) {
+    return false;
+  }
+  const CompressedNode& sub = *residual->second.sub;
+  auto packed = sub.parts.find("packed");
+  return sub.scheme.kind == SchemeKind::kNs && packed != sub.parts.end() &&
+         packed->second.is_terminal() && packed->second.column->is_packed();
+}
+
+enum class Kind { kSum, kMin, kMax };
+
+Result<AggregateResult> ScanFallback(const CompressedNode& node, Kind kind) {
+  RECOMP_ASSIGN_OR_RETURN(AnyColumn column, DecompressNode(node));
+  return DispatchUnsignedTypeId(
+      node.out_type, [&](auto tag) -> Result<AggregateResult> {
+        using T = typename decltype(tag)::type;
+        const Column<T>& values = column.As<T>();
+        if (kind != Kind::kSum && values.empty()) {
+          return Status::InvalidArgument("min/max of an empty column");
+        }
+        AggregateResult result;
+        result.strategy = "decompress-scan";
+        if (kind == Kind::kSum) {
+          uint64_t acc = 0;
+          for (const T v : values) acc += static_cast<uint64_t>(v);
+          result.value = acc;
+        } else if (kind == Kind::kMin) {
+          result.value = static_cast<uint64_t>(
+              *std::min_element(values.begin(), values.end()));
+        } else {
+          result.value = static_cast<uint64_t>(
+              *std::max_element(values.begin(), values.end()));
+        }
+        return result;
+      });
+}
+
+Result<AggregateResult> AggregateRuns(const CompressedNode& node, Kind kind) {
+  RECOMP_ASSIGN_OR_RETURN(AnyColumn values_any,
+                          MaterializePart(node, "values"));
+  RECOMP_ASSIGN_OR_RETURN(AnyColumn positions_any,
+                          MaterializePart(node, "positions"));
+  const Column<uint32_t>& positions = positions_any.As<uint32_t>();
+  return DispatchUnsignedTypeId(
+      node.out_type, [&](auto tag) -> Result<AggregateResult> {
+        using T = typename decltype(tag)::type;
+        const Column<T>& values = values_any.As<T>();
+        if (kind != Kind::kSum && values.empty()) {
+          return Status::InvalidArgument("min/max of an empty column");
+        }
+        AggregateResult result;
+        result.strategy = "rle-dot";
+        if (kind == Kind::kSum) {
+          uint64_t acc = 0;
+          uint32_t begin = 0;
+          for (uint64_t r = 0; r < values.size(); ++r) {
+            acc += static_cast<uint64_t>(values[r]) *
+                   static_cast<uint64_t>(positions[r] - begin);
+            begin = positions[r];
+          }
+          result.value = acc;
+        } else if (kind == Kind::kMin) {
+          result.value = static_cast<uint64_t>(
+              *std::min_element(values.begin(), values.end()));
+        } else {
+          result.value = static_cast<uint64_t>(
+              *std::max_element(values.begin(), values.end()));
+        }
+        return result;
+      });
+}
+
+Result<AggregateResult> AggregateStep(const CompressedNode& node, Kind kind) {
+  const CompressedNode& residual_node = *node.parts.at("residual").sub;
+  const PackedColumn& packed =
+      residual_node.parts.at("packed").column->packed();
+  const uint64_t ell = node.scheme.args[0].params.segment_length;
+  return DispatchUnsignedTypeId(
+      node.out_type, [&](auto tag) -> Result<AggregateResult> {
+        using T = typename decltype(tag)::type;
+        const Column<T>& refs = node.parts.at("refs").column->As<T>();
+        if (kind != Kind::kSum && node.n == 0) {
+          return Status::InvalidArgument("min/max of an empty column");
+        }
+        AggregateResult result;
+        result.strategy = "step-mass";
+        RECOMP_ASSIGN_OR_RETURN(Column<T> residuals, ops::Unpack<T>(packed));
+        if (kind == Kind::kSum) {
+          uint64_t acc = 0;
+          for (uint64_t seg = 0; seg < refs.size(); ++seg) {
+            const uint64_t begin = seg * ell;
+            const uint64_t end = std::min<uint64_t>(begin + ell, node.n);
+            acc += static_cast<uint64_t>(refs[seg]) * (end - begin);
+          }
+          for (const T r : residuals) acc += static_cast<uint64_t>(r);
+          result.value = acc;
+        } else {
+          uint64_t best = kind == Kind::kMin ? ~uint64_t{0} : 0;
+          for (uint64_t seg = 0; seg < refs.size(); ++seg) {
+            const uint64_t begin = seg * ell;
+            const uint64_t end = std::min<uint64_t>(begin + ell, node.n);
+            for (uint64_t i = begin; i < end; ++i) {
+              const uint64_t v = static_cast<uint64_t>(refs[seg]) +
+                                 static_cast<uint64_t>(residuals[i]);
+              best = kind == Kind::kMin ? std::min(best, v)
+                                        : std::max(best, v);
+            }
+          }
+          result.value = best;
+        }
+        return result;
+      });
+}
+
+Result<AggregateResult> AggregateDict(const CompressedNode& node, Kind kind) {
+  RECOMP_ASSIGN_OR_RETURN(AnyColumn dict_any,
+                          MaterializePart(node, "dictionary"));
+  RECOMP_ASSIGN_OR_RETURN(AnyColumn codes_any, MaterializePart(node, "codes"));
+  const Column<uint32_t>& codes = codes_any.As<uint32_t>();
+  return DispatchUnsignedTypeId(
+      node.out_type, [&](auto tag) -> Result<AggregateResult> {
+        using T = typename decltype(tag)::type;
+        const Column<T>& dict = dict_any.As<T>();
+        if (kind != Kind::kSum && codes.empty()) {
+          return Status::InvalidArgument("min/max of an empty column");
+        }
+        AggregateResult result;
+        result.strategy = "dict-extrema";
+        if (kind == Kind::kSum) {
+          uint64_t acc = 0;
+          for (const uint32_t c : codes) {
+            if (c >= dict.size()) {
+              return Status::Corruption("DICT code exceeds dictionary");
+            }
+            acc += static_cast<uint64_t>(dict[c]);
+          }
+          result.value = acc;
+          result.strategy = "dict-sum";
+        } else {
+          // The dictionary is sorted: extrema of codes give extrema of
+          // values without touching the dictionary per row.
+          const uint32_t code =
+              kind == Kind::kMin
+                  ? *std::min_element(codes.begin(), codes.end())
+                  : *std::max_element(codes.begin(), codes.end());
+          if (code >= dict.size()) {
+            return Status::Corruption("DICT code exceeds dictionary");
+          }
+          result.value = static_cast<uint64_t>(dict[code]);
+        }
+        return result;
+      });
+}
+
+Result<AggregateResult> AggregateCompressed(const CompressedColumn& compressed,
+                                            Kind kind) {
+  const CompressedNode& node = compressed.root();
+  if (!TypeIdIsUnsigned(node.out_type)) {
+    return Status::InvalidArgument(
+        "compressed aggregation requires an unsigned column");
+  }
+  switch (node.scheme.kind) {
+    case SchemeKind::kRpe:
+      return AggregateRuns(node, kind);
+    case SchemeKind::kDict:
+      return AggregateDict(node, kind);
+    case SchemeKind::kModeled:
+      if (IsStepWithPackedResidual(node)) return AggregateStep(node, kind);
+      return ScanFallback(node, kind);
+    default:
+      return ScanFallback(node, kind);
+  }
+}
+
+}  // namespace
+
+Result<AggregateResult> SumCompressed(const CompressedColumn& compressed) {
+  return AggregateCompressed(compressed, Kind::kSum);
+}
+
+Result<AggregateResult> MinCompressed(const CompressedColumn& compressed) {
+  return AggregateCompressed(compressed, Kind::kMin);
+}
+
+Result<AggregateResult> MaxCompressed(const CompressedColumn& compressed) {
+  return AggregateCompressed(compressed, Kind::kMax);
+}
+
+}  // namespace recomp::exec

@@ -1,0 +1,35 @@
+// Aggregates evaluated directly on compressed columns.
+//
+// SUM over RLE is lengths · values; SUM over FOR is Σ ref·|segment| plus the
+// residual mass; MIN/MAX over DICT are dictionary lookups of code extrema.
+// Each pushdown is validated against decompress-then-aggregate.
+
+#ifndef RECOMP_EXEC_AGGREGATE_H_
+#define RECOMP_EXEC_AGGREGATE_H_
+
+#include <string>
+
+#include "core/compressed.h"
+#include "util/result.h"
+
+namespace recomp::exec {
+
+/// An aggregate value plus how it was computed.
+struct AggregateResult {
+  uint64_t value = 0;     ///< Sum (mod 2^64) or min/max as uint64.
+  std::string strategy;   ///< "rle-dot", "step-mass", "dict-extrema",
+                          ///< "decompress-scan".
+};
+
+/// Σ column, wrapping mod 2^64. Empty columns sum to 0.
+Result<AggregateResult> SumCompressed(const CompressedColumn& compressed);
+
+/// Minimum value; fails on empty columns.
+Result<AggregateResult> MinCompressed(const CompressedColumn& compressed);
+
+/// Maximum value; fails on empty columns.
+Result<AggregateResult> MaxCompressed(const CompressedColumn& compressed);
+
+}  // namespace recomp::exec
+
+#endif  // RECOMP_EXEC_AGGREGATE_H_

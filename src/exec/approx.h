@@ -1,0 +1,46 @@
+// Approximate and gradually-refined query answering over the model part of
+// a compressed column (paper §II-B: "the rough correspondence of the column
+// data to a simple model can be used ... in the context of approximate or
+// gradual-refinement query processing").
+//
+// For a MODELED(STEP){residual: NS(w)} column, the refs alone bound every
+// value to [ref, ref + 2^w - 1]; summing refs therefore bounds SUM without
+// touching the packed residual. Refinement decodes residual segments one at
+// a time, monotonically tightening the interval until it collapses to the
+// exact answer.
+
+#ifndef RECOMP_EXEC_APPROX_H_
+#define RECOMP_EXEC_APPROX_H_
+
+#include "core/compressed.h"
+#include "util/result.h"
+
+namespace recomp::exec {
+
+/// A sum interval plus refinement progress. Invariants (tested):
+///   lower <= exact <= upper,
+///   refining never widens the interval,
+///   refined_segments == total_segments implies lower == upper == exact.
+struct ApproxSum {
+  uint64_t lower = 0;
+  uint64_t upper = 0;
+  uint64_t refined_segments = 0;
+  uint64_t total_segments = 0;
+
+  uint64_t Width() const { return upper - lower; }
+  bool IsExact() const { return lower == upper; }
+};
+
+/// Model-only bounds (no residual bits touched). Requires a
+/// MODELED(STEP){residual: NS} envelope; other shapes fail with
+/// InvalidArgument.
+Result<ApproxSum> ApproximateSum(const CompressedColumn& compressed);
+
+/// Bounds after exactly decoding the residuals of the first
+/// `refined_segments` segments.
+Result<ApproxSum> RefineSum(const CompressedColumn& compressed,
+                            uint64_t refined_segments);
+
+}  // namespace recomp::exec
+
+#endif  // RECOMP_EXEC_APPROX_H_

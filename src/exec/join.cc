@@ -1,0 +1,195 @@
+#include "exec/join.h"
+
+#include <algorithm>
+
+#include "core/pipeline.h"
+#include "ops/pack.h"
+#include "schemes/scheme_internal.h"
+#include "util/bits.h"
+
+namespace recomp::exec {
+
+namespace {
+
+using internal::DispatchUnsignedTypeId;
+
+bool KeySetContains(const Column<uint64_t>& keys, uint64_t value) {
+  return std::binary_search(keys.begin(), keys.end(), value);
+}
+
+/// Any key inside [lo, hi]?
+bool KeySetIntersects(const Column<uint64_t>& keys, uint64_t lo, uint64_t hi) {
+  auto it = std::lower_bound(keys.begin(), keys.end(), lo);
+  return it != keys.end() && *it <= hi;
+}
+
+Result<AnyColumn> MaterializePart(const CompressedNode& node,
+                                  const std::string& part) {
+  auto it = node.parts.find(part);
+  if (it == node.parts.end()) {
+    return Status::Corruption("envelope lacks part '" + part + "'");
+  }
+  if (it->second.is_terminal()) return *it->second.column;
+  return DecompressNode(*it->second.sub);
+}
+
+Result<SemiJoinResult> JoinRuns(const CompressedNode& node,
+                                const Column<uint64_t>& keys) {
+  RECOMP_ASSIGN_OR_RETURN(AnyColumn values_any,
+                          MaterializePart(node, "values"));
+  RECOMP_ASSIGN_OR_RETURN(AnyColumn positions_any,
+                          MaterializePart(node, "positions"));
+  const Column<uint32_t>& positions = positions_any.As<uint32_t>();
+  return DispatchUnsignedTypeId(
+      node.out_type, [&](auto tag) -> Result<SemiJoinResult> {
+        using T = typename decltype(tag)::type;
+        const Column<T>& values = values_any.As<T>();
+        SemiJoinResult result;
+        result.strategy = "rle-runs";
+        result.probes = values.size();
+        uint32_t begin = 0;
+        for (uint64_t r = 0; r < values.size(); ++r) {
+          const uint32_t end = positions[r];
+          if (KeySetContains(keys, static_cast<uint64_t>(values[r]))) {
+            for (uint32_t i = begin; i < end; ++i) {
+              result.positions.push_back(i);
+            }
+          }
+          begin = end;
+        }
+        return result;
+      });
+}
+
+Result<SemiJoinResult> JoinDict(const CompressedNode& node,
+                                const Column<uint64_t>& keys) {
+  RECOMP_ASSIGN_OR_RETURN(AnyColumn dict_any,
+                          MaterializePart(node, "dictionary"));
+  RECOMP_ASSIGN_OR_RETURN(AnyColumn codes_any, MaterializePart(node, "codes"));
+  const Column<uint32_t>& codes = codes_any.As<uint32_t>();
+  return DispatchUnsignedTypeId(
+      node.out_type, [&](auto tag) -> Result<SemiJoinResult> {
+        using T = typename decltype(tag)::type;
+        const Column<T>& dict = dict_any.As<T>();
+        SemiJoinResult result;
+        result.strategy = "dict-probe";
+        result.probes = dict.size();
+        // One probe per dictionary entry, not per row.
+        std::vector<bool> qualifies(dict.size());
+        bool any = false;
+        for (uint64_t d = 0; d < dict.size(); ++d) {
+          qualifies[d] = KeySetContains(keys, static_cast<uint64_t>(dict[d]));
+          any |= qualifies[d];
+        }
+        if (!any) return result;
+        for (uint64_t i = 0; i < codes.size(); ++i) {
+          if (codes[i] < qualifies.size() && qualifies[codes[i]]) {
+            result.positions.push_back(static_cast<uint32_t>(i));
+          }
+        }
+        return result;
+      });
+}
+
+bool IsStepPrunable(const CompressedNode& node) {
+  if (node.scheme.kind != SchemeKind::kModeled ||
+      node.scheme.args.size() != 1 ||
+      node.scheme.args[0].kind != SchemeKind::kStep) {
+    return false;
+  }
+  auto refs = node.parts.find("refs");
+  auto residual = node.parts.find("residual");
+  if (refs == node.parts.end() || !refs->second.is_terminal() ||
+      refs->second.column->is_packed() || residual == node.parts.end() ||
+      residual->second.is_terminal() ||
+      residual->second.sub->scheme.kind != SchemeKind::kNs) {
+    return false;
+  }
+  auto packed = residual->second.sub->parts.find("packed");
+  return packed != residual->second.sub->parts.end() &&
+         packed->second.is_terminal() && packed->second.column->is_packed();
+}
+
+Result<SemiJoinResult> JoinStepPruned(const CompressedNode& node,
+                                      const Column<uint64_t>& keys) {
+  const PackedColumn& packed =
+      node.parts.at("residual").sub->parts.at("packed").column->packed();
+  const uint64_t ell = node.scheme.args[0].params.segment_length;
+  const uint64_t mask = bits::LowMask64(packed.bit_width);
+  return DispatchUnsignedTypeId(
+      node.out_type, [&](auto tag) -> Result<SemiJoinResult> {
+        using T = typename decltype(tag)::type;
+        const Column<T>& refs = node.parts.at("refs").column->As<T>();
+        SemiJoinResult result;
+        result.strategy = "step-pruned";
+        Column<T> buffer(ell);
+        for (uint64_t seg = 0; seg < refs.size(); ++seg) {
+          const uint64_t begin = seg * ell;
+          const uint64_t end = std::min<uint64_t>(begin + ell, node.n);
+          const uint64_t lo = static_cast<uint64_t>(refs[seg]);
+          const uint64_t hi = lo + std::min<uint64_t>(mask, ~uint64_t{0} - lo);
+          if (!KeySetIntersects(keys, lo, hi)) continue;  // Segment skipped.
+          RECOMP_RETURN_NOT_OK(
+              ops::UnpackRange(packed, begin, end, buffer.data()));
+          result.probes += end - begin;
+          for (uint64_t i = begin; i < end; ++i) {
+            const uint64_t v = lo + static_cast<uint64_t>(buffer[i - begin]);
+            if (KeySetContains(keys, v)) {
+              result.positions.push_back(static_cast<uint32_t>(i));
+            }
+          }
+        }
+        return result;
+      });
+}
+
+Result<SemiJoinResult> JoinScan(const CompressedNode& node,
+                                const Column<uint64_t>& keys) {
+  RECOMP_ASSIGN_OR_RETURN(AnyColumn column, DecompressNode(node));
+  return DispatchUnsignedTypeId(
+      node.out_type, [&](auto tag) -> Result<SemiJoinResult> {
+        using T = typename decltype(tag)::type;
+        const Column<T>& values = column.As<T>();
+        SemiJoinResult result;
+        result.strategy = "decompress-scan";
+        result.probes = values.size();
+        for (uint64_t i = 0; i < values.size(); ++i) {
+          if (KeySetContains(keys, static_cast<uint64_t>(values[i]))) {
+            result.positions.push_back(static_cast<uint32_t>(i));
+          }
+        }
+        return result;
+      });
+}
+
+}  // namespace
+
+Result<SemiJoinResult> SemiJoinCompressed(const CompressedColumn& compressed,
+                                          const Column<uint64_t>& sorted_keys) {
+  for (uint64_t i = 1; i < sorted_keys.size(); ++i) {
+    if (sorted_keys[i] <= sorted_keys[i - 1]) {
+      return Status::InvalidArgument(
+          "semi-join keys must be sorted and deduplicated");
+    }
+  }
+  const CompressedNode& node = compressed.root();
+  if (node.n >= (uint64_t{1} << 32)) {
+    return Status::OutOfRange("semi-join supports columns below 2^32 rows");
+  }
+  if (!TypeIdIsUnsigned(node.out_type)) {
+    return Status::InvalidArgument("semi-join requires an unsigned column");
+  }
+  switch (node.scheme.kind) {
+    case SchemeKind::kRpe:
+      return JoinRuns(node, sorted_keys);
+    case SchemeKind::kDict:
+      return JoinDict(node, sorted_keys);
+    case SchemeKind::kModeled:
+      if (IsStepPrunable(node)) return JoinStepPruned(node, sorted_keys);
+      return JoinScan(node, sorted_keys);
+    default:
+      return JoinScan(node, sorted_keys);
+  }
+}
+
+}  // namespace recomp::exec

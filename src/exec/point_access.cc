@@ -1,0 +1,154 @@
+#include "exec/point_access.h"
+
+#include <algorithm>
+
+#include "core/pipeline.h"
+#include "ops/pack.h"
+#include "schemes/scheme_internal.h"
+
+namespace recomp::exec {
+
+namespace {
+
+using internal::DispatchUnsignedTypeId;
+
+/// Terminal plain part, or nullptr.
+const AnyColumn* TerminalPart(const CompressedNode& node,
+                              const std::string& name) {
+  auto it = node.parts.find(name);
+  if (it == node.parts.end() || !it->second.is_terminal()) return nullptr;
+  return &*it->second.column;
+}
+
+/// Terminal packed part under an NS sub-node, or nullptr.
+const PackedColumn* NsPackedPart(const CompressedNode& node,
+                                 const std::string& name) {
+  auto it = node.parts.find(name);
+  if (it == node.parts.end() || it->second.is_terminal()) return nullptr;
+  const CompressedNode& sub = *it->second.sub;
+  if (sub.scheme.kind != SchemeKind::kNs) return nullptr;
+  auto packed = sub.parts.find("packed");
+  if (packed == sub.parts.end() || !packed->second.is_terminal() ||
+      !packed->second.column->is_packed()) {
+    return nullptr;
+  }
+  return &packed->second.column->packed();
+}
+
+template <typename T>
+uint64_t PlainAt(const AnyColumn& column, uint64_t row) {
+  return static_cast<uint64_t>(column.As<T>()[row]);
+}
+
+Result<PointResult> Fallback(const CompressedNode& node, uint64_t row) {
+  RECOMP_ASSIGN_OR_RETURN(AnyColumn column, DecompressNode(node));
+  return DispatchUnsignedTypeId(
+      node.out_type, [&](auto tag) -> Result<PointResult> {
+        using T = typename decltype(tag)::type;
+        PointResult result;
+        result.strategy = "decompress-scan";
+        result.value = PlainAt<T>(column, row);
+        return result;
+      });
+}
+
+}  // namespace
+
+Result<PointResult> GetAt(const CompressedColumn& compressed, uint64_t row) {
+  const CompressedNode& node = compressed.root();
+  if (row >= node.n) {
+    return Status::OutOfRange("point access past the end of the column");
+  }
+  if (!TypeIdIsUnsigned(node.out_type)) {
+    return Status::InvalidArgument("point access requires an unsigned column");
+  }
+  return DispatchUnsignedTypeId(
+      node.out_type, [&](auto tag) -> Result<PointResult> {
+        using T = typename decltype(tag)::type;
+        PointResult result;
+
+        switch (node.scheme.kind) {
+          case SchemeKind::kNs: {
+            auto it = node.parts.find("packed");
+            if (it != node.parts.end() && it->second.is_terminal() &&
+                it->second.column->is_packed()) {
+              result.strategy = "ns-direct";
+              result.value = static_cast<uint64_t>(
+                  ops::UnpackOne<T>(it->second.column->packed(), row));
+              return result;
+            }
+            break;
+          }
+
+          case SchemeKind::kModeled: {
+            // FOR shape: ref + one extracted residual value.
+            if (node.scheme.args.size() == 1 &&
+                node.scheme.args[0].kind == SchemeKind::kStep) {
+              const AnyColumn* refs = TerminalPart(node, "refs");
+              const PackedColumn* packed = NsPackedPart(node, "residual");
+              const uint64_t ell = node.scheme.args[0].params.segment_length;
+              if (refs != nullptr && packed != nullptr && ell != 0 &&
+                  !refs->is_packed() && refs->type() == TypeIdOf<T>()) {
+                result.strategy = "for-direct";
+                result.value = static_cast<uint64_t>(static_cast<T>(
+                    refs->As<T>()[row / ell] + ops::UnpackOne<T>(*packed, row)));
+                return result;
+              }
+            }
+            break;
+          }
+
+          case SchemeKind::kRpe: {
+            const AnyColumn* values = TerminalPart(node, "values");
+            const AnyColumn* positions = TerminalPart(node, "positions");
+            if (values != nullptr && positions != nullptr &&
+                !values->is_packed() && values->type() == TypeIdOf<T>() &&
+                !positions->is_packed() &&
+                positions->type() == TypeId::kUInt32) {
+              // Inclusive end positions are sorted: the row's run is the
+              // first position strictly greater than `row`.
+              const Column<uint32_t>& pos = positions->As<uint32_t>();
+              const uint64_t run =
+                  std::upper_bound(pos.begin(), pos.end(),
+                                   static_cast<uint32_t>(row)) -
+                  pos.begin();
+              result.strategy = "rpe-binary-search";
+              result.value = PlainAt<T>(*values, run);
+              return result;
+            }
+            break;
+          }
+
+          case SchemeKind::kDict: {
+            const AnyColumn* dictionary = TerminalPart(node, "dictionary");
+            const AnyColumn* codes = TerminalPart(node, "codes");
+            const PackedColumn* packed_codes = NsPackedPart(node, "codes");
+            if (dictionary != nullptr && !dictionary->is_packed() &&
+                dictionary->type() == TypeIdOf<T>()) {
+              uint32_t code;
+              if (codes != nullptr && !codes->is_packed() &&
+                  codes->type() == TypeId::kUInt32) {
+                code = codes->As<uint32_t>()[row];
+              } else if (packed_codes != nullptr) {
+                code = ops::UnpackOne<uint32_t>(*packed_codes, row);
+              } else {
+                break;
+              }
+              if (code >= dictionary->size()) {
+                return Status::Corruption("DICT code exceeds dictionary");
+              }
+              result.strategy = "dict-probe";
+              result.value = PlainAt<T>(*dictionary, code);
+              return result;
+            }
+            break;
+          }
+
+          default:
+            break;
+        }
+        return Fallback(node, row);
+      });
+}
+
+}  // namespace recomp::exec

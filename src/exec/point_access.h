@@ -1,0 +1,36 @@
+// Point access: read a single row from a compressed column without
+// materializing it.
+//
+// Another consequence of the columnar view: the compressed parts are random-
+// access columns, so many shapes answer "what is row i?" in O(1) or
+// O(log runs) — NS via in-place bit extraction, FOR via ref + one residual
+// extraction, RPE via binary search over run positions, DICT via one code
+// plus a dictionary probe. Shapes with sequential dependencies (DELTA,
+// VBYTE) legitimately degrade; GetAt reports which access path ran so
+// callers (and benchmarks) can see the difference.
+
+#ifndef RECOMP_EXEC_POINT_ACCESS_H_
+#define RECOMP_EXEC_POINT_ACCESS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/compressed.h"
+#include "util/result.h"
+
+namespace recomp::exec {
+
+/// One row's value plus the access path used.
+struct PointResult {
+  uint64_t value = 0;     ///< The row's value as uint64.
+  std::string strategy;   ///< "ns-direct", "for-direct", "rpe-binary-search",
+                          ///< "dict-probe", "decompress-scan".
+};
+
+/// Returns row `row` of the compressed column. Fails with OutOfRange when
+/// row >= size. Always equals Decompress(...)[row].
+Result<PointResult> GetAt(const CompressedColumn& compressed, uint64_t row);
+
+}  // namespace recomp::exec
+
+#endif  // RECOMP_EXEC_POINT_ACCESS_H_

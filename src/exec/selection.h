@@ -1,0 +1,53 @@
+// Range selection evaluated directly on compressed columns.
+//
+// "There is no clear distinction between decompression and analytic query
+// execution" (paper, Lessons 1): the same columnar view that yields
+// decompression plans lets predicates push *into* the compressed form —
+// filtering runs instead of rows (RPE/RLE), comparing codes instead of
+// values (DICT), and pruning whole segments via the model's L∞ bound
+// (MODELED(STEP) — the paper's "speed up selections" claim for FOR).
+
+#ifndef RECOMP_EXEC_SELECTION_H_
+#define RECOMP_EXEC_SELECTION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/compressed.h"
+#include "util/result.h"
+
+namespace recomp::exec {
+
+/// An inclusive range predicate lo <= v <= hi over unsigned values.
+struct RangePredicate {
+  uint64_t lo = 0;
+  uint64_t hi = ~uint64_t{0};
+};
+
+/// How a selection was executed, for inspection and benchmarks.
+struct SelectionStats {
+  std::string strategy;           ///< "rle-runs", "dict-codes", "step-pruned",
+                                  ///< or "decompress-scan".
+  uint64_t runs_examined = 0;     ///< rle-runs strategy.
+  uint64_t segments_total = 0;    ///< step-pruned strategy.
+  uint64_t segments_skipped = 0;  ///< Disjoint from the predicate: no work.
+  uint64_t segments_full = 0;     ///< Contained in the predicate: no decode.
+  uint64_t segments_partial = 0;  ///< Overlapping: decoded and tested.
+  uint64_t values_decoded = 0;    ///< Residual/code values actually decoded.
+};
+
+/// The matching positions plus execution statistics.
+struct SelectionResult {
+  Column<uint32_t> positions;
+  SelectionStats stats;
+};
+
+/// Evaluates the predicate over the compressed column, pushing down where
+/// the shape allows and falling back to decompress-and-scan otherwise. The
+/// positions always equal the decompress-then-filter reference.
+Result<SelectionResult> SelectCompressed(const CompressedColumn& compressed,
+                                         const RangePredicate& predicate);
+
+}  // namespace recomp::exec
+
+#endif  // RECOMP_EXEC_SELECTION_H_

@@ -1,0 +1,57 @@
+// Synthetic column generators.
+//
+// Substitution note (DESIGN.md §4): the paper motivates its claims with
+// DBMS-resident data such as shipped-order date columns. These generators
+// reproduce the *structural* properties those claims depend on — runs,
+// monotonicity, locality, trends, outliers, skew — deterministically from a
+// seed, so every experiment in bench/ is exactly reproducible.
+
+#ifndef RECOMP_GEN_GENERATORS_H_
+#define RECOMP_GEN_GENERATORS_H_
+
+#include <cstdint>
+
+#include "columnar/column.h"
+
+namespace recomp::gen {
+
+/// The paper's intro example: a date column of shipped orders. Dates are
+/// days since an epoch; orders accrue over `days` days with a mean of
+/// `orders_per_day`, so the column is monotone with one run per day
+/// (geometrically distributed lengths).
+Column<uint32_t> ShippedOrderDates(uint64_t n, double orders_per_day,
+                                   uint64_t seed);
+
+/// Sorted values with geometric runs: run lengths have mean `avg_run_length`
+/// and consecutive run values step up by 1..max_step.
+Column<uint32_t> SortedRuns(uint64_t n, double avg_run_length,
+                            uint32_t max_step, uint64_t seed);
+
+/// Uniform values in [0, bound).
+Column<uint32_t> Uniform(uint64_t n, uint64_t bound, uint64_t seed);
+
+/// Uniform values in [0, bound) as uint64.
+Column<uint64_t> Uniform64(uint64_t n, uint64_t bound, uint64_t seed);
+
+/// Zipf-distributed references into a value domain of `distinct` arbitrary
+/// values (skew parameter `s`); models categorical columns.
+Column<uint32_t> ZipfValues(uint64_t n, uint64_t distinct, double s,
+                            uint64_t seed);
+
+/// Per-segment levels drawn from [0, 2^level_bits) plus uniform in-segment
+/// noise below 2^noise_bits: FOR's favorite shape.
+Column<uint32_t> StepLevels(uint64_t n, uint64_t segment_length,
+                            int level_bits, int noise_bits, uint64_t seed);
+
+/// y = intercept + slope * i + noise, clamped to uint32: PLIN's shape.
+Column<uint32_t> LinearTrend(uint64_t n, double slope, uint32_t noise_bound,
+                             uint64_t seed);
+
+/// Mostly-narrow values (below 2^base_bits) with `outlier_fraction` of wide
+/// outliers (bit widths up to `outlier_bits`): PATCHED's shape.
+Column<uint32_t> OutlierMix(uint64_t n, int base_bits, int outlier_bits,
+                            double outlier_fraction, uint64_t seed);
+
+}  // namespace recomp::gen
+
+#endif  // RECOMP_GEN_GENERATORS_H_

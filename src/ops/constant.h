@@ -1,0 +1,28 @@
+// Constant and PopBack: the trivial columnar operators of Algorithm 1.
+
+#ifndef RECOMP_OPS_CONSTANT_H_
+#define RECOMP_OPS_CONSTANT_H_
+
+#include <cstdint>
+
+#include "columnar/column.h"
+
+namespace recomp::ops {
+
+/// A column of `n` copies of `value` (the paper's Constant(v, n)).
+template <typename T>
+Column<T> Constant(T value, uint64_t n) {
+  return Column<T>(n, value);
+}
+
+/// The column without its last element (the paper's PopBack). Returns an
+/// empty column for empty input.
+template <typename T>
+Column<T> PopBack(const Column<T>& in) {
+  if (in.empty()) return {};
+  return Column<T>(in.begin(), in.end() - 1);
+}
+
+}  // namespace recomp::ops
+
+#endif  // RECOMP_OPS_CONSTANT_H_

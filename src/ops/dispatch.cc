@@ -1,0 +1,30 @@
+#include "ops/dispatch.h"
+
+#include <atomic>
+
+namespace recomp::ops {
+
+namespace {
+std::atomic<bool> g_force_scalar{false};
+
+bool DetectAvx2() {
+#if defined(RECOMP_COMPILED_AVX2)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+}  // namespace
+
+bool HasAvx2() {
+  static const bool supported = DetectAvx2();
+  return supported && !g_force_scalar.load(std::memory_order_relaxed);
+}
+
+void ForceScalar(bool force) {
+  g_force_scalar.store(force, std::memory_order_relaxed);
+}
+
+bool ScalarForced() { return g_force_scalar.load(std::memory_order_relaxed); }
+
+}  // namespace recomp::ops

@@ -1,0 +1,126 @@
+#include "ops/elementwise.h"
+
+#include "ops/dispatch.h"
+#include "ops/kernels_avx2.h"
+#include "util/string_util.h"
+
+namespace recomp::ops {
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd:
+      return "+";
+    case BinOp::kSub:
+      return "-";
+    case BinOp::kMul:
+      return "*";
+    case BinOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename T, typename F>
+Column<T> Map2(const Column<T>& a, const Column<T>& b, F&& f) {
+  Column<T> out(a.size());
+  for (uint64_t i = 0; i < a.size(); ++i) out[i] = f(a[i], b[i]);
+  return out;
+}
+
+template <typename T, typename F>
+Column<T> Map1(const Column<T>& a, F&& f) {
+  Column<T> out(a.size());
+  for (uint64_t i = 0; i < a.size(); ++i) out[i] = f(a[i]);
+  return out;
+}
+
+}  // namespace
+
+template <typename T>
+Result<Column<T>> Elementwise(BinOp op, const Column<T>& a,
+                              const Column<T>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument(StringFormat(
+        "elementwise '%s' arity mismatch: %llu vs %llu", BinOpName(op),
+        static_cast<unsigned long long>(a.size()),
+        static_cast<unsigned long long>(b.size())));
+  }
+  using U = std::make_unsigned_t<T>;
+  switch (op) {
+    case BinOp::kAdd:
+      return Map2(a, b, [](T x, T y) {
+        return static_cast<T>(static_cast<U>(x) + static_cast<U>(y));
+      });
+    case BinOp::kSub:
+      return Map2(a, b, [](T x, T y) {
+        return static_cast<T>(static_cast<U>(x) - static_cast<U>(y));
+      });
+    case BinOp::kMul:
+      return Map2(a, b, [](T x, T y) {
+        return static_cast<T>(static_cast<U>(x) * static_cast<U>(y));
+      });
+    case BinOp::kDiv: {
+      for (uint64_t i = 0; i < b.size(); ++i) {
+        if (RECOMP_PREDICT_FALSE(b[i] == 0)) {
+          return Status::InvalidArgument(
+              StringFormat("division by zero at row %llu",
+                           static_cast<unsigned long long>(i)));
+        }
+      }
+      return Map2(a, b, [](T x, T y) { return static_cast<T>(x / y); });
+    }
+  }
+  return Status::InvalidArgument("unknown elementwise op");
+}
+
+template <typename T>
+Result<Column<T>> ElementwiseScalar(BinOp op, const Column<T>& a, T scalar) {
+  using U = std::make_unsigned_t<T>;
+  switch (op) {
+    case BinOp::kAdd:
+      if constexpr (std::is_same_v<T, uint32_t>) {
+        if (HasAvx2() && !a.empty()) {
+          Column<T> out(a.size());
+          avx2::AddConstantU32(a.data(), a.size(), scalar, out.data());
+          return out;
+        }
+      }
+      return Map1(a, [scalar](T x) {
+        return static_cast<T>(static_cast<U>(x) + static_cast<U>(scalar));
+      });
+    case BinOp::kSub:
+      return Map1(a, [scalar](T x) {
+        return static_cast<T>(static_cast<U>(x) - static_cast<U>(scalar));
+      });
+    case BinOp::kMul:
+      return Map1(a, [scalar](T x) {
+        return static_cast<T>(static_cast<U>(x) * static_cast<U>(scalar));
+      });
+    case BinOp::kDiv:
+      if (scalar == 0) {
+        return Status::InvalidArgument("division by zero scalar");
+      }
+      return Map1(a, [scalar](T x) { return static_cast<T>(x / scalar); });
+  }
+  return Status::InvalidArgument("unknown elementwise op");
+}
+
+#define RECOMP_INSTANTIATE_ELEMENTWISE(T)                                    \
+  template Result<Column<T>> Elementwise<T>(BinOp, const Column<T>&,         \
+                                            const Column<T>&);               \
+  template Result<Column<T>> ElementwiseScalar<T>(BinOp, const Column<T>&, T);
+
+RECOMP_INSTANTIATE_ELEMENTWISE(uint8_t)
+RECOMP_INSTANTIATE_ELEMENTWISE(uint16_t)
+RECOMP_INSTANTIATE_ELEMENTWISE(uint32_t)
+RECOMP_INSTANTIATE_ELEMENTWISE(uint64_t)
+RECOMP_INSTANTIATE_ELEMENTWISE(int8_t)
+RECOMP_INSTANTIATE_ELEMENTWISE(int16_t)
+RECOMP_INSTANTIATE_ELEMENTWISE(int32_t)
+RECOMP_INSTANTIATE_ELEMENTWISE(int64_t)
+
+#undef RECOMP_INSTANTIATE_ELEMENTWISE
+
+}  // namespace recomp::ops

@@ -1,0 +1,37 @@
+// Elementwise binary operators over columns (the paper's Elementwise(op, ·, ·))
+// plus column ⊗ scalar forms used when one operand is a Constant column —
+// the fusion the plan optimizer applies to Algorithm 2's `÷ ells` step.
+
+#ifndef RECOMP_OPS_ELEMENTWISE_H_
+#define RECOMP_OPS_ELEMENTWISE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "columnar/column.h"
+#include "util/result.h"
+
+namespace recomp::ops {
+
+/// The binary operations the plan IR supports. Arithmetic wraps mod 2^bits.
+enum class BinOp : int {
+  kAdd = 0,
+  kSub = 1,
+  kMul = 2,
+  kDiv = 3,  ///< Unsigned integer division; division by zero is an error.
+};
+
+/// Stable name ("+", "-", "*", "/").
+const char* BinOpName(BinOp op);
+
+/// out[i] = a[i] op b[i]. Fails on length mismatch or division by zero.
+template <typename T>
+Result<Column<T>> Elementwise(BinOp op, const Column<T>& a, const Column<T>& b);
+
+/// out[i] = a[i] op scalar. Fails on division by zero.
+template <typename T>
+Result<Column<T>> ElementwiseScalar(BinOp op, const Column<T>& a, T scalar);
+
+}  // namespace recomp::ops
+
+#endif  // RECOMP_OPS_ELEMENTWISE_H_

@@ -1,0 +1,57 @@
+#include "ops/gather.h"
+
+#include "ops/dispatch.h"
+#include "ops/kernels_avx2.h"
+#include "util/string_util.h"
+
+namespace recomp::ops {
+
+template <typename T>
+Column<T> GatherUnchecked(const Column<T>& values,
+                          const Column<uint32_t>& indices) {
+  Column<T> out(indices.size());
+  if constexpr (std::is_same_v<T, uint32_t>) {
+    if (HasAvx2() && !indices.empty()) {
+      avx2::GatherU32(values.data(), indices.data(), indices.size(),
+                      out.data());
+      return out;
+    }
+  }
+  for (uint64_t i = 0; i < indices.size(); ++i) {
+    out[i] = values[indices[i]];
+  }
+  return out;
+}
+
+template <typename T>
+Result<Column<T>> Gather(const Column<T>& values,
+                         const Column<uint32_t>& indices) {
+  for (uint64_t i = 0; i < indices.size(); ++i) {
+    if (RECOMP_PREDICT_FALSE(indices[i] >= values.size())) {
+      return Status::OutOfRange(StringFormat(
+          "gather index %u at row %llu exceeds |values| = %llu", indices[i],
+          static_cast<unsigned long long>(i),
+          static_cast<unsigned long long>(values.size())));
+    }
+  }
+  return GatherUnchecked(values, indices);
+}
+
+#define RECOMP_INSTANTIATE_GATHER(T)                       \
+  template Result<Column<T>> Gather<T>(const Column<T>&,   \
+                                       const Column<uint32_t>&); \
+  template Column<T> GatherUnchecked<T>(const Column<T>&,  \
+                                        const Column<uint32_t>&);
+
+RECOMP_INSTANTIATE_GATHER(uint8_t)
+RECOMP_INSTANTIATE_GATHER(uint16_t)
+RECOMP_INSTANTIATE_GATHER(uint32_t)
+RECOMP_INSTANTIATE_GATHER(uint64_t)
+RECOMP_INSTANTIATE_GATHER(int8_t)
+RECOMP_INSTANTIATE_GATHER(int16_t)
+RECOMP_INSTANTIATE_GATHER(int32_t)
+RECOMP_INSTANTIATE_GATHER(int64_t)
+
+#undef RECOMP_INSTANTIATE_GATHER
+
+}  // namespace recomp::ops

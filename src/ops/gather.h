@@ -1,0 +1,26 @@
+// Gather: out[i] = values[indices[i]] — the final operator of the paper's
+// Algorithm 1 (RLE) and the replication step of Algorithm 2 (FOR).
+
+#ifndef RECOMP_OPS_GATHER_H_
+#define RECOMP_OPS_GATHER_H_
+
+#include <cstdint>
+
+#include "columnar/column.h"
+#include "util/result.h"
+
+namespace recomp::ops {
+
+/// Bounds-checked gather. Fails with OutOfRange on any index >= |values|.
+template <typename T>
+Result<Column<T>> Gather(const Column<T>& values,
+                         const Column<uint32_t>& indices);
+
+/// Unchecked gather for kernels that construct their own in-range indices.
+template <typename T>
+Column<T> GatherUnchecked(const Column<T>& values,
+                          const Column<uint32_t>& indices);
+
+}  // namespace recomp::ops
+
+#endif  // RECOMP_OPS_GATHER_H_

@@ -1,0 +1,167 @@
+// AVX2 implementations of the hot decompression kernels.
+//
+// This translation unit is compiled with -mavx2 (see src/CMakeLists.txt);
+// when the build disables AVX2 it compiles to thin forwarding wrappers over
+// scalar code so the symbols always exist. All entry points here assume the
+// caller checked ops::HasAvx2().
+
+#include "ops/kernels_avx2.h"
+
+#include <cstring>
+
+#include "util/bits.h"
+#include "util/macros.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace recomp::ops::avx2 {
+
+namespace {
+
+// Scalar fallbacks used for buffer tails (and for the whole input when the
+// build lacks AVX2).
+
+void UnpackU32Tail(const uint8_t* in, uint64_t in_bytes, uint64_t first,
+                   uint64_t n, int width, uint32_t* out) {
+  const uint64_t mask = bits::LowMask64(width);
+  for (uint64_t i = first; i < n; ++i) {
+    const uint64_t bitpos = i * static_cast<uint64_t>(width);
+    const uint64_t byte = bitpos >> 3;
+    const int shift = bitpos & 7;
+    uint64_t v = 0;
+    const uint64_t avail = in_bytes - byte;
+    std::memcpy(&v, in + byte, avail >= 8 ? 8 : avail);
+    out[i] = static_cast<uint32_t>((v >> shift) & mask);
+  }
+}
+
+void PrefixSumTail(const uint32_t* in, uint64_t first, uint64_t n,
+                   uint32_t acc, uint32_t* out) {
+  for (uint64_t i = first; i < n; ++i) {
+    acc += in[i];
+    out[i] = acc;
+  }
+}
+
+}  // namespace
+
+#if defined(__AVX2__)
+
+void UnpackU32(const uint8_t* in, uint64_t in_bytes, uint64_t n, int width,
+               uint32_t* out) {
+  RECOMP_DCHECK(width >= 1 && width <= kMaxUnpackWidth,
+                "AVX2 unpack width out of range");
+  // Per 8-lane group: lane j reads 4 bytes at group_byte + ((bit&7)+j*w)/8
+  // and shifts right by ((bit&7)+j*w)%8; shift+width <= 7+25 = 32 bits, so a
+  // 4-byte load always contains the whole value. The 4-byte gather of the
+  // last lane may read past the payload, so groups whose reads could cross
+  // the end are delegated to the scalar tail.
+  const __m256i lane_bits = _mm256_setr_epi32(0, width, 2 * width, 3 * width,
+                                              4 * width, 5 * width, 6 * width,
+                                              7 * width);
+  const __m256i mask = _mm256_set1_epi32(
+      static_cast<int>(bits::LowMask32(width)));
+  const __m256i seven = _mm256_set1_epi32(7);
+
+  uint64_t i = 0;
+  // Highest in-group byte offset is (7 + 7*width)/8; the gather reads 4
+  // bytes there.
+  const uint64_t group_reach = static_cast<uint64_t>((7 + 7 * width) / 8) + 4;
+  for (; i + 8 <= n; i += 8) {
+    const uint64_t bit = i * static_cast<uint64_t>(width);
+    const uint64_t group_byte = bit >> 3;
+    if (RECOMP_PREDICT_FALSE(group_byte + group_reach > in_bytes)) break;
+    const __m256i rel =
+        _mm256_add_epi32(_mm256_set1_epi32(static_cast<int>(bit & 7)),
+                         lane_bits);
+    const __m256i byte_off = _mm256_srli_epi32(rel, 3);
+    const __m256i shift = _mm256_and_si256(rel, seven);
+    const __m256i loaded = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(in + group_byte), byte_off, 1);
+    const __m256i vals =
+        _mm256_and_si256(_mm256_srlv_epi32(loaded, shift), mask);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), vals);
+  }
+  UnpackU32Tail(in, in_bytes, i, n, width, out);
+}
+
+namespace {
+
+/// Inclusive prefix sum within one 8-lane vector.
+inline __m256i PrefixSum8(__m256i x) {
+  x = _mm256_add_epi32(x, _mm256_slli_si256(x, 4));
+  x = _mm256_add_epi32(x, _mm256_slli_si256(x, 8));
+  // Carry the low half's total (its lane 3) into every lane of the high half.
+  const __m256i half_totals = _mm256_shuffle_epi32(x, _MM_SHUFFLE(3, 3, 3, 3));
+  const __m256i carry = _mm256_permute2x128_si256(half_totals, half_totals,
+                                                  0x08);
+  return _mm256_add_epi32(x, carry);
+}
+
+}  // namespace
+
+void PrefixSumInclusiveU32(const uint32_t* in, uint64_t n, uint32_t* out) {
+  uint64_t i = 0;
+  __m256i running = _mm256_setzero_si256();
+  for (; i + 8 <= n; i += 8) {
+    __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    x = _mm256_add_epi32(PrefixSum8(x), running);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), x);
+    running = _mm256_permutevar8x32_epi32(x, _mm256_set1_epi32(7));
+  }
+  PrefixSumTail(in, i, n, _mm256_extract_epi32(running, 0), out);
+}
+
+void AddConstantU32(const uint32_t* in, uint64_t n, uint32_t addend,
+                    uint32_t* out) {
+  const __m256i a = _mm256_set1_epi32(static_cast<int>(addend));
+  uint64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_add_epi32(x, a));
+  }
+  for (; i < n; ++i) out[i] = in[i] + addend;
+}
+
+void GatherU32(const uint32_t* values, const uint32_t* indices, uint64_t n,
+               uint32_t* out) {
+  uint64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(indices + i));
+    const __m256i vals = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(values), idx, 4);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), vals);
+  }
+  for (; i < n; ++i) out[i] = values[indices[i]];
+}
+
+#else  // !defined(__AVX2__)
+
+void UnpackU32(const uint8_t* in, uint64_t in_bytes, uint64_t n, int width,
+               uint32_t* out) {
+  UnpackU32Tail(in, in_bytes, 0, n, width, out);
+}
+
+void PrefixSumInclusiveU32(const uint32_t* in, uint64_t n, uint32_t* out) {
+  PrefixSumTail(in, 0, n, 0, out);
+}
+
+void AddConstantU32(const uint32_t* in, uint64_t n, uint32_t addend,
+                    uint32_t* out) {
+  for (uint64_t i = 0; i < n; ++i) out[i] = in[i] + addend;
+}
+
+void GatherU32(const uint32_t* values, const uint32_t* indices, uint64_t n,
+               uint32_t* out) {
+  for (uint64_t i = 0; i < n; ++i) out[i] = values[indices[i]];
+}
+
+#endif  // defined(__AVX2__)
+
+}  // namespace recomp::ops::avx2

@@ -1,0 +1,35 @@
+// AVX2 kernel entry points (definitions in kernels_avx2.cc, compiled with
+// -mavx2). Callers must check ops::HasAvx2() before calling; when the build
+// disables AVX2 these symbols still exist but delegate to scalar code.
+
+#ifndef RECOMP_OPS_KERNELS_AVX2_H_
+#define RECOMP_OPS_KERNELS_AVX2_H_
+
+#include <cstdint>
+
+namespace recomp::ops::avx2 {
+
+/// Maximum bit width the AVX2 gather-based unpacker handles; wider values
+/// can straddle more than the 32 bits a lane can shift out of.
+inline constexpr int kMaxUnpackWidth = 25;
+
+/// Unpacks `n` `width`-bit values (1 <= width <= kMaxUnpackWidth) from `in`
+/// (with `in_bytes` readable bytes) into `out`. Handles the buffer tail by
+/// delegating the last values to scalar code.
+void UnpackU32(const uint8_t* in, uint64_t in_bytes, uint64_t n, int width,
+               uint32_t* out);
+
+/// Inclusive prefix sum of uint32 values, 8 lanes at a time.
+void PrefixSumInclusiveU32(const uint32_t* in, uint64_t n, uint32_t* out);
+
+/// out[i] = in[i] + addend.
+void AddConstantU32(const uint32_t* in, uint64_t n, uint32_t addend,
+                    uint32_t* out);
+
+/// out[i] = values[indices[i]] via vpgatherdd.
+void GatherU32(const uint32_t* values, const uint32_t* indices, uint64_t n,
+               uint32_t* out);
+
+}  // namespace recomp::ops::avx2
+
+#endif  // RECOMP_OPS_KERNELS_AVX2_H_

@@ -1,0 +1,195 @@
+#include "ops/pack.h"
+
+#include <bit>
+#include <cstring>
+
+#include "ops/dispatch.h"
+#include "ops/kernels_avx2.h"
+#include "util/bits.h"
+#include "util/string_util.h"
+
+static_assert(std::endian::native == std::endian::little,
+              "packing kernels assume a little-endian target");
+
+namespace recomp::ops {
+
+namespace {
+
+/// Loads up to 8 bytes starting at `p`, zero-extended, without reading past
+/// `end`.
+inline uint64_t LoadLE64Clamped(const uint8_t* p, const uint8_t* end) {
+  uint64_t v = 0;
+  const uint64_t avail = static_cast<uint64_t>(end - p);
+  std::memcpy(&v, p, avail >= 8 ? 8 : avail);
+  return v;
+}
+
+template <typename T>
+void PackScalar(const T* in, uint64_t n, int width, uint8_t* out) {
+  const uint64_t mask = bits::LowMask64(width);
+  uint64_t bitpos = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t v = static_cast<uint64_t>(in[i]) & mask;
+    uint64_t byte = bitpos >> 3;
+    const int shift = bitpos & 7;
+    // The first byte may be shared with the previous value's tail: OR into
+    // it. Bytes after it belong to this value alone and can be assigned.
+    out[byte] |= static_cast<uint8_t>(v << shift);
+    v >>= (8 - shift);
+    for (int remaining = width - (8 - shift); remaining > 0; remaining -= 8) {
+      out[++byte] = static_cast<uint8_t>(v);
+      v >>= 8;
+    }
+    bitpos += width;
+  }
+}
+
+template <typename T>
+void UnpackScalar(const uint8_t* in, uint64_t in_bytes, uint64_t n, int width,
+                  T* out) {
+  const uint64_t mask = bits::LowMask64(width);
+  const uint8_t* end = in + in_bytes;
+  uint64_t bitpos = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t byte = bitpos >> 3;
+    const int shift = bitpos & 7;
+    uint64_t v = LoadLE64Clamped(in + byte, end) >> shift;
+    if (shift + width > 64) {
+      // The value straddles 9 bytes (only possible for width > 56).
+      const uint64_t hi = in[byte + 8];
+      v |= hi << (64 - shift);
+    }
+    out[i] = static_cast<T>(v & mask);
+    bitpos += width;
+  }
+}
+
+}  // namespace
+
+template <typename T>
+Result<PackedColumn> PackTruncating(const Column<T>& col, int width) {
+  if (width < 0 || width > bits::TypeBits<T>()) {
+    return Status::InvalidArgument(StringFormat(
+        "pack width %d outside [0, %d]", width, bits::TypeBits<T>()));
+  }
+  PackedColumn out;
+  out.bit_width = width;
+  out.n = col.size();
+  out.logical_type = TypeIdOf<T>();
+  out.bytes.assign(bits::PackedByteSize(col.size(), width), 0);
+  if (width > 0 && !col.empty()) {
+    PackScalar(col.data(), col.size(), width, out.bytes.data());
+  }
+  return out;
+}
+
+template <typename T>
+Result<PackedColumn> Pack(const Column<T>& col, int width) {
+  if (width < 0 || width > bits::TypeBits<T>()) {
+    return Status::InvalidArgument(StringFormat(
+        "pack width %d outside [0, %d]", width, bits::TypeBits<T>()));
+  }
+  const uint64_t mask = bits::LowMask64(width);
+  for (uint64_t i = 0; i < col.size(); ++i) {
+    if ((static_cast<uint64_t>(col[i]) & ~mask) != 0) {
+      return Status::InvalidArgument(
+          StringFormat("value at row %llu does not fit in %d bits",
+                       static_cast<unsigned long long>(i), width));
+    }
+  }
+  return PackTruncating(col, width);
+}
+
+template <typename T>
+Result<Column<T>> Unpack(const PackedColumn& packed) {
+  if (packed.bit_width > bits::TypeBits<T>()) {
+    return Status::InvalidArgument(
+        StringFormat("cannot unpack width %d into %d-bit type",
+                     packed.bit_width, bits::TypeBits<T>()));
+  }
+  const uint64_t needed = bits::PackedByteSize(packed.n, packed.bit_width);
+  if (packed.bytes.size() < needed) {
+    return Status::Corruption(StringFormat(
+        "packed payload holds %llu bytes, need %llu",
+        static_cast<unsigned long long>(packed.bytes.size()),
+        static_cast<unsigned long long>(needed)));
+  }
+  Column<T> out(packed.n);
+  if (packed.bit_width == 0 || packed.n == 0) {
+    std::fill(out.begin(), out.end(), T{0});
+    return out;
+  }
+  if constexpr (std::is_same_v<T, uint32_t>) {
+    if (HasAvx2() && packed.bit_width <= avx2::kMaxUnpackWidth) {
+      avx2::UnpackU32(packed.bytes.data(), packed.bytes.size(), packed.n,
+                      packed.bit_width, out.data());
+      return out;
+    }
+  }
+  UnpackScalar(packed.bytes.data(), packed.bytes.size(), packed.n,
+               packed.bit_width, out.data());
+  return out;
+}
+
+template <typename T>
+T UnpackOne(const PackedColumn& packed, uint64_t index) {
+  RECOMP_DCHECK(index < packed.n, "UnpackOne index out of range");
+  if (packed.bit_width == 0) return T{0};
+  const uint64_t bitpos = index * static_cast<uint64_t>(packed.bit_width);
+  const uint64_t byte = bitpos >> 3;
+  const int shift = bitpos & 7;
+  const uint8_t* begin = packed.bytes.data();
+  const uint8_t* end = begin + packed.bytes.size();
+  uint64_t v = LoadLE64Clamped(begin + byte, end) >> shift;
+  if (shift + packed.bit_width > 64) {
+    v |= static_cast<uint64_t>(begin[byte + 8]) << (64 - shift);
+  }
+  return static_cast<T>(v & bits::LowMask64(packed.bit_width));
+}
+
+template <typename T>
+Status UnpackRange(const PackedColumn& packed, uint64_t begin, uint64_t end,
+                   T* out) {
+  if (begin > end || end > packed.n) {
+    return Status::OutOfRange("UnpackRange bounds outside the column");
+  }
+  if (packed.bit_width > bits::TypeBits<T>()) {
+    return Status::InvalidArgument("UnpackRange into too-narrow type");
+  }
+  if (packed.bit_width == 0) {
+    std::fill(out, out + (end - begin), T{0});
+    return Status::OK();
+  }
+  // Values are bit-contiguous, so row i starts at bit i * width; decode the
+  // requested rows directly without touching the rest of the payload.
+  const uint64_t mask = bits::LowMask64(packed.bit_width);
+  const uint8_t* base = packed.bytes.data();
+  const uint8_t* end_ptr = base + packed.bytes.size();
+  for (uint64_t i = begin; i < end; ++i) {
+    const uint64_t bitpos = i * static_cast<uint64_t>(packed.bit_width);
+    const uint64_t byte = bitpos >> 3;
+    const int shift = bitpos & 7;
+    uint64_t v = LoadLE64Clamped(base + byte, end_ptr) >> shift;
+    if (shift + packed.bit_width > 64) {
+      v |= static_cast<uint64_t>(base[byte + 8]) << (64 - shift);
+    }
+    out[i - begin] = static_cast<T>(v & mask);
+  }
+  return Status::OK();
+}
+
+#define RECOMP_INSTANTIATE_PACK(T)                                   \
+  template Result<PackedColumn> Pack<T>(const Column<T>&, int);      \
+  template Result<PackedColumn> PackTruncating<T>(const Column<T>&, int); \
+  template Result<Column<T>> Unpack<T>(const PackedColumn&);         \
+  template T UnpackOne<T>(const PackedColumn&, uint64_t);            \
+  template Status UnpackRange<T>(const PackedColumn&, uint64_t, uint64_t, T*);
+
+RECOMP_INSTANTIATE_PACK(uint8_t)
+RECOMP_INSTANTIATE_PACK(uint16_t)
+RECOMP_INSTANTIATE_PACK(uint32_t)
+RECOMP_INSTANTIATE_PACK(uint64_t)
+
+#undef RECOMP_INSTANTIATE_PACK
+
+}  // namespace recomp::ops

@@ -1,0 +1,48 @@
+// Bit packing / unpacking: the kernel behind the NS (null suppression)
+// scheme and the plan executor's Pack/Unpack operators.
+//
+// Layout: values are stored LSB-first, bit-contiguously, with zero padding
+// to the next byte boundary; no per-block headers (the paper's "pure
+// columns" requirement).
+
+#ifndef RECOMP_OPS_PACK_H_
+#define RECOMP_OPS_PACK_H_
+
+#include <cstdint>
+
+#include "columnar/column.h"
+#include "columnar/packed.h"
+#include "util/result.h"
+
+namespace recomp::ops {
+
+/// Packs `col` into `width`-bit values. Fails with InvalidArgument if any
+/// value needs more than `width` bits or `width` exceeds the type's width.
+template <typename T>
+Result<PackedColumn> Pack(const Column<T>& col, int width);
+
+/// Packs, masking values to `width` bits instead of failing (used by the
+/// PATCHED combinator, which re-materializes the masked-off high bits from
+/// its patch list).
+template <typename T>
+Result<PackedColumn> PackTruncating(const Column<T>& col, int width);
+
+/// Unpacks into a Column<T>. Fails with Corruption if the payload is shorter
+/// than `packed.n * packed.bit_width` bits or the width exceeds T's.
+template <typename T>
+Result<Column<T>> Unpack(const PackedColumn& packed);
+
+/// Reads the single value at `index` without unpacking the column
+/// (random access used by patch application and point lookups).
+template <typename T>
+T UnpackOne(const PackedColumn& packed, uint64_t index);
+
+/// Unpacks only rows [begin, end) into `out` (which must hold end - begin
+/// values). Powers segment-wise access under pruned selections.
+template <typename T>
+Status UnpackRange(const PackedColumn& packed, uint64_t begin, uint64_t end,
+                   T* out);
+
+}  // namespace recomp::ops
+
+#endif  // RECOMP_OPS_PACK_H_

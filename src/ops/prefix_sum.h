@@ -1,0 +1,28 @@
+// PrefixSum: the columnar operator at the heart of Algorithms 1 and 2 of the
+// paper (run-position computation, id generation) and of DELTA decompression.
+//
+// Sums wrap modulo 2^bits, which is exactly what DELTA-decoding of zigzag-
+// free unsigned deltas requires.
+
+#ifndef RECOMP_OPS_PREFIX_SUM_H_
+#define RECOMP_OPS_PREFIX_SUM_H_
+
+#include "columnar/column.h"
+
+namespace recomp::ops {
+
+/// out[i] = in[0] + ... + in[i]  (inclusive scan).
+template <typename T>
+Column<T> PrefixSumInclusive(const Column<T>& in);
+
+/// out[i] = in[0] + ... + in[i-1]; out[0] = 0  (exclusive scan).
+template <typename T>
+Column<T> PrefixSumExclusive(const Column<T>& in);
+
+/// In-place inclusive scan (used by fused kernels to avoid a copy).
+template <typename T>
+void PrefixSumInclusiveInPlace(Column<T>* col);
+
+}  // namespace recomp::ops
+
+#endif  // RECOMP_OPS_PREFIX_SUM_H_

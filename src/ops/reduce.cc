@@ -1,0 +1,42 @@
+#include "ops/reduce.h"
+
+#include <algorithm>
+
+namespace recomp::ops {
+
+template <typename T>
+uint64_t Sum(const Column<T>& col) {
+  uint64_t acc = 0;
+  for (const T v : col) acc += static_cast<uint64_t>(v);
+  return acc;
+}
+
+template <typename T>
+Result<T> Min(const Column<T>& col) {
+  if (col.empty()) return Status::InvalidArgument("Min of an empty column");
+  return *std::min_element(col.begin(), col.end());
+}
+
+template <typename T>
+Result<T> Max(const Column<T>& col) {
+  if (col.empty()) return Status::InvalidArgument("Max of an empty column");
+  return *std::max_element(col.begin(), col.end());
+}
+
+#define RECOMP_INSTANTIATE_REDUCE(T)            \
+  template uint64_t Sum<T>(const Column<T>&);   \
+  template Result<T> Min<T>(const Column<T>&);  \
+  template Result<T> Max<T>(const Column<T>&);
+
+RECOMP_INSTANTIATE_REDUCE(uint8_t)
+RECOMP_INSTANTIATE_REDUCE(uint16_t)
+RECOMP_INSTANTIATE_REDUCE(uint32_t)
+RECOMP_INSTANTIATE_REDUCE(uint64_t)
+RECOMP_INSTANTIATE_REDUCE(int8_t)
+RECOMP_INSTANTIATE_REDUCE(int16_t)
+RECOMP_INSTANTIATE_REDUCE(int32_t)
+RECOMP_INSTANTIATE_REDUCE(int64_t)
+
+#undef RECOMP_INSTANTIATE_REDUCE
+
+}  // namespace recomp::ops

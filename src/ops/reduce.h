@@ -1,0 +1,28 @@
+// Reductions over plain columns; reference implementations for the
+// compressed-domain aggregate pushdowns in src/exec.
+
+#ifndef RECOMP_OPS_REDUCE_H_
+#define RECOMP_OPS_REDUCE_H_
+
+#include <cstdint>
+
+#include "columnar/column.h"
+#include "util/result.h"
+
+namespace recomp::ops {
+
+/// Sum of all values, accumulated in uint64 (wrapping mod 2^64).
+template <typename T>
+uint64_t Sum(const Column<T>& col);
+
+/// Minimum value; fails on an empty column.
+template <typename T>
+Result<T> Min(const Column<T>& col);
+
+/// Maximum value; fails on an empty column.
+template <typename T>
+Result<T> Max(const Column<T>& col);
+
+}  // namespace recomp::ops
+
+#endif  // RECOMP_OPS_REDUCE_H_

@@ -1,0 +1,41 @@
+#include "ops/run_boundaries.h"
+
+namespace recomp::ops {
+
+template <typename T>
+Result<Runs<T>> FindRuns(const Column<T>& col) {
+  if (col.size() >= (uint64_t{1} << 32)) {
+    return Status::OutOfRange("FindRuns supports columns below 2^32 rows");
+  }
+  Runs<T> runs;
+  if (col.empty()) return runs;
+  uint32_t run_start = 0;
+  for (uint32_t i = 1; i < col.size(); ++i) {
+    if (col[i] != col[run_start]) {
+      runs.values.push_back(col[run_start]);
+      runs.lengths.push_back(i - run_start);
+      runs.end_positions.push_back(i);
+      run_start = i;
+    }
+  }
+  runs.values.push_back(col[run_start]);
+  runs.lengths.push_back(static_cast<uint32_t>(col.size()) - run_start);
+  runs.end_positions.push_back(static_cast<uint32_t>(col.size()));
+  return runs;
+}
+
+#define RECOMP_INSTANTIATE_RUNS(T) \
+  template Result<Runs<T>> FindRuns<T>(const Column<T>&);
+
+RECOMP_INSTANTIATE_RUNS(uint8_t)
+RECOMP_INSTANTIATE_RUNS(uint16_t)
+RECOMP_INSTANTIATE_RUNS(uint32_t)
+RECOMP_INSTANTIATE_RUNS(uint64_t)
+RECOMP_INSTANTIATE_RUNS(int8_t)
+RECOMP_INSTANTIATE_RUNS(int16_t)
+RECOMP_INSTANTIATE_RUNS(int32_t)
+RECOMP_INSTANTIATE_RUNS(int64_t)
+
+#undef RECOMP_INSTANTIATE_RUNS
+
+}  // namespace recomp::ops

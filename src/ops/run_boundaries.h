@@ -1,0 +1,35 @@
+// Run detection: the compression-side counterpart of Algorithm 1.
+//
+// Splits a column into maximal runs of equal values, yielding exactly the
+// "pure columns" of the RLE / RPE compressed forms.
+
+#ifndef RECOMP_OPS_RUN_BOUNDARIES_H_
+#define RECOMP_OPS_RUN_BOUNDARIES_H_
+
+#include <cstdint>
+
+#include "columnar/column.h"
+#include "util/result.h"
+
+namespace recomp::ops {
+
+/// The runs of a column.
+template <typename T>
+struct Runs {
+  /// One representative value per run.
+  Column<T> values;
+  /// Length of each run; same arity as `values`.
+  Column<uint32_t> lengths;
+  /// Inclusive end positions: end_positions[r] = lengths[0] + ... + lengths[r]
+  /// (the paper's run_positions column; its last element is n).
+  Column<uint32_t> end_positions;
+};
+
+/// Computes all three run columns in one pass. Fails with OutOfRange for
+/// columns of 2^32 or more rows.
+template <typename T>
+Result<Runs<T>> FindRuns(const Column<T>& col);
+
+}  // namespace recomp::ops
+
+#endif  // RECOMP_OPS_RUN_BOUNDARIES_H_

@@ -1,0 +1,61 @@
+#include "ops/scatter.h"
+
+#include "util/string_util.h"
+
+namespace recomp::ops {
+
+template <typename T>
+Status ScatterInto(const Column<T>& values, const Column<uint32_t>& indices,
+                   Column<T>* target) {
+  if (values.size() != indices.size()) {
+    return Status::InvalidArgument(StringFormat(
+        "scatter arity mismatch: %llu values vs %llu indices",
+        static_cast<unsigned long long>(values.size()),
+        static_cast<unsigned long long>(indices.size())));
+  }
+  for (uint64_t i = 0; i < indices.size(); ++i) {
+    if (RECOMP_PREDICT_FALSE(indices[i] >= target->size())) {
+      return Status::OutOfRange(StringFormat(
+          "scatter index %u at row %llu exceeds |target| = %llu", indices[i],
+          static_cast<unsigned long long>(i),
+          static_cast<unsigned long long>(target->size())));
+    }
+    (*target)[indices[i]] = values[i];
+  }
+  return Status::OK();
+}
+
+template <typename T>
+Result<Column<T>> ScatterConstant(T value, const Column<uint32_t>& indices,
+                                  uint64_t n) {
+  Column<T> out(n, T{0});
+  for (uint64_t i = 0; i < indices.size(); ++i) {
+    if (RECOMP_PREDICT_FALSE(indices[i] >= n)) {
+      return Status::OutOfRange(StringFormat(
+          "scatter index %u at row %llu exceeds length %llu", indices[i],
+          static_cast<unsigned long long>(i),
+          static_cast<unsigned long long>(n)));
+    }
+    out[indices[i]] = value;
+  }
+  return out;
+}
+
+#define RECOMP_INSTANTIATE_SCATTER(T)                                    \
+  template Status ScatterInto<T>(const Column<T>&, const Column<uint32_t>&, \
+                                 Column<T>*);                            \
+  template Result<Column<T>> ScatterConstant<T>(T, const Column<uint32_t>&, \
+                                                uint64_t);
+
+RECOMP_INSTANTIATE_SCATTER(uint8_t)
+RECOMP_INSTANTIATE_SCATTER(uint16_t)
+RECOMP_INSTANTIATE_SCATTER(uint32_t)
+RECOMP_INSTANTIATE_SCATTER(uint64_t)
+RECOMP_INSTANTIATE_SCATTER(int8_t)
+RECOMP_INSTANTIATE_SCATTER(int16_t)
+RECOMP_INSTANTIATE_SCATTER(int32_t)
+RECOMP_INSTANTIATE_SCATTER(int64_t)
+
+#undef RECOMP_INSTANTIATE_SCATTER
+
+}  // namespace recomp::ops

@@ -1,0 +1,28 @@
+// Scatter: out[indices[i]] = values[i] into a pre-existing column — the
+// run-boundary marking step of the paper's Algorithm 1.
+
+#ifndef RECOMP_OPS_SCATTER_H_
+#define RECOMP_OPS_SCATTER_H_
+
+#include <cstdint>
+
+#include "columnar/column.h"
+#include "util/result.h"
+
+namespace recomp::ops {
+
+/// Writes values[i] to (*target)[indices[i]]. Fails with OutOfRange when an
+/// index exceeds the target. Later writes win on duplicate indices.
+template <typename T>
+Status ScatterInto(const Column<T>& values, const Column<uint32_t>& indices,
+                   Column<T>* target);
+
+/// Algorithm-1 convenience: returns a fresh zero column of length `n` with
+/// `value` scattered at `indices`.
+template <typename T>
+Result<Column<T>> ScatterConstant(T value, const Column<uint32_t>& indices,
+                                  uint64_t n);
+
+}  // namespace recomp::ops
+
+#endif  // RECOMP_OPS_SCATTER_H_

@@ -1,0 +1,43 @@
+#include "ops/select.h"
+
+#include "util/string_util.h"
+
+namespace recomp::ops {
+
+template <typename T>
+Result<Column<uint32_t>> SelectRange(const Column<T>& col, T lo, T hi) {
+  if (col.size() >= (uint64_t{1} << 32)) {
+    return Status::OutOfRange("SelectRange supports columns below 2^32 rows");
+  }
+  Column<uint32_t> out;
+  for (uint64_t i = 0; i < col.size(); ++i) {
+    if (col[i] >= lo && col[i] <= hi) {
+      out.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return out;
+}
+
+template <typename T>
+uint64_t CountRange(const Column<T>& col, T lo, T hi) {
+  uint64_t count = 0;
+  for (const T v : col) count += (v >= lo && v <= hi) ? 1 : 0;
+  return count;
+}
+
+#define RECOMP_INSTANTIATE_SELECT(T)                                    \
+  template Result<Column<uint32_t>> SelectRange<T>(const Column<T>&, T, T); \
+  template uint64_t CountRange<T>(const Column<T>&, T, T);
+
+RECOMP_INSTANTIATE_SELECT(uint8_t)
+RECOMP_INSTANTIATE_SELECT(uint16_t)
+RECOMP_INSTANTIATE_SELECT(uint32_t)
+RECOMP_INSTANTIATE_SELECT(uint64_t)
+RECOMP_INSTANTIATE_SELECT(int8_t)
+RECOMP_INSTANTIATE_SELECT(int16_t)
+RECOMP_INSTANTIATE_SELECT(int32_t)
+RECOMP_INSTANTIATE_SELECT(int64_t)
+
+#undef RECOMP_INSTANTIATE_SELECT
+
+}  // namespace recomp::ops

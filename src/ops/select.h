@@ -1,0 +1,25 @@
+// Range selection over plain columns: the reference operator the
+// compressed-domain selections in src/exec are validated against.
+
+#ifndef RECOMP_OPS_SELECT_H_
+#define RECOMP_OPS_SELECT_H_
+
+#include <cstdint>
+
+#include "columnar/column.h"
+#include "util/result.h"
+
+namespace recomp::ops {
+
+/// Positions i (ascending) with lo <= col[i] <= hi. Fails with OutOfRange for
+/// columns of 2^32 or more rows (positions are uint32 throughout the library).
+template <typename T>
+Result<Column<uint32_t>> SelectRange(const Column<T>& col, T lo, T hi);
+
+/// Number of rows with lo <= col[i] <= hi.
+template <typename T>
+uint64_t CountRange(const Column<T>& col, T lo, T hi);
+
+}  // namespace recomp::ops
+
+#endif  // RECOMP_OPS_SELECT_H_

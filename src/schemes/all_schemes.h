@@ -1,0 +1,25 @@
+// Internal accessors for the per-kind Scheme singletons; the public entry
+// point is GetScheme() in schemes/scheme.h.
+
+#ifndef RECOMP_SCHEMES_ALL_SCHEMES_H_
+#define RECOMP_SCHEMES_ALL_SCHEMES_H_
+
+#include "schemes/scheme.h"
+
+namespace recomp::internal {
+
+const Scheme* GetIdScheme();
+const Scheme* GetZigZagScheme();
+const Scheme* GetNsScheme();
+const Scheme* GetVByteScheme();
+const Scheme* GetDeltaScheme();
+const Scheme* GetRpeScheme();
+const Scheme* GetDictScheme();
+const Scheme* GetStepScheme();
+const Scheme* GetPlinScheme();
+const Scheme* GetModeledScheme();
+const Scheme* GetPatchedScheme();
+
+}  // namespace recomp::internal
+
+#endif  // RECOMP_SCHEMES_ALL_SCHEMES_H_

@@ -1,0 +1,68 @@
+// DELTA: store the difference of consecutive elements (with an implicit
+// leading zero, so deltas[0] = col[0]). Decompression is a single inclusive
+// PrefixSum — the operator the paper's RLE ≡ (ID, DELTA) ∘ RPE decomposition
+// removes when trading ratio for speed.
+//
+// Differences are computed in the unsigned domain and wrap mod 2^bits;
+// composing with ZIGZAG∘NS turns nearly-sorted data into a narrow column.
+
+#include "ops/prefix_sum.h"
+#include "schemes/all_schemes.h"
+#include "schemes/scheme_internal.h"
+
+namespace recomp::internal {
+
+namespace {
+
+class DeltaScheme final : public Scheme {
+ public:
+  SchemeKind kind() const override { return SchemeKind::kDelta; }
+
+  std::vector<std::string> PartNames(const SchemeDescriptor&) const override {
+    return {"deltas"};
+  }
+
+  Result<CompressOutput> Compress(const AnyColumn& input,
+                                  const SchemeDescriptor&) const override {
+    return DispatchUnsignedColumn(
+        input, [&](const auto& col) -> Result<CompressOutput> {
+          using T = typename std::decay_t<decltype(col)>::value_type;
+          Column<T> deltas(col.size());
+          T prev{0};
+          for (uint64_t i = 0; i < col.size(); ++i) {
+            deltas[i] = static_cast<T>(col[i] - prev);
+            prev = col[i];
+          }
+          CompressOutput out;
+          out.resolved = SchemeDescriptor(SchemeKind::kDelta);
+          out.parts.emplace("deltas", std::move(deltas));
+          return out;
+        });
+  }
+
+  Result<AnyColumn> Decompress(const PartsMap& parts, const SchemeDescriptor&,
+                               const DecompressContext& ctx) const override {
+    RECOMP_ASSIGN_OR_RETURN(const AnyColumn* deltas_any,
+                            GetPart(parts, "deltas"));
+    if (deltas_any->size() != ctx.n) {
+      return Status::Corruption("DELTA part length differs from envelope");
+    }
+    return DispatchUnsignedTypeId(
+        ctx.out_type, [&](auto tag) -> Result<AnyColumn> {
+          using T = typename decltype(tag)::type;
+          if (deltas_any->is_packed() || deltas_any->type() != TypeIdOf<T>()) {
+            return Status::Corruption("DELTA 'deltas' part has the wrong type");
+          }
+          return AnyColumn(ops::PrefixSumInclusive(deltas_any->As<T>()));
+        });
+  }
+};
+
+}  // namespace
+
+const Scheme* GetDeltaScheme() {
+  static const DeltaScheme scheme;
+  return &scheme;
+}
+
+}  // namespace recomp::internal

@@ -1,0 +1,48 @@
+// ID: the identity scheme. Storing the column unchanged terminates a
+// composition; the paper uses it to make part-wise composition total
+// ("(ID for values, DELTA for run_positions) ∘ RPE").
+
+#include "schemes/all_schemes.h"
+#include "schemes/scheme_internal.h"
+
+namespace recomp::internal {
+
+namespace {
+
+class IdScheme final : public Scheme {
+ public:
+  SchemeKind kind() const override { return SchemeKind::kId; }
+
+  std::vector<std::string> PartNames(const SchemeDescriptor&) const override {
+    return {"data"};
+  }
+
+  Result<CompressOutput> Compress(const AnyColumn& input,
+                                  const SchemeDescriptor&) const override {
+    if (input.is_packed()) {
+      return Status::InvalidArgument("scheme input must be a plain column");
+    }
+    CompressOutput out;
+    out.resolved = SchemeDescriptor(SchemeKind::kId);
+    out.parts.emplace("data", input);
+    return out;
+  }
+
+  Result<AnyColumn> Decompress(const PartsMap& parts, const SchemeDescriptor&,
+                               const DecompressContext& ctx) const override {
+    RECOMP_ASSIGN_OR_RETURN(const AnyColumn* data, GetPart(parts, "data"));
+    if (data->size() != ctx.n) {
+      return Status::Corruption("ID part length differs from envelope length");
+    }
+    return *data;
+  }
+};
+
+}  // namespace
+
+const Scheme* GetIdScheme() {
+  static const IdScheme scheme;
+  return &scheme;
+}
+
+}  // namespace recomp::internal

@@ -1,0 +1,75 @@
+// NS (null suppression): discard the redundant high-order zero bits of every
+// value by bit-packing to a fixed width. The workhorse residual compressor
+// of the paper's FOR ≡ STEP + NS decomposition.
+
+#include "columnar/stats.h"
+#include "ops/pack.h"
+#include "schemes/all_schemes.h"
+#include "schemes/scheme_internal.h"
+#include "util/bits.h"
+
+namespace recomp::internal {
+
+namespace {
+
+class NsScheme final : public Scheme {
+ public:
+  SchemeKind kind() const override { return SchemeKind::kNs; }
+
+  std::vector<std::string> PartNames(const SchemeDescriptor&) const override {
+    return {"packed"};
+  }
+
+  Result<CompressOutput> Compress(const AnyColumn& input,
+                                  const SchemeDescriptor& desc) const override {
+    return DispatchUnsignedColumn(
+        input, [&](const auto& col) -> Result<CompressOutput> {
+          using T = typename std::decay_t<decltype(col)>::value_type;
+          int width = desc.params.width;
+          if (width == 0) {
+            uint64_t max = 0;
+            for (const T v : col) max = std::max<uint64_t>(max, v);
+            width = bits::BitWidth(max);
+          }
+          RECOMP_ASSIGN_OR_RETURN(PackedColumn packed,
+                                  ops::Pack<T>(col, width));
+          CompressOutput out;
+          out.resolved = SchemeDescriptor(SchemeKind::kNs);
+          out.resolved.params.width = width;
+          out.parts.emplace("packed", std::move(packed));
+          return out;
+        });
+  }
+
+  Result<AnyColumn> Decompress(const PartsMap& parts,
+                               const SchemeDescriptor& desc,
+                               const DecompressContext& ctx) const override {
+    RECOMP_ASSIGN_OR_RETURN(const AnyColumn* packed_any,
+                            GetPart(parts, "packed"));
+    if (!packed_any->is_packed()) {
+      return Status::Corruption("NS 'packed' part is not a packed column");
+    }
+    const PackedColumn& packed = packed_any->packed();
+    if (packed.n != ctx.n) {
+      return Status::Corruption("NS packed length differs from envelope");
+    }
+    if (packed.bit_width != desc.params.width) {
+      return Status::Corruption("NS packed width differs from descriptor");
+    }
+    return DispatchUnsignedTypeId(
+        ctx.out_type, [&](auto tag) -> Result<AnyColumn> {
+          using T = typename decltype(tag)::type;
+          RECOMP_ASSIGN_OR_RETURN(Column<T> out, ops::Unpack<T>(packed));
+          return AnyColumn(std::move(out));
+        });
+  }
+};
+
+}  // namespace
+
+const Scheme* GetNsScheme() {
+  static const NsScheme scheme;
+  return &scheme;
+}
+
+}  // namespace recomp::internal

@@ -1,0 +1,43 @@
+#include "schemes/all_schemes.h"
+#include "schemes/scheme.h"
+
+namespace recomp {
+
+const Scheme* GetScheme(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kId:
+      return internal::GetIdScheme();
+    case SchemeKind::kZigZag:
+      return internal::GetZigZagScheme();
+    case SchemeKind::kNs:
+      return internal::GetNsScheme();
+    case SchemeKind::kVByte:
+      return internal::GetVByteScheme();
+    case SchemeKind::kDelta:
+      return internal::GetDeltaScheme();
+    case SchemeKind::kRpe:
+      return internal::GetRpeScheme();
+    case SchemeKind::kDict:
+      return internal::GetDictScheme();
+    case SchemeKind::kStep:
+      return internal::GetStepScheme();
+    case SchemeKind::kPlin:
+      return internal::GetPlinScheme();
+    case SchemeKind::kModeled:
+      return internal::GetModeledScheme();
+    case SchemeKind::kPatched:
+      return internal::GetPatchedScheme();
+  }
+  return internal::GetIdScheme();
+}
+
+Result<const AnyColumn*> GetPart(const PartsMap& parts,
+                                 const std::string& name) {
+  auto it = parts.find(name);
+  if (it == parts.end()) {
+    return Status::KeyError("missing compressed part '" + name + "'");
+  }
+  return &it->second;
+}
+
+}  // namespace recomp

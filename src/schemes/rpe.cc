@@ -1,0 +1,88 @@
+// RPE (run-position encoding), §7.2 of Plattner's course book and §II-A of
+// the paper: one value per run plus the runs' inclusive end positions (the
+// paper's run_positions column, whose last element is n). RLE is the catalog
+// composition RPE{positions: DELTA} — the lengths *are* the positions'
+// deltas.
+
+#include "ops/run_boundaries.h"
+#include "schemes/all_schemes.h"
+#include "schemes/scheme_internal.h"
+
+namespace recomp::internal {
+
+namespace {
+
+class RpeScheme final : public Scheme {
+ public:
+  SchemeKind kind() const override { return SchemeKind::kRpe; }
+
+  std::vector<std::string> PartNames(const SchemeDescriptor&) const override {
+    return {"values", "positions"};
+  }
+
+  Result<CompressOutput> Compress(const AnyColumn& input,
+                                  const SchemeDescriptor&) const override {
+    return DispatchAnyColumn(
+        input, [&](const auto& col) -> Result<CompressOutput> {
+          using T = typename std::decay_t<decltype(col)>::value_type;
+          RECOMP_ASSIGN_OR_RETURN(ops::Runs<T> runs, ops::FindRuns(col));
+          CompressOutput out;
+          out.resolved = SchemeDescriptor(SchemeKind::kRpe);
+          out.parts.emplace("values", std::move(runs.values));
+          out.parts.emplace("positions", std::move(runs.end_positions));
+          return out;
+        });
+  }
+
+  Result<AnyColumn> Decompress(const PartsMap& parts, const SchemeDescriptor&,
+                               const DecompressContext& ctx) const override {
+    RECOMP_ASSIGN_OR_RETURN(const AnyColumn* values_any,
+                            GetPart(parts, "values"));
+    RECOMP_ASSIGN_OR_RETURN(const AnyColumn* positions_any,
+                            GetPart(parts, "positions"));
+    if (positions_any->is_packed() ||
+        positions_any->type() != TypeId::kUInt32) {
+      return Status::Corruption("RPE 'positions' must be a uint32 column");
+    }
+    const Column<uint32_t>& positions = positions_any->As<uint32_t>();
+    if (values_any->size() != positions.size()) {
+      return Status::Corruption("RPE values/positions arity mismatch");
+    }
+    // Positions must be strictly increasing (runs are non-empty) and end
+    // exactly at n.
+    for (uint64_t r = 0; r < positions.size(); ++r) {
+      const uint32_t prev = r == 0 ? 0 : positions[r - 1];
+      if (positions[r] <= prev) {
+        return Status::Corruption("RPE positions are not strictly increasing");
+      }
+    }
+    if ((positions.empty() && ctx.n != 0) ||
+        (!positions.empty() && positions.back() != ctx.n)) {
+      return Status::Corruption("RPE last position differs from envelope n");
+    }
+    return DispatchAnyTypeId(ctx.out_type, [&](auto tag) -> Result<AnyColumn> {
+      using T = typename decltype(tag)::type;
+      if (values_any->is_packed() || values_any->type() != TypeIdOf<T>()) {
+        return Status::Corruption("RPE 'values' part has the wrong type");
+      }
+      const Column<T>& values = values_any->As<T>();
+      Column<T> out(ctx.n);
+      uint32_t begin = 0;
+      for (uint64_t r = 0; r < values.size(); ++r) {
+        const uint32_t end = positions[r];
+        std::fill(out.begin() + begin, out.begin() + end, values[r]);
+        begin = end;
+      }
+      return AnyColumn(std::move(out));
+    });
+  }
+};
+
+}  // namespace
+
+const Scheme* GetRpeScheme() {
+  static const RpeScheme scheme;
+  return &scheme;
+}
+
+}  // namespace recomp::internal

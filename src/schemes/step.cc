@@ -1,0 +1,79 @@
+// STEP: fixed-segment-length step functions. As the paper notes, this is
+// nearly useless standalone — it only represents columns that are constant
+// on every segment — but it is exactly the *model* whose additive pairing
+// with NS reconstructs FOR: FOR ≡ STEP + NS.
+
+#include "schemes/all_schemes.h"
+#include "schemes/model_fit.h"
+#include "schemes/scheme_internal.h"
+
+namespace recomp::internal {
+
+namespace {
+
+/// Default segment length used when segment_length is left auto.
+constexpr uint64_t kDefaultSegmentLength = 1024;
+
+class StepScheme final : public Scheme {
+ public:
+  SchemeKind kind() const override { return SchemeKind::kStep; }
+
+  std::vector<std::string> PartNames(const SchemeDescriptor&) const override {
+    return {"refs"};
+  }
+
+  Result<CompressOutput> Compress(const AnyColumn& input,
+                                  const SchemeDescriptor& desc) const override {
+    return DispatchUnsignedColumn(
+        input, [&](const auto& col) -> Result<CompressOutput> {
+          using T = typename std::decay_t<decltype(col)>::value_type;
+          const uint64_t ell = desc.params.segment_length != 0
+                                   ? desc.params.segment_length
+                                   : kDefaultSegmentLength;
+          Column<T> refs = FitStepRefs(col, ell);
+          // Standalone STEP is exact: every segment must be constant.
+          for (uint64_t i = 0; i < col.size(); ++i) {
+            if (col[i] != refs[i / ell]) {
+              return Status::InvalidArgument(
+                  "column is not a step function at this segment length; "
+                  "use MODELED(STEP) for approximate data");
+            }
+          }
+          CompressOutput out;
+          out.resolved = SchemeDescriptor(SchemeKind::kStep);
+          out.resolved.params.segment_length = ell;
+          out.parts.emplace("refs", std::move(refs));
+          return out;
+        });
+  }
+
+  Result<AnyColumn> Decompress(const PartsMap& parts,
+                               const SchemeDescriptor& desc,
+                               const DecompressContext& ctx) const override {
+    RECOMP_ASSIGN_OR_RETURN(const AnyColumn* refs_any, GetPart(parts, "refs"));
+    const uint64_t ell = desc.params.segment_length;
+    if (ell == 0) {
+      return Status::Corruption("STEP descriptor lacks a segment length");
+    }
+    if (refs_any->size() != bits::CeilDiv(ctx.n, ell)) {
+      return Status::Corruption("STEP refs arity differs from envelope");
+    }
+    return DispatchUnsignedTypeId(
+        ctx.out_type, [&](auto tag) -> Result<AnyColumn> {
+          using T = typename decltype(tag)::type;
+          if (refs_any->is_packed() || refs_any->type() != TypeIdOf<T>()) {
+            return Status::Corruption("STEP 'refs' part has the wrong type");
+          }
+          return AnyColumn(EvaluateStep(refs_any->As<T>(), ell, ctx.n));
+        });
+  }
+};
+
+}  // namespace
+
+const Scheme* GetStepScheme() {
+  static const StepScheme scheme;
+  return &scheme;
+}
+
+}  // namespace recomp::internal

@@ -1,0 +1,89 @@
+// VBYTE: variable-byte encoding — 7 value bits per byte, high bit set on
+// non-final bytes. This realizes the paper's log-metric residual: each value
+// pays roughly d(x, 0) = ceil(bits(x) / 7) bytes instead of a global fixed
+// width.
+
+#include "schemes/all_schemes.h"
+#include "schemes/scheme_internal.h"
+
+namespace recomp::internal {
+
+namespace {
+
+class VByteScheme final : public Scheme {
+ public:
+  SchemeKind kind() const override { return SchemeKind::kVByte; }
+
+  std::vector<std::string> PartNames(const SchemeDescriptor&) const override {
+    return {"stream"};
+  }
+
+  Result<CompressOutput> Compress(const AnyColumn& input,
+                                  const SchemeDescriptor&) const override {
+    return DispatchUnsignedColumn(
+        input, [&](const auto& col) -> Result<CompressOutput> {
+          using T = typename std::decay_t<decltype(col)>::value_type;
+          Column<uint8_t> stream;
+          stream.reserve(col.size());
+          for (const T value : col) {
+            uint64_t v = value;
+            while (v >= 0x80) {
+              stream.push_back(static_cast<uint8_t>(v) | 0x80);
+              v >>= 7;
+            }
+            stream.push_back(static_cast<uint8_t>(v));
+          }
+          CompressOutput out;
+          out.resolved = SchemeDescriptor(SchemeKind::kVByte);
+          out.parts.emplace("stream", std::move(stream));
+          return out;
+        });
+  }
+
+  Result<AnyColumn> Decompress(const PartsMap& parts, const SchemeDescriptor&,
+                               const DecompressContext& ctx) const override {
+    RECOMP_ASSIGN_OR_RETURN(const AnyColumn* stream_any,
+                            GetPart(parts, "stream"));
+    if (stream_any->is_packed() || stream_any->type() != TypeId::kUInt8) {
+      return Status::Corruption("VBYTE 'stream' part must be a uint8 column");
+    }
+    const Column<uint8_t>& stream = stream_any->As<uint8_t>();
+    return DispatchUnsignedTypeId(
+        ctx.out_type, [&](auto tag) -> Result<AnyColumn> {
+          using T = typename decltype(tag)::type;
+          Column<T> out;
+          out.reserve(ctx.n);
+          uint64_t pos = 0;
+          for (uint64_t i = 0; i < ctx.n; ++i) {
+            uint64_t v = 0;
+            int shift = 0;
+            while (true) {
+              if (pos >= stream.size() || shift >= 64) {
+                return Status::Corruption("VBYTE stream truncated or overlong");
+              }
+              const uint8_t byte = stream[pos++];
+              v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+              if ((byte & 0x80) == 0) break;
+              shift += 7;
+            }
+            if (v > std::numeric_limits<T>::max()) {
+              return Status::Corruption("VBYTE value exceeds output type");
+            }
+            out.push_back(static_cast<T>(v));
+          }
+          if (pos != stream.size()) {
+            return Status::Corruption("VBYTE stream has trailing bytes");
+          }
+          return AnyColumn(std::move(out));
+        });
+  }
+};
+
+}  // namespace
+
+const Scheme* GetVByteScheme() {
+  static const VByteScheme scheme;
+  return &scheme;
+}
+
+}  // namespace recomp::internal

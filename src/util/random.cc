@@ -1,0 +1,95 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace recomp {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& lane : s_) lane = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Below(uint64_t bound) {
+  RECOMP_DCHECK(bound > 0, "Rng::Below requires bound > 0");
+  // Lemire's nearly-divisionless method, specialized to 64 bits via 128-bit
+  // multiply.
+  while (true) {
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (RECOMP_PREDICT_TRUE(low >= bound || low >= (-bound) % bound)) {
+      return static_cast<uint64_t>(m >> 64);
+    }
+  }
+}
+
+uint64_t Rng::Range(uint64_t lo, uint64_t hi) {
+  RECOMP_DCHECK(lo <= hi, "Rng::Range requires lo <= hi");
+  uint64_t span = hi - lo;
+  if (span == ~uint64_t{0}) return Next();
+  return lo + Below(span + 1);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::Geometric(double p) {
+  RECOMP_DCHECK(p > 0.0 && p <= 1.0, "Geometric requires p in (0, 1]");
+  if (p >= 1.0) return 1;
+  double u = NextDouble();
+  // Avoid log(0); NextDouble() < 1 so 1-u > 0.
+  uint64_t k = 1 + static_cast<uint64_t>(std::log1p(-u) / std::log1p(-p));
+  return k;
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) {
+  RECOMP_DCHECK(n > 0, "ZipfSampler requires n > 0");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (uint64_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = acc;
+  }
+  for (auto& v : cdf_) v /= acc;
+  cdf_.back() = 1.0;  // Guard against floating-point shortfall.
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace recomp

@@ -1,0 +1,62 @@
+// Deterministic pseudo-random generation for data generators and tests.
+//
+// We avoid <random>'s engines/distributions because their outputs are not
+// guaranteed identical across standard libraries; every generated workload in
+// this repository must be byte-reproducible from its seed.
+
+#ifndef RECOMP_UTIL_RANDOM_H_
+#define RECOMP_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace recomp {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+/// Deterministic across platforms and standard libraries.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform over the full uint64 range.
+  uint64_t Next();
+
+  /// Uniform over [0, bound) using Lemire's multiply-shift rejection method;
+  /// bound must be > 0.
+  uint64_t Below(uint64_t bound);
+
+  /// Uniform over the inclusive range [lo, hi].
+  uint64_t Range(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Geometric number of trials >= 1 with success probability `p` in (0, 1].
+  /// Mean 1/p; used for run lengths.
+  uint64_t Geometric(double p);
+
+  /// True with probability `p`.
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf(s) sampler over ranks {0, ..., n-1}: rank k has probability
+/// proportional to 1/(k+1)^s. Uses an inverted-CDF table; construction is
+/// O(n), sampling O(log n). Deterministic given the Rng.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double s);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t universe() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace recomp
+
+#endif  // RECOMP_UTIL_RANDOM_H_

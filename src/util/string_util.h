@@ -1,0 +1,25 @@
+// Small string helpers (printf-style formatting, joining) used for
+// diagnostics, descriptor rendering and benchmark tables.
+
+#ifndef RECOMP_UTIL_STRING_UTIL_H_
+#define RECOMP_UTIL_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace recomp {
+
+/// printf into a std::string.
+std::string StringFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Renders a byte count as a human-friendly quantity ("1.50 KiB").
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace recomp
+
+#endif  // RECOMP_UTIL_STRING_UTIL_H_

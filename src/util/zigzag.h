@@ -1,0 +1,44 @@
+// ZigZag recoding between signed and unsigned integers.
+//
+// Maps 0, -1, 1, -2, 2, ... to 0, 1, 2, 3, 4, ... so that small-magnitude
+// signed values (e.g. deltas of nearly-sorted data) become small unsigned
+// values amenable to null suppression.
+
+#ifndef RECOMP_UTIL_ZIGZAG_H_
+#define RECOMP_UTIL_ZIGZAG_H_
+
+#include <cstdint>
+#include <type_traits>
+
+namespace recomp::zigzag {
+
+/// Encodes a signed value into its zigzag unsigned representation.
+template <typename S>
+constexpr std::make_unsigned_t<S> Encode(S v) {
+  static_assert(std::is_signed_v<S>);
+  using U = std::make_unsigned_t<S>;
+  // (v << 1) ^ (v >> (bits-1)), written without signed-overflow UB.
+  return (static_cast<U>(v) << 1) ^
+         static_cast<U>(v >> (sizeof(S) * 8 - 1));
+}
+
+/// Decodes a zigzag unsigned representation back to the signed value.
+template <typename U>
+constexpr std::make_signed_t<U> Decode(U v) {
+  static_assert(std::is_unsigned_v<U>);
+  using S = std::make_signed_t<U>;
+  return static_cast<S>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// Encodes the unsigned *difference* a - b (mod 2^bits) as if it were a
+/// signed delta; useful for delta chains over unsigned columns.
+template <typename U>
+constexpr U EncodeDiff(U a, U b) {
+  static_assert(std::is_unsigned_v<U>);
+  using S = std::make_signed_t<U>;
+  return Encode(static_cast<S>(a - b));
+}
+
+}  // namespace recomp::zigzag
+
+#endif  // RECOMP_UTIL_ZIGZAG_H_

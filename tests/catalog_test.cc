@@ -1,0 +1,117 @@
+// Tests for the classic-scheme catalog and the fused decompression kernels.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/catalog.h"
+#include "core/fused.h"
+#include "test_util.h"
+
+namespace recomp {
+namespace {
+
+using testutil::RunsColumn;
+using testutil::UniformColumn;
+
+TEST(CatalogTest, AllEntriesValidateAndRoundTrip) {
+  Column<uint32_t> col = RunsColumn(10000, 0.05, 21);
+  for (const CatalogEntry& entry : ClassicCatalog()) {
+    EXPECT_OK(entry.descriptor.Validate()) << entry.name;
+    EXPECT_FALSE(entry.description.empty()) << entry.name;
+    testutil::ExpectRoundTrip(AnyColumn(col), entry.descriptor);
+  }
+}
+
+TEST(CatalogTest, LookupByName) {
+  auto rle = CatalogLookup("RLE");
+  ASSERT_OK(rle.status());
+  EXPECT_EQ(rle->ToString(), "RPE{positions:DELTA}");
+  EXPECT_FALSE(CatalogLookup("LZ77").ok());
+}
+
+TEST(CatalogTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const CatalogEntry& entry : ClassicCatalog()) {
+    EXPECT_TRUE(names.insert(entry.name).second)
+        << "duplicate: " << entry.name;
+  }
+}
+
+TEST(CatalogTest, ForExpandsToThePaperDecomposition) {
+  EXPECT_EQ(MakeFor(128, 7).ToString(),
+            "MODELED(STEP(128)){residual:NS(7)}");
+  EXPECT_EQ(MakePfor(64).ToString(),
+            "MODELED(STEP(64)){residual:PATCHED{base:NS}}");
+  EXPECT_EQ(MakeLfor(32).ToString(), "MODELED(PLIN(32)){residual:NS}");
+}
+
+TEST(FusedTest, ClassifiesCatalogShapes) {
+  Column<uint32_t> col = RunsColumn(5000, 0.05, 22);
+
+  auto rle = Compress(AnyColumn(col), MakeRle());
+  ASSERT_OK(rle.status());
+  EXPECT_EQ(ClassifyFusedShape(rle->root()), FusedShape::kRle);
+
+  auto for_c = Compress(AnyColumn(col), MakeFor(128));
+  ASSERT_OK(for_c.status());
+  EXPECT_EQ(ClassifyFusedShape(for_c->root()), FusedShape::kFor);
+
+  auto delta = Compress(AnyColumn(col), MakeDeltaNs());
+  ASSERT_OK(delta.status());
+  EXPECT_EQ(ClassifyFusedShape(delta->root()), FusedShape::kDeltaZigZagNs);
+
+  auto dict = Compress(AnyColumn(col), MakeDictNs());
+  ASSERT_OK(dict.status());
+  EXPECT_EQ(ClassifyFusedShape(dict->root()), FusedShape::kGeneric);
+}
+
+TEST(FusedTest, FusedAgreesWithReferenceEverywhere) {
+  Column<uint32_t> runs = RunsColumn(30000, 0.02, 23);
+  Column<uint32_t> uniform = UniformColumn<uint32_t>(30000, 1 << 20, 24);
+  for (const CatalogEntry& entry : ClassicCatalog()) {
+    for (const Column<uint32_t>* col : {&runs, &uniform}) {
+      auto compressed = Compress(AnyColumn(*col), entry.descriptor);
+      ASSERT_OK(compressed.status()) << entry.name;
+      auto fused = FusedDecompress(*compressed);
+      auto reference = Decompress(*compressed);
+      ASSERT_OK(fused.status()) << entry.name;
+      ASSERT_OK(reference.status()) << entry.name;
+      EXPECT_TRUE(*fused == *reference) << entry.name;
+    }
+  }
+}
+
+TEST(FusedTest, FusedHandlesUint64AndRaggedRuns) {
+  Column<uint64_t> col;
+  uint64_t v = uint64_t{1} << 40;
+  for (int i = 0; i < 9999; ++i) {
+    if (i % 37 == 0) v += 3;
+    col.push_back(v);
+  }
+  auto compressed = Compress(AnyColumn(col), MakeRle());
+  ASSERT_OK(compressed.status());
+  EXPECT_EQ(ClassifyFusedShape(compressed->root()), FusedShape::kRle);
+  auto fused = FusedDecompress(*compressed);
+  ASSERT_OK(fused.status());
+  EXPECT_EQ(fused->As<uint64_t>(), col);
+}
+
+TEST(FusedTest, CorruptLengthsDetected) {
+  Column<uint32_t> col{1, 1, 2, 2};
+  auto compressed = Compress(AnyColumn(col), MakeRle());
+  ASSERT_OK(compressed.status());
+  auto& lengths = compressed->root()
+                      .parts.at("positions")
+                      .sub->parts.at("deltas")
+                      .column->As<uint32_t>();
+  lengths[1] = 100;  // Overruns n.
+  EXPECT_EQ(FusedDecompress(*compressed).status().code(),
+            StatusCode::kCorruption);
+  lengths[1] = 1;  // Underfills n.
+  EXPECT_EQ(FusedDecompress(*compressed).status().code(),
+            StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace recomp

@@ -1,0 +1,115 @@
+// Unit tests for the columnar substrate: type ids, Column, AnyColumn,
+// PackedColumn.
+
+#include <gtest/gtest.h>
+
+#include "columnar/any_column.h"
+#include "columnar/column.h"
+#include "columnar/packed.h"
+#include "columnar/type.h"
+
+namespace recomp {
+namespace {
+
+TEST(TypeIdTest, NamesRoundTrip) {
+  for (int i = 0; i < kNumTypeIds; ++i) {
+    TypeId t = static_cast<TypeId>(i);
+    TypeId parsed;
+    ASSERT_TRUE(TypeIdFromName(TypeIdName(t), &parsed)) << TypeIdName(t);
+    EXPECT_EQ(parsed, t);
+  }
+  TypeId out;
+  EXPECT_FALSE(TypeIdFromName("float32", &out));
+}
+
+TEST(TypeIdTest, ByteWidths) {
+  EXPECT_EQ(TypeIdByteWidth(TypeId::kUInt8), 1);
+  EXPECT_EQ(TypeIdByteWidth(TypeId::kInt16), 2);
+  EXPECT_EQ(TypeIdByteWidth(TypeId::kUInt32), 4);
+  EXPECT_EQ(TypeIdByteWidth(TypeId::kInt64), 8);
+}
+
+TEST(TypeIdTest, SignednessAndConversion) {
+  EXPECT_TRUE(TypeIdIsUnsigned(TypeId::kUInt64));
+  EXPECT_FALSE(TypeIdIsUnsigned(TypeId::kInt8));
+  EXPECT_EQ(TypeIdToUnsigned(TypeId::kInt32), TypeId::kUInt32);
+  EXPECT_EQ(TypeIdToUnsigned(TypeId::kUInt16), TypeId::kUInt16);
+}
+
+TEST(TypeIdTest, TypeIdOfMapsCorrectly) {
+  EXPECT_EQ(TypeIdOf<uint8_t>(), TypeId::kUInt8);
+  EXPECT_EQ(TypeIdOf<int64_t>(), TypeId::kInt64);
+  EXPECT_EQ(TypeIdOf<uint32_t>(), TypeId::kUInt32);
+}
+
+TEST(ColumnTest, AlignedTo64Bytes) {
+  Column<uint32_t> col(1000, 7);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(col.data()) % kColumnAlignment, 0u);
+}
+
+TEST(ColumnTest, ColumnBytes) {
+  Column<uint16_t> col(10);
+  EXPECT_EQ(ColumnBytes(col), 20u);
+}
+
+TEST(AnyColumnTest, DefaultIsEmptyUInt32) {
+  AnyColumn any;
+  EXPECT_EQ(any.type(), TypeId::kUInt32);
+  EXPECT_EQ(any.size(), 0u);
+  EXPECT_FALSE(any.is_packed());
+}
+
+TEST(AnyColumnTest, WrapsTypedColumn) {
+  AnyColumn any(Column<int16_t>{1, -2, 3});
+  EXPECT_EQ(any.type(), TypeId::kInt16);
+  EXPECT_EQ(any.size(), 3u);
+  EXPECT_EQ(any.ByteSize(), 6u);
+  EXPECT_EQ(any.As<int16_t>()[1], -2);
+  EXPECT_EQ(any.ToString(), "int16[3]");
+}
+
+TEST(AnyColumnTest, VisitPlainSeesConcreteType) {
+  AnyColumn any(Column<uint64_t>{5, 6});
+  uint64_t total = any.VisitPlain([](const auto& col) -> uint64_t {
+    uint64_t sum = 0;
+    for (auto v : col) sum += static_cast<uint64_t>(v);
+    return sum;
+  });
+  EXPECT_EQ(total, 11u);
+}
+
+TEST(AnyColumnTest, EqualityByValue) {
+  AnyColumn a(Column<uint32_t>{1, 2});
+  AnyColumn b(Column<uint32_t>{1, 2});
+  AnyColumn c(Column<uint32_t>{1, 3});
+  AnyColumn d(Column<uint64_t>{1, 2});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+}
+
+TEST(AnyColumnTest, PackedVariant) {
+  PackedColumn packed;
+  packed.bit_width = 3;
+  packed.n = 5;
+  packed.logical_type = TypeId::kUInt16;
+  packed.bytes = Column<uint8_t>{0xFF, 0x7F};
+  AnyColumn any(packed);
+  EXPECT_TRUE(any.is_packed());
+  EXPECT_EQ(any.type(), TypeId::kUInt16);
+  EXPECT_EQ(any.size(), 5u);
+  EXPECT_EQ(any.ByteSize(), 2u);
+  EXPECT_EQ(any.ToString(), "packed<uint16,w=3>[5]");
+  EXPECT_EQ(any.packed(), packed);
+}
+
+TEST(PackedColumnTest, EqualityIncludesWidthAndType) {
+  PackedColumn a{{0x01}, 1, 8, TypeId::kUInt32};
+  PackedColumn b = a;
+  EXPECT_EQ(a, b);
+  b.bit_width = 2;
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace recomp

@@ -1,0 +1,172 @@
+// Randomized-composition property tests: generate arbitrary valid
+// descriptor trees over the primitive set, compress random workloads, and
+// enforce the library's global invariants —
+//   (1) roundtrip losslessness,
+//   (2) agreement of the operator-plan strategy with the fused kernels,
+//   (3) ToString/Parse stability of every resolved descriptor,
+//   (4) serialization roundtrip of every envelope.
+// This sweeps corners of the composition space no hand-written test lists.
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "core/plan_builder.h"
+#include "core/plan_executor.h"
+#include "core/plan_optimizer.h"
+#include "core/serialize.h"
+#include "gen/generators.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace recomp {
+namespace {
+
+/// Uniformly picks one element.
+template <typename T, size_t N>
+const T& Pick(Rng& rng, const T (&options)[N]) {
+  return options[rng.Below(N)];
+}
+
+/// A random descriptor valid for any unsigned column. `depth` bounds
+/// nesting; children are attached with probability `compose_p`.
+SchemeDescriptor RandomDescriptor(Rng& rng, int depth, double compose_p = 0.7) {
+  const SchemeKind kinds[] = {
+      SchemeKind::kId,    SchemeKind::kZigZag,  SchemeKind::kNs,
+      SchemeKind::kVByte, SchemeKind::kDelta,   SchemeKind::kRpe,
+      SchemeKind::kDict,  SchemeKind::kModeled, SchemeKind::kPatched,
+  };
+  SchemeKind kind = Pick(rng, kinds);
+  if (depth <= 0) {
+    // Terminals only.
+    const SchemeKind leaves[] = {SchemeKind::kId, SchemeKind::kNs,
+                                 SchemeKind::kVByte};
+    kind = Pick(rng, leaves);
+  }
+
+  SchemeDescriptor desc(kind);
+  auto child = [&](const char* part) {
+    if (rng.NextDouble() < compose_p) {
+      desc.children[part] = RandomDescriptor(rng, depth - 1, compose_p * 0.7);
+    }
+  };
+  switch (kind) {
+    case SchemeKind::kZigZag:
+      child("recoded");
+      break;
+    case SchemeKind::kDelta:
+      child("deltas");
+      break;
+    case SchemeKind::kRpe:
+      child("values");
+      child("positions");
+      break;
+    case SchemeKind::kDict:
+      child("codes");
+      child("dictionary");
+      break;
+    case SchemeKind::kModeled: {
+      const uint64_t ells[] = {0, 64, 256, 1024};
+      SchemeDescriptor model(rng.Bernoulli(0.5) ? SchemeKind::kStep
+                                                : SchemeKind::kPlin);
+      model.params.segment_length = Pick(rng, ells);
+      desc.args.push_back(std::move(model));
+      child("residual");
+      break;
+    }
+    case SchemeKind::kPatched:
+      child("base");
+      child("patch_positions");
+      child("patch_values");
+      break;
+    default:
+      break;
+  }
+  return desc;
+}
+
+Column<uint32_t> RandomWorkload(Rng& rng) {
+  const uint64_t n = 500 + rng.Below(4000);
+  switch (rng.Below(4)) {
+    case 0:
+      return gen::SortedRuns(n, 1.0 + rng.NextDouble() * 30, 3, rng.Next());
+    case 1:
+      return gen::Uniform(n, uint64_t{1} << (1 + rng.Below(32)), rng.Next());
+    case 2:
+      return gen::StepLevels(n, 64 << rng.Below(4), 20, rng.Below(10),
+                             rng.Next());
+    default:
+      return gen::OutlierMix(n, 4 + rng.Below(8), 28, rng.NextDouble() * 0.2,
+                             rng.Next());
+  }
+}
+
+class CompositionFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CompositionFuzz, InvariantsHold) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 20; ++round) {
+    const SchemeDescriptor desc = RandomDescriptor(rng, 3);
+    ASSERT_OK(desc.Validate()) << desc.ToString();
+    const Column<uint32_t> col = RandomWorkload(rng);
+    const AnyColumn input(col);
+
+    auto compressed = Compress(input, desc);
+    ASSERT_OK(compressed.status()) << desc.ToString();
+
+    // (1) roundtrip.
+    auto back = Decompress(*compressed);
+    ASSERT_OK(back.status()) << desc.ToString();
+    ASSERT_TRUE(*back == input) << desc.ToString();
+
+    // (2) plan strategy agrees (also after optimization).
+    auto plan = BuildDecompressionPlan(*compressed);
+    ASSERT_OK(plan.status()) << desc.ToString();
+    auto via_plan = ExecutePlan(*plan, *compressed);
+    ASSERT_OK(via_plan.status())
+        << desc.ToString() << "\n" << plan->ToString();
+    ASSERT_TRUE(*via_plan == input) << desc.ToString();
+    auto optimized = OptimizePlan(*plan);
+    ASSERT_OK(optimized.status()) << desc.ToString();
+    auto via_optimized = ExecutePlan(*optimized, *compressed);
+    ASSERT_OK(via_optimized.status()) << desc.ToString();
+    ASSERT_TRUE(*via_optimized == input) << desc.ToString();
+
+    // (3) resolved descriptor string is a parse fixpoint.
+    const SchemeDescriptor resolved = compressed->Descriptor();
+    auto reparsed = SchemeDescriptor::Parse(resolved.ToString());
+    ASSERT_OK(reparsed.status()) << resolved.ToString();
+    ASSERT_TRUE(*reparsed == resolved) << resolved.ToString();
+
+    // (4) serialization roundtrip.
+    auto buffer = Serialize(*compressed);
+    ASSERT_OK(buffer.status()) << desc.ToString();
+    auto restored = Deserialize(*buffer);
+    ASSERT_OK(restored.status()) << desc.ToString();
+    auto from_bytes = Decompress(*restored);
+    ASSERT_OK(from_bytes.status()) << desc.ToString();
+    ASSERT_TRUE(*from_bytes == input) << desc.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompositionFuzz,
+                         ::testing::Range<uint64_t>(1000, 1016));
+
+TEST(CompositionFuzzTest, OptimizerIsIdempotent) {
+  Rng rng(77);
+  for (int round = 0; round < 30; ++round) {
+    const SchemeDescriptor desc = RandomDescriptor(rng, 3);
+    const Column<uint32_t> col = RandomWorkload(rng);
+    auto compressed = Compress(AnyColumn(col), desc);
+    ASSERT_OK(compressed.status());
+    auto plan = BuildDecompressionPlan(*compressed);
+    ASSERT_OK(plan.status());
+    auto once = OptimizePlan(*plan);
+    ASSERT_OK(once.status());
+    auto twice = OptimizePlan(*once);
+    ASSERT_OK(twice.status());
+    EXPECT_EQ(once->ToString(), twice->ToString()) << desc.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace recomp

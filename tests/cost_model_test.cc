@@ -1,0 +1,66 @@
+// Tests for the decompression cost model: relative orderings the analyzer's
+// budget filter relies on.
+
+#include <gtest/gtest.h>
+
+#include "columnar/stats.h"
+#include "core/catalog.h"
+#include "core/cost_model.h"
+#include "gen/generators.h"
+
+namespace recomp {
+namespace {
+
+ColumnStats StatsFor(const Column<uint32_t>& col) { return ComputeStats(col); }
+
+TEST(CostModelTest, UnitCostsAreOrderedSensibly) {
+  // ID is near-free; VBYTE is the most expensive primitive (data-dependent
+  // branching); NS is the unit.
+  EXPECT_LT(SchemeKindUnitCost(SchemeKind::kId),
+            SchemeKindUnitCost(SchemeKind::kNs));
+  EXPECT_DOUBLE_EQ(SchemeKindUnitCost(SchemeKind::kNs), 1.0);
+  EXPECT_GT(SchemeKindUnitCost(SchemeKind::kVByte),
+            SchemeKindUnitCost(SchemeKind::kDelta));
+  EXPECT_GT(SchemeKindUnitCost(SchemeKind::kPlin),
+            SchemeKindUnitCost(SchemeKind::kStep));
+}
+
+TEST(CostModelTest, CompositionAddsCost) {
+  ColumnStats stats = StatsFor(gen::Uniform(1000, 1000, 1));
+  const double ns = EstimateDecompressionCost(Ns(), stats);
+  const double delta_ns = EstimateDecompressionCost(MakeDeltaNs(), stats);
+  EXPECT_GT(delta_ns, ns);
+}
+
+TEST(CostModelTest, RunLevelWorkAmortizes) {
+  // The same RLE descriptor costs less per value on longer runs: the
+  // per-run children amortize.
+  ColumnStats short_runs = StatsFor(gen::SortedRuns(20000, 2.0, 3, 2));
+  ColumnStats long_runs = StatsFor(gen::SortedRuns(20000, 200.0, 3, 3));
+  const double on_short = EstimateDecompressionCost(MakeRleNs(), short_runs);
+  const double on_long = EstimateDecompressionCost(MakeRleNs(), long_runs);
+  EXPECT_GT(on_short, on_long);
+}
+
+TEST(CostModelTest, ModelRefsAmortizeBySegmentLength) {
+  ColumnStats stats = StatsFor(gen::StepLevels(20000, 512, 20, 5, 4));
+  // A hypothetical FOR whose refs are themselves compressed: the refs
+  // child's cost shrinks with the segment length.
+  SchemeDescriptor small = Modeled(Step(64)).With("residual", Ns())
+                               .With("refs", VByte());
+  SchemeDescriptor large = Modeled(Step(4096)).With("residual", Ns())
+                               .With("refs", VByte());
+  EXPECT_GT(EstimateDecompressionCost(small, stats),
+            EstimateDecompressionCost(large, stats));
+}
+
+TEST(CostModelTest, RpeCheaperThanRleOnPlanDepth) {
+  // RPE (positions stored) prices below RLE (positions DELTA-compressed):
+  // the §II-A trade in cost-model terms.
+  ColumnStats stats = StatsFor(gen::SortedRuns(20000, 30.0, 3, 5));
+  EXPECT_LT(EstimateDecompressionCost(Rpe(), stats),
+            EstimateDecompressionCost(MakeRle(), stats));
+}
+
+}  // namespace
+}  // namespace recomp

@@ -1,0 +1,142 @@
+// Tests for the SchemeDescriptor algebra: construction, rendering, parsing,
+// validation.
+
+#include <gtest/gtest.h>
+
+#include "core/descriptor.h"
+
+namespace recomp {
+namespace {
+
+TEST(DescriptorTest, KindNamesRoundTrip) {
+  for (int i = 0; i < kNumSchemeKinds; ++i) {
+    SchemeKind k = static_cast<SchemeKind>(i);
+    SchemeKind parsed;
+    ASSERT_TRUE(SchemeKindFromName(SchemeKindName(k), &parsed));
+    EXPECT_EQ(parsed, k);
+  }
+  SchemeKind out;
+  EXPECT_FALSE(SchemeKindFromName("RLE", &out));  // RLE is catalog, not kind.
+}
+
+TEST(DescriptorTest, LeafToString) {
+  EXPECT_EQ(Id().ToString(), "ID");
+  EXPECT_EQ(Ns().ToString(), "NS");
+  EXPECT_EQ(Ns(7).ToString(), "NS(7)");
+  EXPECT_EQ(Step(128).ToString(), "STEP(128)");
+  EXPECT_EQ(Patched(12).ToString(), "PATCHED(12)");
+}
+
+TEST(DescriptorTest, CompositeToString) {
+  SchemeDescriptor rle = Rpe().With("positions", Delta());
+  EXPECT_EQ(rle.ToString(), "RPE{positions:DELTA}");
+
+  SchemeDescriptor for_scheme =
+      Modeled(Step(128)).With("residual", Ns(7));
+  EXPECT_EQ(for_scheme.ToString(), "MODELED(STEP(128)){residual:NS(7)}");
+}
+
+TEST(DescriptorTest, NestedChildrenToString) {
+  SchemeDescriptor d = Rpe()
+                           .With("positions", Delta().With("deltas", Ns()))
+                           .With("values", Dict().With("codes", Ns()));
+  EXPECT_EQ(d.ToString(),
+            "RPE{positions:DELTA{deltas:NS},values:DICT{codes:NS}}");
+}
+
+TEST(DescriptorTest, ParseInvertsToString) {
+  const std::vector<std::string> cases = {
+      "ID",
+      "NS(13)",
+      "VBYTE",
+      "ZIGZAG",
+      "DELTA{deltas:ZIGZAG{recoded:NS}}",
+      "RPE{positions:DELTA,values:DICT}",
+      "MODELED(STEP(1024)){residual:NS(9)}",
+      "MODELED(PLIN(256)){residual:PATCHED(8){base:NS}}",
+      "DICT{codes:NS(5)}",
+  };
+  for (const auto& text : cases) {
+    auto parsed = SchemeDescriptor::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << text << ": " << parsed.status().ToString();
+    EXPECT_EQ(parsed->ToString(), text);
+  }
+}
+
+TEST(DescriptorTest, ParseToleratesWhitespace) {
+  auto parsed = SchemeDescriptor::Parse(" RPE { positions : DELTA } ");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->ToString(), "RPE{positions:DELTA}");
+}
+
+TEST(DescriptorTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(SchemeDescriptor::Parse("").ok());
+  EXPECT_FALSE(SchemeDescriptor::Parse("NOPE").ok());
+  EXPECT_FALSE(SchemeDescriptor::Parse("NS(").ok());
+  EXPECT_FALSE(SchemeDescriptor::Parse("NS(x)").ok());
+  EXPECT_FALSE(SchemeDescriptor::Parse("RPE{positions}").ok());
+  EXPECT_FALSE(SchemeDescriptor::Parse("RPE{positions:DELTA").ok());
+  EXPECT_FALSE(SchemeDescriptor::Parse("NS(7) trailing").ok());
+}
+
+TEST(DescriptorTest, ValidateArity) {
+  // MODELED without a model arg.
+  SchemeDescriptor bad(SchemeKind::kModeled);
+  EXPECT_FALSE(bad.Validate().ok());
+
+  // MODELED with a non-model argument.
+  SchemeDescriptor bad2(SchemeKind::kModeled);
+  bad2.args.push_back(Ns());
+  EXPECT_FALSE(bad2.Validate().ok());
+
+  // Non-combinator with args.
+  SchemeDescriptor bad3(SchemeKind::kNs);
+  bad3.args.push_back(Id());
+  EXPECT_FALSE(bad3.Validate().ok());
+
+  EXPECT_TRUE(Modeled(Step(64)).Validate().ok());
+}
+
+TEST(DescriptorTest, ValidateParams) {
+  EXPECT_FALSE(Ns(65).Validate().ok());
+  EXPECT_FALSE(Ns(-1).Validate().ok());
+  EXPECT_TRUE(Ns(64).Validate().ok());
+  // Width on a scheme that takes none.
+  SchemeDescriptor bad(SchemeKind::kDelta);
+  bad.params.width = 3;
+  EXPECT_FALSE(bad.Validate().ok());
+  // Segment length on a scheme that takes none.
+  SchemeDescriptor bad2(SchemeKind::kRpe);
+  bad2.params.segment_length = 8;
+  EXPECT_FALSE(bad2.Validate().ok());
+  EXPECT_FALSE(Plin(1).Validate().ok());
+  EXPECT_TRUE(Plin(2).Validate().ok());
+}
+
+TEST(DescriptorTest, ValidateIdHasNoChildren) {
+  SchemeDescriptor bad = Id().With("data", Ns());
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(DescriptorTest, EqualityIsStructural) {
+  EXPECT_EQ(Rpe().With("positions", Delta()), Rpe().With("positions", Delta()));
+  EXPECT_FALSE(Rpe().With("positions", Delta()) == Rpe());
+  EXPECT_FALSE(Ns(7) == Ns(8));
+  EXPECT_FALSE(Modeled(Step(64)) == Modeled(Step(128)));
+}
+
+TEST(DescriptorTest, NodeCount) {
+  EXPECT_EQ(Id().NodeCount(), 1u);
+  EXPECT_EQ(Rpe().With("positions", Delta()).NodeCount(), 2u);
+  EXPECT_EQ(Modeled(Step(64)).With("residual", Ns()).NodeCount(), 3u);
+}
+
+TEST(DescriptorTest, WithOnLvalueDoesNotMutate) {
+  const SchemeDescriptor base = Rpe();
+  SchemeDescriptor extended = base.With("positions", Delta());
+  EXPECT_TRUE(base.children.empty());
+  EXPECT_EQ(extended.children.size(), 1u);
+}
+
+}  // namespace
+}  // namespace recomp

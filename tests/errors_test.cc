@@ -1,0 +1,118 @@
+// Failure-injection tests: malformed envelopes, mismatched metadata, and
+// misuse of the API surface must yield Status errors (never aborts, wrong
+// data, or UB). Complements the per-scheme corruption tests with
+// cross-module cases.
+
+#include <gtest/gtest.h>
+
+#include "core/catalog.h"
+#include "core/fused.h"
+#include "core/pipeline.h"
+#include "core/plan_builder.h"
+#include "core/plan_executor.h"
+#include "exec/aggregate.h"
+#include "exec/selection.h"
+#include "gen/generators.h"
+#include "test_util.h"
+
+namespace recomp {
+namespace {
+
+CompressedColumn SampleRle() {
+  Column<uint32_t> col = gen::SortedRuns(1000, 10.0, 2, 1);
+  auto compressed = Compress(AnyColumn(col), MakeRle());
+  EXPECT_OK(compressed.status());
+  return std::move(*compressed);
+}
+
+TEST(ErrorsTest, MissingPartDetectedByEveryConsumer) {
+  CompressedColumn damaged = SampleRle();
+  damaged.root().parts.erase("values");
+
+  EXPECT_FALSE(Decompress(damaged).ok());
+  EXPECT_FALSE(FusedDecompress(damaged).ok());
+  auto plan = BuildDecompressionPlan(damaged);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_FALSE(exec::SumCompressed(damaged).ok());
+}
+
+TEST(ErrorsTest, LengthLieDetected) {
+  CompressedColumn damaged = SampleRle();
+  damaged.root().n += 1;
+  auto via_kernels = Decompress(damaged);
+  EXPECT_EQ(via_kernels.status().code(), StatusCode::kCorruption);
+  auto fused = FusedDecompress(damaged);
+  EXPECT_EQ(fused.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ErrorsTest, TypeLieDetected) {
+  CompressedColumn damaged = SampleRle();
+  damaged.root().out_type = TypeId::kUInt64;  // values part is uint32
+  EXPECT_FALSE(Decompress(damaged).ok());
+}
+
+TEST(ErrorsTest, PlanAgainstWrongEnvelopeFails) {
+  CompressedColumn rle = SampleRle();
+  auto plan = BuildDecompressionPlan(rle);
+  ASSERT_OK(plan.status());
+  // Execute the RLE plan against a FOR envelope: input paths don't resolve.
+  Column<uint32_t> col = gen::StepLevels(1000, 128, 16, 4, 2);
+  auto for_compressed = Compress(AnyColumn(col), MakeFor(128));
+  ASSERT_OK(for_compressed.status());
+  auto out = ExecutePlan(*plan, *for_compressed);
+  EXPECT_EQ(out.status().code(), StatusCode::kKeyError);
+}
+
+TEST(ErrorsTest, ModelSegmentLengthZeroRejected) {
+  Column<uint32_t> col{1, 2, 3};
+  auto compressed = Compress(AnyColumn(col), MakeFor(4));
+  ASSERT_OK(compressed.status());
+  CompressedColumn damaged = compressed->Clone();
+  damaged.root().scheme.args[0].params.segment_length = 0;
+  EXPECT_FALSE(Decompress(damaged).ok());
+  EXPECT_FALSE(BuildDecompressionPlan(damaged).ok());
+}
+
+TEST(ErrorsTest, NsWidthMismatchDetected) {
+  Column<uint32_t> col{1, 2, 3};
+  auto compressed = Compress(AnyColumn(col), Ns());
+  ASSERT_OK(compressed.status());
+  compressed->root().scheme.params.width += 1;
+  EXPECT_EQ(Decompress(*compressed).status().code(), StatusCode::kCorruption);
+}
+
+TEST(ErrorsTest, SelectionOnDamagedEnvelope) {
+  CompressedColumn damaged = SampleRle();
+  damaged.root().parts.erase("positions");
+  EXPECT_FALSE(
+      exec::SelectCompressed(damaged, exec::RangePredicate{0, 100}).ok());
+}
+
+TEST(ErrorsTest, StatusMessagesNameTheProblem) {
+  // Error texts carry enough context to debug: the part name, the scheme,
+  // or the offending value.
+  auto missing = Compress(AnyColumn(Column<uint32_t>{1}),
+                          Rpe().With("bogus_part", Ns()));
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().message().find("bogus_part"), std::string::npos);
+
+  auto too_narrow = Compress(AnyColumn(Column<uint32_t>{1 << 20}), Ns(4));
+  ASSERT_FALSE(too_narrow.ok());
+  EXPECT_NE(too_narrow.status().message().find("4 bits"), std::string::npos);
+}
+
+TEST(ErrorsTest, DeepCorruptionSurfacesFromNestedNodes) {
+  Column<uint32_t> col = gen::SortedRuns(500, 8.0, 2, 3);
+  auto compressed = Compress(AnyColumn(col), MakeRleDelta());
+  ASSERT_OK(compressed.status());
+  // Corrupt the innermost packed widths of the values chain.
+  CompressedNode* node = compressed->root()
+                             .parts.at("values")
+                             .sub->parts.at("deltas")
+                             .sub.get();
+  node->n += 5;
+  EXPECT_FALSE(Decompress(*compressed).ok());
+}
+
+}  // namespace
+}  // namespace recomp

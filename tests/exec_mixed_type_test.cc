@@ -1,0 +1,131 @@
+// Exec-layer coverage for non-uint32 element types and ragged geometries:
+// the pushdowns and approximations dispatch per type and must stay exact on
+// uint8/uint16/uint64 columns and on segment counts that don't divide n.
+
+#include <gtest/gtest.h>
+
+#include "core/catalog.h"
+#include "core/pipeline.h"
+#include "exec/aggregate.h"
+#include "exec/approx.h"
+#include "exec/point_access.h"
+#include "exec/selection.h"
+#include "ops/reduce.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace recomp {
+namespace {
+
+TEST(MixedTypeTest, Uint64SelectionThroughDict) {
+  Rng rng(1);
+  Column<uint64_t> col;
+  for (int i = 0; i < 5000; ++i) {
+    col.push_back((uint64_t{1} << 40) + rng.Below(64) * 1000000007ull);
+  }
+  auto compressed = Compress(AnyColumn(col), MakeDictNs());
+  ASSERT_OK(compressed.status());
+  exec::RangePredicate pred{uint64_t{1} << 40,
+                            (uint64_t{1} << 40) + 30000000000ull};
+  auto result = exec::SelectCompressed(*compressed, pred);
+  ASSERT_OK(result.status());
+  Column<uint32_t> expected;
+  for (uint64_t i = 0; i < col.size(); ++i) {
+    if (col[i] >= pred.lo && col[i] <= pred.hi) {
+      expected.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  EXPECT_EQ(result->positions, expected);
+}
+
+TEST(MixedTypeTest, Uint8RunsEndToEnd) {
+  Rng rng(2);
+  Column<uint8_t> col;
+  uint8_t v = 0;
+  for (int i = 0; i < 3000; ++i) {
+    if (rng.Bernoulli(0.05)) v = static_cast<uint8_t>(rng.Below(256));
+    col.push_back(v);
+  }
+  auto compressed = Compress(AnyColumn(col), Rpe());
+  ASSERT_OK(compressed.status());
+  auto sum = exec::SumCompressed(*compressed);
+  ASSERT_OK(sum.status());
+  EXPECT_EQ(sum->value, ops::Sum(col));
+  auto point = exec::GetAt(*compressed, 1500);
+  ASSERT_OK(point.status());
+  EXPECT_EQ(point->value, col[1500]);
+}
+
+TEST(MixedTypeTest, Uint16ForAggregates) {
+  Rng rng(3);
+  Column<uint16_t> col;
+  uint16_t level = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (i % 500 == 0) level = static_cast<uint16_t>(rng.Below(60000));
+    col.push_back(static_cast<uint16_t>(
+        std::min<uint32_t>(65535, level + rng.Below(16))));
+  }
+  auto compressed = Compress(AnyColumn(col), MakeFor(500));
+  ASSERT_OK(compressed.status());
+  auto sum = exec::SumCompressed(*compressed);
+  auto min = exec::MinCompressed(*compressed);
+  auto max = exec::MaxCompressed(*compressed);
+  ASSERT_OK(sum.status());
+  ASSERT_OK(min.status());
+  ASSERT_OK(max.status());
+  EXPECT_EQ(sum->value, ops::Sum(col));
+  EXPECT_EQ(min->value, *ops::Min(col));
+  EXPECT_EQ(max->value, *ops::Max(col));
+  EXPECT_EQ(sum->strategy, "step-mass");
+}
+
+TEST(MixedTypeTest, ApproxSumWithRaggedTail) {
+  // n deliberately not a multiple of ell: the final short segment must be
+  // weighted by its true length in both bounds.
+  Rng rng(4);
+  Column<uint32_t> col;
+  for (int i = 0; i < 10000 + 137; ++i) {
+    col.push_back(1000 + static_cast<uint32_t>(rng.Below(64)));
+  }
+  auto compressed = Compress(AnyColumn(col), MakeFor(512));
+  ASSERT_OK(compressed.status());
+  const uint64_t exact = ops::Sum(col);
+  auto coarse = exec::ApproximateSum(*compressed);
+  ASSERT_OK(coarse.status());
+  EXPECT_LE(coarse->lower, exact);
+  EXPECT_GE(coarse->upper, exact);
+  auto full = exec::RefineSum(*compressed, coarse->total_segments);
+  ASSERT_OK(full.status());
+  EXPECT_EQ(full->lower, exact);
+  EXPECT_EQ(full->upper, exact);
+}
+
+TEST(MixedTypeTest, RefineBeyondTotalClamps) {
+  Column<uint32_t> col(1000, 7);
+  auto compressed = Compress(AnyColumn(col), MakeFor(128));
+  ASSERT_OK(compressed.status());
+  auto refined = exec::RefineSum(*compressed, 1u << 20);
+  ASSERT_OK(refined.status());
+  EXPECT_EQ(refined->refined_segments, refined->total_segments);
+  EXPECT_TRUE(refined->IsExact());
+}
+
+TEST(MixedTypeTest, Uint64ApproxBoundsSaturate) {
+  // Values near 2^40 with a wide residual: interval arithmetic must not
+  // wrap in uint64 for this magnitude.
+  Rng rng(5);
+  Column<uint64_t> col;
+  for (int i = 0; i < 4096; ++i) {
+    col.push_back((uint64_t{1} << 40) + rng.Below(1u << 16));
+  }
+  auto compressed = Compress(AnyColumn(col), MakeFor(256));
+  ASSERT_OK(compressed.status());
+  const uint64_t exact = ops::Sum(col);
+  auto coarse = exec::ApproximateSum(*compressed);
+  ASSERT_OK(coarse.status());
+  EXPECT_LE(coarse->lower, exact);
+  EXPECT_GE(coarse->upper, exact);
+}
+
+}  // namespace
+}  // namespace recomp

@@ -1,0 +1,128 @@
+// Additional edge-case coverage for compressed-domain selection: boundary
+// predicates, degenerate columns, type extremes, and strategy boundaries.
+
+#include <gtest/gtest.h>
+
+#include "core/catalog.h"
+#include "core/pipeline.h"
+#include "core/rewrite.h"
+#include "exec/selection.h"
+#include "gen/generators.h"
+#include "ops/select.h"
+#include "test_util.h"
+
+namespace recomp {
+namespace {
+
+using exec::RangePredicate;
+
+Column<uint32_t> Reference(const CompressedColumn& compressed,
+                           const RangePredicate& pred) {
+  auto column = Decompress(compressed);
+  EXPECT_OK(column.status());
+  auto positions = ops::SelectRange<uint32_t>(
+      column->As<uint32_t>(), static_cast<uint32_t>(pred.lo),
+      static_cast<uint32_t>(std::min<uint64_t>(pred.hi, ~uint32_t{0})));
+  EXPECT_OK(positions.status());
+  return *positions;
+}
+
+TEST(SelectionEdgeTest, PointPredicateOnRuns) {
+  Column<uint32_t> col = gen::SortedRuns(5000, 20.0, 2, 1);
+  auto compressed = Compress(AnyColumn(col), MakeRle());
+  ASSERT_OK(compressed.status());
+  const uint32_t needle = col[2500];
+  RangePredicate pred{needle, needle};
+  auto result = exec::SelectCompressed(*compressed, pred);
+  ASSERT_OK(result.status());
+  EXPECT_EQ(result->positions, Reference(*compressed, pred));
+  EXPECT_FALSE(result->positions.empty());
+}
+
+TEST(SelectionEdgeTest, PredicateBeyondTypeRange) {
+  // hi above uint32 max: everything >= lo qualifies; no overflow.
+  Column<uint32_t> col = gen::Uniform(2000, ~uint32_t{0}, 2);
+  auto compressed = Compress(AnyColumn(col), MakeDictNs());
+  ASSERT_OK(compressed.status());
+  RangePredicate pred{1u << 30, ~uint64_t{0}};
+  auto result = exec::SelectCompressed(*compressed, pred);
+  ASSERT_OK(result.status());
+  EXPECT_EQ(result->positions, Reference(*compressed, pred));
+}
+
+TEST(SelectionEdgeTest, PredicateEntirelyAboveDomain) {
+  Column<uint32_t> col = gen::Uniform(1000, 1000, 3);
+  for (const SchemeDescriptor& desc :
+       {MakeRle(), MakeDictNs(), MakeFor(128)}) {
+    auto compressed = Compress(AnyColumn(col), desc);
+    ASSERT_OK(compressed.status());
+    auto result = exec::SelectCompressed(
+        *compressed, RangePredicate{uint64_t{1} << 40, uint64_t{1} << 41});
+    ASSERT_OK(result.status()) << desc.ToString();
+    EXPECT_TRUE(result->positions.empty()) << desc.ToString();
+  }
+}
+
+TEST(SelectionEdgeTest, EmptyColumnAllStrategies) {
+  Column<uint32_t> empty;
+  for (const SchemeDescriptor& desc :
+       {MakeRle(), MakeDictNs(), MakeFor(64), MakeDeltaNs()}) {
+    auto compressed = Compress(AnyColumn(empty), desc);
+    ASSERT_OK(compressed.status()) << desc.ToString();
+    auto result =
+        exec::SelectCompressed(*compressed, RangePredicate{0, ~uint64_t{0}});
+    ASSERT_OK(result.status()) << desc.ToString();
+    EXPECT_TRUE(result->positions.empty());
+  }
+}
+
+TEST(SelectionEdgeTest, MaxValueSegmentsDoNotOverflow) {
+  // Segment windows near the top of uint32: ref + mask must saturate, not
+  // wrap, or pruning would skip qualifying segments.
+  Column<uint32_t> col;
+  for (int i = 0; i < 4096; ++i) {
+    col.push_back(~uint32_t{0} - static_cast<uint32_t>(i % 64));
+  }
+  auto compressed = Compress(AnyColumn(col), MakeFor(256));
+  ASSERT_OK(compressed.status());
+  RangePredicate pred{~uint32_t{0} - 3, ~uint64_t{0}};
+  auto result = exec::SelectCompressed(*compressed, pred);
+  ASSERT_OK(result.status());
+  EXPECT_EQ(result->positions, Reference(*compressed, pred));
+  EXPECT_FALSE(result->positions.empty());
+}
+
+TEST(SelectionEdgeTest, PeeledEnvelopeFallsBackCorrectly) {
+  // After peeling FOR's residual the fast path no longer applies; the
+  // fallback must still produce the right rows.
+  Column<uint32_t> col = gen::StepLevels(8192, 256, 20, 5, 4);
+  auto compressed = Compress(AnyColumn(col), MakeFor(256));
+  ASSERT_OK(compressed.status());
+  auto peeled = PeelPart(*compressed, "residual");
+  ASSERT_OK(peeled.status());
+  RangePredicate pred{1u << 18, 1u << 19};
+  auto fast = exec::SelectCompressed(*compressed, pred);
+  auto slow = exec::SelectCompressed(*peeled, pred);
+  ASSERT_OK(fast.status());
+  ASSERT_OK(slow.status());
+  EXPECT_EQ(fast->stats.strategy, "step-pruned");
+  EXPECT_EQ(slow->stats.strategy, "decompress-scan");
+  EXPECT_EQ(fast->positions, slow->positions);
+}
+
+TEST(SelectionEdgeTest, SingleRowColumn) {
+  Column<uint32_t> col{42};
+  for (const SchemeDescriptor& desc : {MakeRle(), MakeDictNs(), Ns()}) {
+    auto compressed = Compress(AnyColumn(col), desc);
+    ASSERT_OK(compressed.status());
+    auto hit = exec::SelectCompressed(*compressed, RangePredicate{42, 42});
+    ASSERT_OK(hit.status());
+    EXPECT_EQ(hit->positions, (Column<uint32_t>{0}));
+    auto miss = exec::SelectCompressed(*compressed, RangePredicate{43, 99});
+    ASSERT_OK(miss.status());
+    EXPECT_TRUE(miss->positions.empty());
+  }
+}
+
+}  // namespace
+}  // namespace recomp

@@ -1,0 +1,139 @@
+// Tests for the compressed-domain semi-join: every pushdown strategy must
+// equal the decompress-then-probe reference over randomized key sets.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/catalog.h"
+#include "core/pipeline.h"
+#include "exec/join.h"
+#include "gen/generators.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace recomp {
+namespace {
+
+Column<uint64_t> MakeKeys(const Column<uint32_t>& col, double hit_rate,
+                          uint64_t extra, uint64_t seed) {
+  Rng rng(seed);
+  Column<uint64_t> keys;
+  for (const uint32_t v : col) {
+    if (rng.Bernoulli(hit_rate)) keys.push_back(v);
+  }
+  for (uint64_t i = 0; i < extra; ++i) {
+    keys.push_back(rng.Next());  // Mostly misses.
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+Column<uint32_t> ReferenceSemiJoin(const Column<uint32_t>& col,
+                                   const Column<uint64_t>& keys) {
+  Column<uint32_t> out;
+  for (uint64_t i = 0; i < col.size(); ++i) {
+    if (std::binary_search(keys.begin(), keys.end(), col[i])) {
+      out.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return out;
+}
+
+void ExpectSemiJoin(const Column<uint32_t>& col, const SchemeDescriptor& desc,
+                    const std::string& expected_strategy, uint64_t seed) {
+  auto compressed = Compress(AnyColumn(col), desc);
+  ASSERT_OK(compressed.status());
+  for (double hit_rate : {0.0, 0.01, 0.3}) {
+    Column<uint64_t> keys = MakeKeys(col, hit_rate, 50, seed);
+    auto result = exec::SemiJoinCompressed(*compressed, keys);
+    ASSERT_OK(result.status()) << desc.ToString();
+    EXPECT_EQ(result->strategy, expected_strategy);
+    EXPECT_EQ(result->positions, ReferenceSemiJoin(col, keys))
+        << desc.ToString() << " hit_rate=" << hit_rate;
+  }
+}
+
+TEST(SemiJoinTest, RleRuns) {
+  ExpectSemiJoin(gen::SortedRuns(20000, 40.0, 3, 1), MakeRle(), "rle-runs", 11);
+}
+
+TEST(SemiJoinTest, DictProbesDictionaryNotRows) {
+  Column<uint32_t> col = gen::ZipfValues(50000, 200, 1.1, 2);
+  auto compressed = Compress(AnyColumn(col), MakeDictNs());
+  ASSERT_OK(compressed.status());
+  Column<uint64_t> keys = MakeKeys(col, 0.1, 20, 12);
+  auto result = exec::SemiJoinCompressed(*compressed, keys);
+  ASSERT_OK(result.status());
+  EXPECT_EQ(result->strategy, "dict-probe");
+  EXPECT_LE(result->probes, 200u);  // One per dictionary entry, not per row.
+  EXPECT_EQ(result->positions, ReferenceSemiJoin(col, keys));
+}
+
+TEST(SemiJoinTest, StepPrunedSkipsSegments) {
+  Column<uint32_t> col = gen::StepLevels(65536, 512, 24, 6, 3);
+  auto compressed = Compress(AnyColumn(col), MakeFor(512));
+  ASSERT_OK(compressed.status());
+  // A handful of keys: almost every segment window misses all of them.
+  Column<uint64_t> keys = {col[100], col[40000], uint64_t{1} << 40};
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  auto result = exec::SemiJoinCompressed(*compressed, keys);
+  ASSERT_OK(result.status());
+  EXPECT_EQ(result->strategy, "step-pruned");
+  EXPECT_LT(result->probes, col.size() / 8);  // Most segments never decoded.
+  EXPECT_EQ(result->positions, ReferenceSemiJoin(col, keys));
+}
+
+TEST(SemiJoinTest, FallbackScan) {
+  ExpectSemiJoin(gen::Uniform(10000, 1 << 20, 4), MakeDeltaNs(),
+                 "decompress-scan", 13);
+}
+
+TEST(SemiJoinTest, EmptyKeySetAndEmptyColumn) {
+  Column<uint32_t> col = gen::Uniform(100, 100, 5);
+  auto compressed = Compress(AnyColumn(col), Rpe());
+  ASSERT_OK(compressed.status());
+  auto none = exec::SemiJoinCompressed(*compressed, {});
+  ASSERT_OK(none.status());
+  EXPECT_TRUE(none->positions.empty());
+
+  auto empty_col = Compress(AnyColumn(Column<uint32_t>{}), Rpe());
+  ASSERT_OK(empty_col.status());
+  auto empty = exec::SemiJoinCompressed(*empty_col, Column<uint64_t>{1, 2});
+  ASSERT_OK(empty.status());
+  EXPECT_TRUE(empty->positions.empty());
+}
+
+TEST(SemiJoinTest, UnsortedKeysRejected) {
+  auto compressed = Compress(AnyColumn(Column<uint32_t>{1}), Rpe());
+  ASSERT_OK(compressed.status());
+  EXPECT_FALSE(
+      exec::SemiJoinCompressed(*compressed, Column<uint64_t>{2, 1}).ok());
+  EXPECT_FALSE(
+      exec::SemiJoinCompressed(*compressed, Column<uint64_t>{1, 1}).ok());
+}
+
+TEST(SemiJoinTest, RandomizedAgreement) {
+  Rng rng(6);
+  const std::vector<SchemeDescriptor> descriptors = {
+      MakeRle(), MakeDictNs(), MakeFor(128), Ns()};
+  for (int trial = 0; trial < 8; ++trial) {
+    Column<uint32_t> col =
+        gen::SortedRuns(2000 + rng.Below(3000), 5.0, 4, rng.Next());
+    Column<uint64_t> keys = MakeKeys(col, rng.NextDouble() * 0.5, 30,
+                                     rng.Next());
+    const Column<uint32_t> expected = ReferenceSemiJoin(col, keys);
+    for (const SchemeDescriptor& desc : descriptors) {
+      auto compressed = Compress(AnyColumn(col), desc);
+      ASSERT_OK(compressed.status());
+      auto result = exec::SemiJoinCompressed(*compressed, keys);
+      ASSERT_OK(result.status()) << desc.ToString();
+      EXPECT_EQ(result->positions, expected) << desc.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace recomp

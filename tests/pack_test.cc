@@ -1,0 +1,218 @@
+// Tests for the bit pack/unpack kernels, including a parameterized property
+// sweep over every bit width and awkward lengths (tail handling).
+
+#include <gtest/gtest.h>
+
+#include "columnar/stats.h"
+#include "ops/pack.h"
+#include "util/bits.h"
+#include "util/random.h"
+
+namespace recomp {
+namespace {
+
+TEST(PackTest, WidthZeroEncodesZeros) {
+  Column<uint32_t> col{0, 0, 0};
+  auto packed = ops::Pack(col, 0);
+  ASSERT_TRUE(packed.ok());
+  EXPECT_EQ(packed->bytes.size(), 0u);
+  auto back = ops::Unpack<uint32_t>(*packed);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, col);
+}
+
+TEST(PackTest, RejectsValueWiderThanWidth) {
+  Column<uint32_t> col{7, 8};
+  auto packed = ops::Pack(col, 3);
+  EXPECT_EQ(packed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PackTest, RejectsWidthBeyondType) {
+  Column<uint16_t> col{1};
+  EXPECT_FALSE(ops::Pack(col, 17).ok());
+  EXPECT_FALSE(ops::Pack(col, -1).ok());
+}
+
+TEST(PackTest, TruncatingKeepsLowBits) {
+  Column<uint32_t> col{0b1011, 0b0110};
+  auto packed = ops::PackTruncating(col, 2);
+  ASSERT_TRUE(packed.ok());
+  auto back = ops::Unpack<uint32_t>(*packed);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, (Column<uint32_t>{0b11, 0b10}));
+}
+
+TEST(PackTest, KnownBitLayout) {
+  // Width 3, LSB-first: value0 occupies bits 0-2, value1 bits 3-5, value2
+  // bits 6-8. byte0 = 1 | (2<<3) | ((3 & 3) << 6) = 0xD1; value2's high bit
+  // (0) lands in byte1 bit 0.
+  Column<uint32_t> col{1, 2, 3};
+  auto packed = ops::Pack(col, 3);
+  ASSERT_TRUE(packed.ok());
+  ASSERT_EQ(packed->bytes.size(), 2u);  // 9 bits
+  EXPECT_EQ(packed->bytes[0], 0xD1);
+  EXPECT_EQ(packed->bytes[1], 0x00);
+
+  // A value with a set high bit crossing the byte boundary: 7 = 0b111 at
+  // bits 6-8 leaves bit 8 = 1 in byte1.
+  Column<uint32_t> col2{1, 2, 7};
+  auto packed2 = ops::Pack(col2, 3);
+  ASSERT_TRUE(packed2.ok());
+  EXPECT_EQ(packed2->bytes[1], 0x01);
+}
+
+TEST(PackTest, ExactByteFootprint) {
+  Column<uint32_t> col(100, 1);
+  auto packed = ops::Pack(col, 7);
+  ASSERT_TRUE(packed.ok());
+  EXPECT_EQ(packed->bytes.size(), bits::PackedByteSize(100, 7));
+}
+
+TEST(PackTest, UnpackDetectsTruncatedPayload) {
+  Column<uint32_t> col{1, 2, 3, 4};
+  auto packed = ops::Pack(col, 16);
+  ASSERT_TRUE(packed.ok());
+  PackedColumn corrupt = *packed;
+  corrupt.bytes.pop_back();
+  auto back = ops::Unpack<uint32_t>(corrupt);
+  EXPECT_EQ(back.status().code(), StatusCode::kCorruption);
+}
+
+TEST(PackTest, UnpackIntoNarrowerTypeRejected) {
+  Column<uint32_t> col{1};
+  auto packed = ops::Pack(col, 20);
+  ASSERT_TRUE(packed.ok());
+  auto back = ops::Unpack<uint16_t>(*packed);
+  EXPECT_EQ(back.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PackTest, UnpackOneRandomAccess) {
+  Rng rng(11);
+  Column<uint64_t> col;
+  for (int i = 0; i < 300; ++i) col.push_back(rng.Below(1u << 20));
+  auto packed = ops::Pack(col, 20);
+  ASSERT_TRUE(packed.ok());
+  for (uint64_t i : {uint64_t{0}, uint64_t{1}, uint64_t{157}, uint64_t{299}}) {
+    EXPECT_EQ(ops::UnpackOne<uint64_t>(*packed, i), col[i]) << i;
+  }
+}
+
+TEST(PackTest, EmptyColumn) {
+  auto packed = ops::Pack(Column<uint32_t>{}, 13);
+  ASSERT_TRUE(packed.ok());
+  auto back = ops::Unpack<uint32_t>(*packed);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+/// Property sweep: roundtrip over every width for u64, awkward lengths.
+class PackRoundTrip64 : public ::testing::TestWithParam<int> {};
+
+TEST_P(PackRoundTrip64, RoundTripsRandomData) {
+  const int width = GetParam();
+  Rng rng(1000 + width);
+  for (uint64_t n : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 65u, 1000u}) {
+    Column<uint64_t> col;
+    col.reserve(n);
+    const uint64_t mask = bits::LowMask64(width);
+    for (uint64_t i = 0; i < n; ++i) col.push_back(rng.Next() & mask);
+    auto packed = ops::Pack(col, width);
+    ASSERT_TRUE(packed.ok()) << packed.status().ToString();
+    EXPECT_EQ(packed->bytes.size(), bits::PackedByteSize(n, width));
+    auto back = ops::Unpack<uint64_t>(*packed);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(*back, col) << "width=" << width << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, PackRoundTrip64,
+                         ::testing::Range(0, 65));
+
+/// Same sweep for u32 (exercises the AVX2 path for widths <= 25).
+class PackRoundTrip32 : public ::testing::TestWithParam<int> {};
+
+TEST_P(PackRoundTrip32, RoundTripsRandomData) {
+  const int width = GetParam();
+  Rng rng(2000 + width);
+  for (uint64_t n : {1u, 5u, 31u, 32u, 33u, 255u, 256u, 10000u}) {
+    Column<uint32_t> col;
+    col.reserve(n);
+    const uint32_t mask = bits::LowMask32(width);
+    for (uint64_t i = 0; i < n; ++i) {
+      col.push_back(static_cast<uint32_t>(rng.Next()) & mask);
+    }
+    auto packed = ops::Pack(col, width);
+    ASSERT_TRUE(packed.ok());
+    auto back = ops::Unpack<uint32_t>(*packed);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, col) << "width=" << width << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, PackRoundTrip32,
+                         ::testing::Range(0, 33));
+
+/// u8/u16 coverage at their extreme widths.
+TEST(PackTest, NarrowTypesFullWidth) {
+  Column<uint8_t> col8{0, 1, 127, 128, 255};
+  auto packed8 = ops::Pack(col8, 8);
+  ASSERT_TRUE(packed8.ok());
+  EXPECT_EQ(*ops::Unpack<uint8_t>(*packed8), col8);
+
+  Column<uint16_t> col16{0, 65535, 1, 32768};
+  auto packed16 = ops::Pack(col16, 16);
+  ASSERT_TRUE(packed16.ok());
+  EXPECT_EQ(*ops::Unpack<uint16_t>(*packed16), col16);
+}
+
+
+TEST(UnpackRangeTest, MatchesFullUnpack) {
+  Rng rng(21);
+  Column<uint32_t> col;
+  for (int i = 0; i < 5000; ++i) {
+    col.push_back(static_cast<uint32_t>(rng.Below(1u << 19)));
+  }
+  auto packed = ops::Pack(col, 19);
+  ASSERT_TRUE(packed.ok());
+  Column<uint32_t> buffer(col.size());
+  for (auto [begin, end] : std::vector<std::pair<uint64_t, uint64_t>>{
+           {0, 5000}, {0, 1}, {4999, 5000}, {1234, 1234}, {100, 3100}}) {
+    ASSERT_TRUE(ops::UnpackRange(*packed, begin, end, buffer.data()).ok());
+    for (uint64_t i = begin; i < end; ++i) {
+      ASSERT_EQ(buffer[i - begin], col[i]) << begin << ".." << end << "@" << i;
+    }
+  }
+}
+
+TEST(UnpackRangeTest, SweepsAllWidths) {
+  Rng rng(22);
+  for (int width = 0; width <= 64; width += 3) {
+    Column<uint64_t> col;
+    const uint64_t mask = bits::LowMask64(width);
+    for (int i = 0; i < 300; ++i) col.push_back(rng.Next() & mask);
+    auto packed = ops::Pack(col, width);
+    ASSERT_TRUE(packed.ok());
+    Column<uint64_t> buffer(col.size());
+    const uint64_t begin = 17, end = 283;
+    ASSERT_TRUE(ops::UnpackRange(*packed, begin, end, buffer.data()).ok());
+    for (uint64_t i = begin; i < end; ++i) {
+      ASSERT_EQ(buffer[i - begin], col[i]) << "width " << width;
+    }
+  }
+}
+
+TEST(UnpackRangeTest, BoundsValidated) {
+  Column<uint32_t> col{1, 2, 3};
+  auto packed = ops::Pack(col, 4);
+  ASSERT_TRUE(packed.ok());
+  Column<uint32_t> buffer(4);
+  EXPECT_FALSE(ops::UnpackRange(*packed, 2, 1, buffer.data()).ok());
+  EXPECT_FALSE(ops::UnpackRange(*packed, 0, 4, buffer.data()).ok());
+  Column<uint16_t> narrow(3);
+  auto wide = ops::Pack(Column<uint32_t>{1 << 20}, 21);
+  ASSERT_TRUE(wide.ok());
+  EXPECT_FALSE(ops::UnpackRange(*wide, 0, 1, narrow.data()).ok());
+}
+
+}  // namespace
+}  // namespace recomp

@@ -1,0 +1,68 @@
+// Golden-listing tests: the rendered decompression plans for the catalog's
+// RLE and FOR are pinned, token for token, to the paper's Algorithm 1 and
+// Algorithm 2 (modulo the named Input lines and the Unpack that the paper's
+// prose treats as part of NS). Any drift in the builder or the renderer
+// fails loudly here.
+
+#include <gtest/gtest.h>
+
+#include "core/catalog.h"
+#include "core/pipeline.h"
+#include "core/plan_builder.h"
+#include "gen/generators.h"
+#include "test_util.h"
+
+namespace recomp {
+namespace {
+
+TEST(PlanGoldenTest, Algorithm1Listing) {
+  Column<uint32_t> col = gen::SortedRuns(100000, 25.0, 3, 1);
+  auto compressed = Compress(AnyColumn(col), MakeRle());
+  ASSERT_OK(compressed.status());
+  auto plan = BuildDecompressionPlan(*compressed);
+  ASSERT_OK(plan.status());
+  EXPECT_EQ(plan->ToString(),
+            " 0: values <- Input(values)\n"
+            " 1: deltas <- Input(positions/deltas)\n"
+            " 2: run_positions <- PrefixSum(deltas)\n"
+            " 3: run_positions' <- PopBack(run_positions)\n"
+            " 4: ones <- Constant(1, |run_positions'|)\n"
+            " 5: zeros <- Constant(0, n=100000)\n"
+            " 6: pos_delta <- Scatter(ones, run_positions', zeros)\n"
+            " 7: positions <- PrefixSum(pos_delta)\n"
+            " 8: out <- Gather(values, positions)\n");
+}
+
+TEST(PlanGoldenTest, Algorithm2Listing) {
+  Column<uint32_t> col = gen::StepLevels(65536, 128, 20, 6, 2);
+  auto compressed = Compress(AnyColumn(col), MakeFor(128));
+  ASSERT_OK(compressed.status());
+  auto plan = BuildDecompressionPlan(*compressed);
+  ASSERT_OK(plan.status());
+  EXPECT_EQ(plan->ToString(),
+            " 0: packed <- Input(residual/packed)\n"
+            " 1: offsets <- Unpack(packed)\n"
+            " 2: refs <- Input(refs)\n"
+            " 3: ones <- Constant(1, n=65536)\n"
+            " 4: id <- PrefixSumExcl(ones)\n"
+            " 5: ells <- Constant(128, |id|)\n"
+            " 6: ref_indices <- Elementwise('/', id, ells)\n"
+            " 7: replicated <- Gather(refs, ref_indices)\n"
+            " 8: out <- Elementwise('+', replicated, offsets)\n");
+}
+
+TEST(PlanGoldenTest, RpeListingIsAlgorithm1SansLine1) {
+  Column<uint32_t> col = gen::SortedRuns(1000, 10.0, 2, 3);
+  auto compressed = Compress(AnyColumn(col), Rpe());
+  ASSERT_OK(compressed.status());
+  auto plan = BuildDecompressionPlan(*compressed);
+  ASSERT_OK(plan.status());
+  const std::string listing = plan->ToString();
+  // No PrefixSum over deltas: the positions column arrives stored.
+  EXPECT_EQ(listing.find("PrefixSum(deltas)"), std::string::npos);
+  EXPECT_NE(listing.find("run_positions <- Input(positions)"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace recomp

@@ -1,0 +1,212 @@
+// Tests for the decompression plan IR: builder output matches the paper's
+// Algorithm 1 / Algorithm 2 listings, the executor agrees with the fused
+// reference decompression, and the optimizer preserves semantics while
+// shrinking plans.
+
+#include <gtest/gtest.h>
+
+#include "core/catalog.h"
+#include "core/plan_builder.h"
+#include "core/plan_executor.h"
+#include "core/plan_optimizer.h"
+#include "test_util.h"
+
+namespace recomp {
+namespace {
+
+using testutil::RunsColumn;
+using testutil::UniformColumn;
+
+std::vector<PlanOpKind> OpSequence(const Plan& plan) {
+  std::vector<PlanOpKind> ops;
+  for (const auto& node : plan.nodes) ops.push_back(node.op);
+  return ops;
+}
+
+TEST(PlanBuilderTest, RlePlanIsAlgorithm1) {
+  // RLE = RPE{positions: DELTA}. Its plan must contain, in order, the
+  // paper's Algorithm 1: PrefixSum (line 1, from the DELTA child), PopBack,
+  // Constant, Constant, Scatter, PrefixSum, Gather (lines 3-8; line 2 is
+  // the envelope's stored n).
+  Column<uint32_t> col = RunsColumn(1000, 0.1, 1);
+  auto compressed = Compress(AnyColumn(col), MakeRle());
+  ASSERT_OK(compressed.status());
+  auto plan = BuildDecompressionPlan(*compressed);
+  ASSERT_OK(plan.status());
+
+  EXPECT_EQ(OpSequence(*plan),
+            (std::vector<PlanOpKind>{
+                PlanOpKind::kInput,               // values
+                PlanOpKind::kInput,               // lengths (positions/deltas)
+                PlanOpKind::kPrefixSumInclusive,  // line 1: run_positions
+                PlanOpKind::kPopBack,             // line 3
+                PlanOpKind::kConstant,            // line 4: ones
+                PlanOpKind::kConstant,            // line 5: zeros
+                PlanOpKind::kScatter,             // line 6: pos_delta
+                PlanOpKind::kPrefixSumInclusive,  // line 7: positions
+                PlanOpKind::kGather,              // line 8
+            }));
+  EXPECT_EQ(plan->OperatorCount(), 7u);  // Algorithm 1 has 7 operator lines.
+
+  // The listing uses the paper's variable names.
+  const std::string listing = plan->ToString();
+  EXPECT_NE(listing.find("run_positions"), std::string::npos);
+  EXPECT_NE(listing.find("pos_delta"), std::string::npos);
+}
+
+TEST(PlanBuilderTest, RpePlanDropsThePrefixSum) {
+  // Partial decompression: RPE stores run_positions directly, so its plan
+  // is Algorithm 1 minus the first PrefixSum — the paper's §II-A trade.
+  Column<uint32_t> col = RunsColumn(1000, 0.1, 2);
+  auto rle = Compress(AnyColumn(col), MakeRle());
+  auto rpe = Compress(AnyColumn(col), Rpe());
+  ASSERT_OK(rle.status());
+  ASSERT_OK(rpe.status());
+  auto rle_plan = BuildDecompressionPlan(*rle);
+  auto rpe_plan = BuildDecompressionPlan(*rpe);
+  ASSERT_OK(rle_plan.status());
+  ASSERT_OK(rpe_plan.status());
+  EXPECT_EQ(rpe_plan->OperatorCount() + 1, rle_plan->OperatorCount());
+}
+
+TEST(PlanBuilderTest, ForPlanIsAlgorithm2) {
+  // FOR = MODELED(STEP){residual: NS}. Algorithm 2: ones, id (PrefixSum),
+  // ells, ÷, Gather, + — with an Unpack ahead for the NS-packed offsets.
+  Column<uint32_t> col = UniformColumn<uint32_t>(4096, 1000, 3);
+  auto compressed = Compress(AnyColumn(col), MakeFor(128));
+  ASSERT_OK(compressed.status());
+  auto plan = BuildDecompressionPlan(*compressed);
+  ASSERT_OK(plan.status());
+
+  EXPECT_EQ(OpSequence(*plan),
+            (std::vector<PlanOpKind>{
+                PlanOpKind::kInput,               // packed offsets
+                PlanOpKind::kUnpack,              // NS decode
+                PlanOpKind::kInput,               // refs
+                PlanOpKind::kConstant,            // line 1: ones
+                PlanOpKind::kPrefixSumExclusive,  // line 2: id
+                PlanOpKind::kConstant,            // line 3: ells
+                PlanOpKind::kElementwise,         // line 4: ref_indices
+                PlanOpKind::kGather,              // line 5: replicated
+                PlanOpKind::kElementwise,         // line 6: +
+            }));
+  const std::string listing = plan->ToString();
+  EXPECT_NE(listing.find("ref_indices"), std::string::npos);
+  EXPECT_NE(listing.find("replicated"), std::string::npos);
+}
+
+TEST(PlanExecutorTest, AgreesWithReferenceAcrossCatalog) {
+  Column<uint32_t> runs = RunsColumn(20000, 0.05, 4);
+  Column<uint32_t> uniform = UniformColumn<uint32_t>(20000, 1 << 14, 5);
+  for (const CatalogEntry& entry : ClassicCatalog()) {
+    for (const Column<uint32_t>* col : {&runs, &uniform}) {
+      auto compressed = Compress(AnyColumn(*col), entry.descriptor);
+      ASSERT_OK(compressed.status()) << entry.name;
+      auto plan = BuildDecompressionPlan(*compressed);
+      ASSERT_OK(plan.status()) << entry.name;
+      auto via_plan = ExecutePlan(*plan, *compressed);
+      ASSERT_OK(via_plan.status())
+          << entry.name << "\n" << plan->ToString();
+      auto reference = Decompress(*compressed);
+      ASSERT_OK(reference.status()) << entry.name;
+      EXPECT_TRUE(*via_plan == *reference) << entry.name;
+      EXPECT_EQ(via_plan->As<uint32_t>(), *col) << entry.name;
+    }
+  }
+}
+
+TEST(PlanOptimizerTest, PreservesSemantics) {
+  Column<uint32_t> col = RunsColumn(30000, 0.02, 6);
+  for (const CatalogEntry& entry : ClassicCatalog()) {
+    auto compressed = Compress(AnyColumn(col), entry.descriptor);
+    ASSERT_OK(compressed.status()) << entry.name;
+    auto plan = BuildDecompressionPlan(*compressed);
+    ASSERT_OK(plan.status()) << entry.name;
+    auto optimized = OptimizePlan(*plan);
+    ASSERT_OK(optimized.status()) << entry.name;
+    EXPECT_LE(optimized->nodes.size(), plan->nodes.size()) << entry.name;
+    auto a = ExecutePlan(*plan, *compressed);
+    auto b = ExecutePlan(*optimized, *compressed);
+    ASSERT_OK(a.status()) << entry.name;
+    ASSERT_OK(b.status()) << entry.name << "\n" << optimized->ToString();
+    EXPECT_TRUE(*a == *b) << entry.name;
+  }
+}
+
+TEST(PlanOptimizerTest, FusesForPlanToReplicate) {
+  Column<uint32_t> col = UniformColumn<uint32_t>(4096, 1000, 7);
+  auto compressed = Compress(AnyColumn(col), MakeFor(128));
+  ASSERT_OK(compressed.status());
+  auto plan = BuildDecompressionPlan(*compressed);
+  ASSERT_OK(plan.status());
+  auto optimized = OptimizePlan(*plan);
+  ASSERT_OK(optimized.status());
+  // Input, Unpack, Input, Replicate, Add.
+  EXPECT_EQ(optimized->nodes.size(), 5u) << optimized->ToString();
+  EXPECT_EQ(OpSequence(*optimized),
+            (std::vector<PlanOpKind>{
+                PlanOpKind::kInput, PlanOpKind::kUnpack, PlanOpKind::kInput,
+                PlanOpKind::kReplicate, PlanOpKind::kElementwise}));
+}
+
+TEST(PlanOptimizerTest, FusesRleScatterToScatterConst) {
+  Column<uint32_t> col = RunsColumn(1000, 0.1, 8);
+  auto compressed = Compress(AnyColumn(col), MakeRle());
+  ASSERT_OK(compressed.status());
+  auto plan = BuildDecompressionPlan(*compressed);
+  ASSERT_OK(plan.status());
+  auto optimized = OptimizePlan(*plan);
+  ASSERT_OK(optimized.status());
+  bool has_scatter_const = false;
+  for (const auto& node : optimized->nodes) {
+    has_scatter_const |= node.op == PlanOpKind::kScatterConst;
+    EXPECT_NE(node.op, PlanOpKind::kConstant) << optimized->ToString();
+  }
+  EXPECT_TRUE(has_scatter_const);
+}
+
+TEST(PlanTest, ValidateCatchesMalformedPlans) {
+  Plan empty;
+  EXPECT_FALSE(empty.Validate().ok());
+
+  Plan forward_ref;
+  PlanNode node;
+  node.op = PlanOpKind::kPopBack;
+  node.inputs = {0};  // references itself (index 0 == this node)
+  forward_ref.nodes.push_back(node);
+  EXPECT_FALSE(forward_ref.Validate().ok());
+
+  Plan no_path;
+  PlanNode input;
+  input.op = PlanOpKind::kInput;
+  no_path.nodes.push_back(input);
+  EXPECT_FALSE(no_path.Validate().ok());
+}
+
+TEST(PlanExecutorTest, ResolvePartPath) {
+  Column<uint32_t> col = RunsColumn(100, 0.3, 9);
+  auto compressed = Compress(AnyColumn(col), MakeRle());
+  ASSERT_OK(compressed.status());
+  auto direct = ResolvePartPath(compressed->root(), "values");
+  ASSERT_OK(direct.status());
+  auto nested = ResolvePartPath(compressed->root(), "positions/deltas");
+  ASSERT_OK(nested.status());
+  EXPECT_FALSE(ResolvePartPath(compressed->root(), "nope").ok());
+  EXPECT_FALSE(ResolvePartPath(compressed->root(), "positions").ok());
+  EXPECT_FALSE(
+      ResolvePartPath(compressed->root(), "values/deeper").ok());
+}
+
+TEST(PlanExecutorTest, SignedColumnsThroughPlans) {
+  Column<int32_t> col{-5, -5, 17, 17, 17, -1};
+  auto compressed = Compress(AnyColumn(col), Rpe());
+  ASSERT_OK(compressed.status());
+  auto plan = BuildDecompressionPlan(*compressed);
+  ASSERT_OK(plan.status());
+  auto out = ExecutePlan(*plan, *compressed);
+  ASSERT_OK(out.status());
+  EXPECT_EQ(out->As<int32_t>(), col);
+}
+
+}  // namespace
+}  // namespace recomp

@@ -1,0 +1,108 @@
+// Tests for point access on compressed columns: every strategy must agree
+// with full decompression at every probed row.
+
+#include <gtest/gtest.h>
+
+#include "core/catalog.h"
+#include "exec/point_access.h"
+#include "gen/generators.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace recomp {
+namespace {
+
+void ExpectPointAccess(const Column<uint32_t>& col,
+                       const SchemeDescriptor& desc,
+                       const std::string& expected_strategy) {
+  auto compressed = Compress(AnyColumn(col), desc);
+  ASSERT_OK(compressed.status());
+  Rng rng(99);
+  std::vector<uint64_t> rows = {0, col.size() - 1, col.size() / 2};
+  for (int i = 0; i < 20; ++i) rows.push_back(rng.Below(col.size()));
+  for (uint64_t row : rows) {
+    auto result = exec::GetAt(*compressed, row);
+    ASSERT_OK(result.status()) << desc.ToString() << " row " << row;
+    EXPECT_EQ(result->value, col[row]) << desc.ToString() << " row " << row;
+    EXPECT_EQ(result->strategy, expected_strategy) << desc.ToString();
+  }
+}
+
+TEST(PointAccessTest, NsDirect) {
+  ExpectPointAccess(gen::Uniform(10000, 1 << 17, 1), Ns(), "ns-direct");
+}
+
+TEST(PointAccessTest, ForDirect) {
+  ExpectPointAccess(gen::StepLevels(20000, 512, 24, 6, 2), MakeFor(512),
+                    "for-direct");
+}
+
+TEST(PointAccessTest, RpeBinarySearch) {
+  ExpectPointAccess(gen::SortedRuns(20000, 30.0, 3, 3), Rpe(),
+                    "rpe-binary-search");
+}
+
+TEST(PointAccessTest, DictProbePlainCodes) {
+  ExpectPointAccess(gen::ZipfValues(10000, 64, 1.1, 4), Dict(), "dict-probe");
+}
+
+TEST(PointAccessTest, DictProbePackedCodes) {
+  ExpectPointAccess(gen::ZipfValues(10000, 64, 1.1, 5), MakeDictNs(),
+                    "dict-probe");
+}
+
+TEST(PointAccessTest, FallbackForSequentialSchemes) {
+  ExpectPointAccess(gen::SortedRuns(5000, 10.0, 2, 6), MakeDeltaNs(),
+                    "decompress-scan");
+}
+
+TEST(PointAccessTest, RleFallsBackWhenPositionsComposed) {
+  // RLE's positions are DELTA-compressed: no random access to run ends
+  // without integrating them, so GetAt degrades gracefully.
+  ExpectPointAccess(gen::SortedRuns(5000, 10.0, 2, 7), MakeRle(),
+                    "decompress-scan");
+}
+
+TEST(PointAccessTest, OutOfRangeRejected) {
+  auto compressed = Compress(AnyColumn(Column<uint32_t>{1, 2}), Ns());
+  ASSERT_OK(compressed.status());
+  EXPECT_EQ(exec::GetAt(*compressed, 2).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(PointAccessTest, SignedRejected) {
+  auto compressed = Compress(AnyColumn(Column<int32_t>{1}), Rpe());
+  ASSERT_OK(compressed.status());
+  EXPECT_FALSE(exec::GetAt(*compressed, 0).ok());
+}
+
+TEST(PointAccessTest, SingleRunColumn) {
+  Column<uint32_t> col(1000, 7);
+  auto compressed = Compress(AnyColumn(col), Rpe());
+  ASSERT_OK(compressed.status());
+  for (uint64_t row : {0u, 500u, 999u}) {
+    auto result = exec::GetAt(*compressed, row);
+    ASSERT_OK(result.status());
+    EXPECT_EQ(result->value, 7u);
+  }
+}
+
+TEST(PointAccessTest, Uint64ThroughFor) {
+  Rng rng(8);
+  Column<uint64_t> col;
+  for (int i = 0; i < 8192; ++i) {
+    col.push_back((uint64_t{1} << 50) + rng.Below(4096));
+  }
+  auto compressed =
+      Compress(AnyColumn(col), MakeFor(256));
+  ASSERT_OK(compressed.status());
+  for (uint64_t row : {0u, 100u, 8191u}) {
+    auto result = exec::GetAt(*compressed, row);
+    ASSERT_OK(result.status());
+    EXPECT_EQ(result->value, col[row]);
+    EXPECT_EQ(result->strategy, "for-direct");
+  }
+}
+
+}  // namespace
+}  // namespace recomp

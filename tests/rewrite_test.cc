@@ -1,0 +1,146 @@
+// Tests for envelope rewrites: peeling (partial decompression) and pushing
+// (re-composition). Pins the paper's §II-A identity at the data level:
+// RLE-compressed data peeled at "positions" IS RPE-compressed data.
+
+#include <gtest/gtest.h>
+
+#include "core/catalog.h"
+#include "core/rewrite.h"
+#include "test_util.h"
+
+namespace recomp {
+namespace {
+
+using testutil::RunsColumn;
+
+TEST(RewriteTest, PeelingRleYieldsRpeBytes) {
+  Column<uint32_t> col = RunsColumn(20000, 0.05, 11);
+  auto rle = Compress(AnyColumn(col), MakeRle());
+  auto rpe = Compress(AnyColumn(col), Rpe());
+  ASSERT_OK(rle.status());
+  ASSERT_OK(rpe.status());
+
+  auto peeled = PeelPart(*rle, "positions");
+  ASSERT_OK(peeled.status());
+
+  // Same descriptor, same part columns, byte for byte.
+  EXPECT_EQ(peeled->Descriptor(), rpe->Descriptor());
+  EXPECT_TRUE(*peeled->root().parts.at("positions").column ==
+              *rpe->root().parts.at("positions").column);
+  EXPECT_TRUE(*peeled->root().parts.at("values").column ==
+              *rpe->root().parts.at("values").column);
+
+  // And it still decompresses to the original column.
+  auto back = Decompress(*peeled);
+  ASSERT_OK(back.status());
+  EXPECT_EQ(back->As<uint32_t>(), col);
+}
+
+TEST(RewriteTest, PeelTradesBytesForOperators) {
+  // The §II-A trade, measured: peeling never shrinks the payload and never
+  // adds decompression work.
+  Column<uint32_t> col = RunsColumn(20000, 0.05, 12);
+  auto rle = Compress(AnyColumn(col), MakeRle());
+  ASSERT_OK(rle.status());
+  auto rpe = PeelPart(*rle, "positions");
+  ASSERT_OK(rpe.status());
+  EXPECT_GE(rpe->PayloadBytes(), rle->PayloadBytes());
+}
+
+TEST(RewriteTest, PushInvertsPeel) {
+  Column<uint32_t> col = RunsColumn(5000, 0.1, 13);
+  auto rle = Compress(AnyColumn(col), MakeRle());
+  ASSERT_OK(rle.status());
+  auto rpe = PeelPart(*rle, "positions");
+  ASSERT_OK(rpe.status());
+  auto back = PushPart(*rpe, "positions", Delta());
+  ASSERT_OK(back.status());
+  EXPECT_EQ(back->Descriptor(), rle->Descriptor());
+  EXPECT_TRUE(*back->root().parts.at("positions").sub->parts.at("deltas")
+                   .column ==
+              *rle->root().parts.at("positions").sub->parts.at("deltas")
+                   .column);
+}
+
+TEST(RewriteTest, PeelForResidualExposesRawOffsets) {
+  // FOR == STEP + NS: peeling the residual's NS leaves the step model with
+  // plain offsets.
+  Column<uint32_t> col;
+  for (uint32_t i = 0; i < 8192; ++i) col.push_back(1000 + (i / 64) + i % 7);
+  auto for_compressed = Compress(AnyColumn(col), MakeFor(64));
+  ASSERT_OK(for_compressed.status());
+  auto peeled = PeelPart(*for_compressed, "residual");
+  ASSERT_OK(peeled.status());
+  const CompressedPart& residual = peeled->root().parts.at("residual");
+  ASSERT_TRUE(residual.is_terminal());
+  EXPECT_FALSE(residual.column->is_packed());
+  auto back = Decompress(*peeled);
+  ASSERT_OK(back.status());
+  EXPECT_EQ(back->As<uint32_t>(), col);
+}
+
+TEST(RewriteTest, PeelAllFlattensDeepComposites) {
+  Column<uint32_t> col = RunsColumn(5000, 0.05, 14);
+  auto deep = Compress(AnyColumn(col), MakeRleDelta());
+  ASSERT_OK(deep.status());
+  auto flat = PeelAll(*deep);
+  ASSERT_OK(flat.status());
+  for (const auto& [name, part] : flat->root().parts) {
+    EXPECT_TRUE(part.is_terminal()) << name;
+  }
+  auto back = Decompress(*flat);
+  ASSERT_OK(back.status());
+  EXPECT_EQ(back->As<uint32_t>(), col);
+  EXPECT_GE(flat->PayloadBytes(), deep->PayloadBytes());
+}
+
+TEST(RewriteTest, PeelNestedPath) {
+  Column<uint32_t> col = RunsColumn(5000, 0.05, 15);
+  auto deep = Compress(AnyColumn(col), MakeRleDelta());
+  ASSERT_OK(deep.status());
+  // positions: DELTA{deltas: NS} — peel just the inner NS.
+  auto peeled = PeelPart(*deep, "positions/deltas");
+  ASSERT_OK(peeled.status());
+  const CompressedNode& positions = *peeled->root().parts.at("positions").sub;
+  EXPECT_TRUE(positions.parts.at("deltas").is_terminal());
+  auto back = Decompress(*peeled);
+  ASSERT_OK(back.status());
+  EXPECT_EQ(back->As<uint32_t>(), col);
+}
+
+TEST(RewriteTest, ErrorsAreClean) {
+  Column<uint32_t> col = RunsColumn(100, 0.3, 16);
+  auto rle = Compress(AnyColumn(col), MakeRle());
+  ASSERT_OK(rle.status());
+  // Peel a terminal part.
+  EXPECT_FALSE(PeelPart(*rle, "values").ok());
+  // Peel a missing part.
+  EXPECT_FALSE(PeelPart(*rle, "nope").ok());
+  // Push onto a composed part.
+  EXPECT_FALSE(PushPart(*rle, "positions", Ns()).ok());
+  // Push an invalid child.
+  auto rpe = Compress(AnyColumn(col), Rpe());
+  ASSERT_OK(rpe.status());
+  SchemeDescriptor bad(SchemeKind::kModeled);
+  EXPECT_FALSE(PushPart(*rpe, "positions", bad).ok());
+}
+
+TEST(RewriteTest, PushEnablesRecompositionExploration) {
+  // Starting from plain RPE, explore re-compositions of the positions part
+  // and verify they all decompress identically.
+  Column<uint32_t> col = RunsColumn(10000, 0.03, 17);
+  auto rpe = Compress(AnyColumn(col), Rpe());
+  ASSERT_OK(rpe.status());
+  for (const char* child : {"DELTA", "DELTA{deltas:NS}", "NS", "VBYTE"}) {
+    auto desc = SchemeDescriptor::Parse(child);
+    ASSERT_OK(desc.status());
+    auto pushed = PushPart(*rpe, "positions", *desc);
+    ASSERT_OK(pushed.status()) << child;
+    auto back = Decompress(*pushed);
+    ASSERT_OK(back.status()) << child;
+    EXPECT_EQ(back->As<uint32_t>(), col) << child;
+  }
+}
+
+}  // namespace
+}  // namespace recomp

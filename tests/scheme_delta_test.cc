@@ -1,0 +1,84 @@
+// Tests for DELTA (and its classic composition DELTA ∘ ZIGZAG ∘ NS).
+
+#include <gtest/gtest.h>
+
+#include "schemes/scheme.h"
+#include "test_util.h"
+#include "util/bits.h"
+
+namespace recomp {
+namespace {
+
+using testutil::ExpectRoundTrip;
+using testutil::RunsColumn;
+using testutil::UniformColumn;
+
+TEST(DeltaSchemeTest, KnownDeltas) {
+  Column<uint32_t> col{10, 12, 11, 11};
+  auto compressed = Compress(AnyColumn(col), Delta());
+  ASSERT_OK(compressed.status());
+  const auto& part = compressed->root().parts.at("deltas");
+  ASSERT_TRUE(part.is_terminal());
+  // v[-1] = 0 convention: deltas[0] = 10; 11-12 wraps.
+  EXPECT_EQ(part.column->As<uint32_t>(),
+            (Column<uint32_t>{10, 2, ~uint32_t{0}, 0}));
+}
+
+TEST(DeltaSchemeTest, RoundTripsArbitraryData) {
+  // Wrapping makes DELTA a bijection: random data roundtrips too.
+  ExpectRoundTrip(AnyColumn(UniformColumn<uint32_t>(1000, ~uint32_t{0}, 7)),
+                  Delta());
+  ExpectRoundTrip(AnyColumn(UniformColumn<uint64_t>(1000, ~uint64_t{0}, 8)),
+                  Delta());
+  ExpectRoundTrip(AnyColumn(Column<uint8_t>{255, 0, 128, 1}), Delta());
+}
+
+TEST(DeltaSchemeTest, EmptyAndSingle) {
+  ExpectRoundTrip(AnyColumn(Column<uint32_t>{}), Delta());
+  ExpectRoundTrip(AnyColumn(Column<uint32_t>{12345}), Delta());
+}
+
+TEST(DeltaSchemeTest, SortedDataPacksNarrow) {
+  // Monotone dates: DELTA ∘ ZIGZAG ∘ NS shrinks, but the large head delta
+  // (v[0] - 0 = 1000) forces NS's global width up to 11 bits.
+  Column<uint32_t> col = RunsColumn(10000, 0.05, 9);
+  SchemeDescriptor desc =
+      Delta().With("deltas", ZigZag().With("recoded", Ns()));
+  CompressedColumn c = ExpectRoundTrip(AnyColumn(col), desc);
+  EXPECT_GT(c.Ratio(), 2.5);
+
+  // The paper's L0 lesson applies: PATCHED absorbs the single wide head
+  // delta, letting the base width drop to the 3 bits the steps need.
+  SchemeDescriptor patched_desc = Delta().With(
+      "deltas", ZigZag().With("recoded", Patched().With("base", Ns())));
+  CompressedColumn p = ExpectRoundTrip(AnyColumn(col), patched_desc);
+  EXPECT_LT(p.PayloadBytes(), c.PayloadBytes());
+  EXPECT_GT(p.Ratio(), 8.0);
+}
+
+TEST(DeltaSchemeTest, DeltaOfDeltaForLinearData) {
+  // Second-order delta turns an arithmetic progression into near-constants.
+  Column<uint32_t> col;
+  for (uint32_t i = 0; i < 4096; ++i) col.push_back(1000 + 7 * i);
+  SchemeDescriptor desc = Delta().With(
+      "deltas", Delta().With("deltas", ZigZag().With("recoded", Ns())));
+  CompressedColumn c = ExpectRoundTrip(AnyColumn(col), desc);
+  EXPECT_GT(c.Ratio(), 2.0);
+}
+
+TEST(DeltaSchemeTest, SignedInputRejected) {
+  EXPECT_FALSE(Compress(AnyColumn(Column<int32_t>{1, 2}), Delta()).ok());
+}
+
+TEST(VByteUnderDeltaTest, LogMetricResidual) {
+  // The paper's variable-width alternative to NS under DELTA.
+  Column<uint32_t> col = RunsColumn(5000, 0.1, 10);
+  SchemeDescriptor desc =
+      Delta().With("deltas", ZigZag().With("recoded", VByte()));
+  CompressedColumn c = ExpectRoundTrip(AnyColumn(col), desc);
+  // Small deltas cost one byte each.
+  EXPECT_LE(c.PayloadBytes(), 5000u + 8);
+}
+
+}  // namespace
+}  // namespace recomp

@@ -1,0 +1,68 @@
+// Tests for the order-preserving DICT scheme.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "schemes/scheme.h"
+#include "test_util.h"
+
+namespace recomp {
+namespace {
+
+using testutil::ExpectRoundTrip;
+using testutil::UniformColumn;
+
+TEST(DictSchemeTest, DictionaryIsSortedUnique) {
+  Column<uint32_t> col{30, 10, 30, 20, 10};
+  auto compressed = Compress(AnyColumn(col), Dict());
+  ASSERT_OK(compressed.status());
+  const auto& dict =
+      compressed->root().parts.at("dictionary").column->As<uint32_t>();
+  EXPECT_EQ(dict, (Column<uint32_t>{10, 20, 30}));
+  const auto& codes =
+      compressed->root().parts.at("codes").column->As<uint32_t>();
+  EXPECT_EQ(codes, (Column<uint32_t>{2, 0, 2, 1, 0}));
+}
+
+TEST(DictSchemeTest, RoundTripVariousTypes) {
+  ExpectRoundTrip(AnyColumn(UniformColumn<uint64_t>(5000, 100, 31)), Dict());
+  ExpectRoundTrip(AnyColumn(Column<int32_t>{-5, 3, -5, 0, 3}), Dict());
+  ExpectRoundTrip(AnyColumn(Column<uint8_t>{1, 2, 1}), Dict());
+  ExpectRoundTrip(AnyColumn(Column<uint32_t>{}), Dict());
+}
+
+TEST(DictSchemeTest, CodesPackUnderNs) {
+  // Exactly 16 distinct values -> codes 0..15 -> 4-bit codes under NS.
+  Column<uint32_t> col = UniformColumn<uint32_t>(10000, 16, 32);
+  for (uint32_t i = 0; i < 16; ++i) col.push_back(i);  // ensure all present
+  for (auto& v : col) v = v * 1000003 + 17;            // sparse domain
+  CompressedColumn c =
+      ExpectRoundTrip(AnyColumn(col), Dict().With("codes", Ns()));
+  const SchemeDescriptor desc = c.Descriptor();
+  EXPECT_EQ(desc.children.at("codes").params.width, 4);
+}
+
+TEST(DictSchemeTest, CorruptCodeDetected) {
+  Column<uint32_t> col{5, 5, 9};
+  auto compressed = Compress(AnyColumn(col), Dict());
+  ASSERT_OK(compressed.status());
+  auto& codes = compressed->root().parts.at("codes").column->As<uint32_t>();
+  codes[0] = 100;  // beyond dictionary
+  EXPECT_EQ(Decompress(*compressed).status().code(), StatusCode::kCorruption);
+}
+
+TEST(DictSchemeTest, OrderPreservation) {
+  // Sorted dictionary makes code order mirror value order - the property
+  // exec/selection relies on for pushdown.
+  Column<uint64_t> col = UniformColumn<uint64_t>(2000, 1u << 20, 33);
+  auto compressed = Compress(AnyColumn(col), Dict());
+  ASSERT_OK(compressed.status());
+  const auto& dict =
+      compressed->root().parts.at("dictionary").column->As<uint64_t>();
+  EXPECT_TRUE(std::is_sorted(dict.begin(), dict.end()));
+  EXPECT_TRUE(std::adjacent_find(dict.begin(), dict.end()) == dict.end());
+}
+
+}  // namespace
+}  // namespace recomp

@@ -1,0 +1,102 @@
+// Tests for the NS (null suppression / bit packing) scheme plus the ID and
+// ZIGZAG recodings it composes with.
+
+#include <gtest/gtest.h>
+
+#include "schemes/scheme.h"
+#include "test_util.h"
+#include "util/bits.h"
+
+namespace recomp {
+namespace {
+
+using testutil::ExpectRoundTrip;
+using testutil::UniformColumn;
+
+TEST(NsSchemeTest, AutoWidthMatchesMaxValue) {
+  Column<uint32_t> col{0, 1, 100, 63};  // max 100 -> 7 bits
+  CompressedColumn c = ExpectRoundTrip(AnyColumn(col), Ns());
+  EXPECT_EQ(c.Descriptor().params.width, 7);
+  EXPECT_EQ(c.PayloadBytes(), bits::PackedByteSize(4, 7));
+}
+
+TEST(NsSchemeTest, ExplicitWidthRespected) {
+  Column<uint32_t> col{1, 2, 3};
+  CompressedColumn c = ExpectRoundTrip(AnyColumn(col), Ns(16));
+  EXPECT_EQ(c.Descriptor().params.width, 16);
+}
+
+TEST(NsSchemeTest, ExplicitWidthTooNarrowFails) {
+  Column<uint32_t> col{256};
+  EXPECT_FALSE(Compress(AnyColumn(col), Ns(8)).ok());
+}
+
+TEST(NsSchemeTest, AllZerosCompressToNothing) {
+  Column<uint64_t> col(1000, 0);
+  CompressedColumn c = ExpectRoundTrip(AnyColumn(col), Ns());
+  EXPECT_EQ(c.PayloadBytes(), 0u);
+  EXPECT_EQ(c.Descriptor().params.width, 0);
+}
+
+TEST(NsSchemeTest, SignedInputRejectedWithGuidance) {
+  Column<int32_t> col{-1, 2};
+  auto result = Compress(AnyColumn(col), Ns());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("ZIGZAG"), std::string::npos);
+}
+
+TEST(NsSchemeTest, EmptyColumn) {
+  ExpectRoundTrip(AnyColumn(Column<uint32_t>{}), Ns());
+}
+
+TEST(NsSchemeTest, AllUnsignedTypes) {
+  ExpectRoundTrip(AnyColumn(UniformColumn<uint8_t>(100, 200, 1)), Ns());
+  ExpectRoundTrip(AnyColumn(UniformColumn<uint16_t>(100, 60000, 2)), Ns());
+  ExpectRoundTrip(AnyColumn(UniformColumn<uint32_t>(100, 1 << 30, 3)), Ns());
+  ExpectRoundTrip(AnyColumn(UniformColumn<uint64_t>(100, ~uint64_t{0}, 4)),
+                  Ns());
+}
+
+TEST(NsSchemeTest, RatioMatchesWidthFraction) {
+  Column<uint32_t> col = UniformColumn<uint32_t>(8192, 256, 5);  // 8 bits
+  CompressedColumn c = ExpectRoundTrip(AnyColumn(col), Ns());
+  EXPECT_NEAR(c.Ratio(), 4.0, 0.01);  // 32 bits -> 8 bits
+}
+
+TEST(IdSchemeTest, StoresUnchanged) {
+  Column<int64_t> col{-1, 2, -3};
+  CompressedColumn c = ExpectRoundTrip(AnyColumn(col), Id());
+  EXPECT_EQ(c.PayloadBytes(), c.UncompressedBytes());
+  EXPECT_DOUBLE_EQ(c.Ratio(), 1.0);
+}
+
+TEST(ZigZagSchemeTest, SignedRoundTrip) {
+  Column<int32_t> col{0, -1, 1, -100, std::numeric_limits<int32_t>::min(),
+                      std::numeric_limits<int32_t>::max()};
+  ExpectRoundTrip(AnyColumn(col), ZigZag());
+}
+
+TEST(ZigZagSchemeTest, UnsignedRoundTrip) {
+  // ZIGZAG on unsigned input reinterprets as signed; still bijective.
+  Column<uint32_t> col{0, 1, ~uint32_t{0}, 1u << 31};
+  ExpectRoundTrip(AnyColumn(col), ZigZag());
+}
+
+TEST(ZigZagSchemeTest, MakesSignedPackable) {
+  // Small signed values -> ZIGZAG -> small unsigned -> NS packs narrow.
+  Column<int32_t> col{-3, 3, -2, 2, 0};
+  CompressedColumn c =
+      ExpectRoundTrip(AnyColumn(col), ZigZag().With("recoded", Ns()));
+  // zigzag max = 6 -> 3 bits.
+  EXPECT_EQ(c.PayloadBytes(), bits::PackedByteSize(5, 3));
+}
+
+TEST(ZigZagSchemeTest, AllSignedTypes) {
+  ExpectRoundTrip(AnyColumn(Column<int8_t>{-128, 127, 0}), ZigZag());
+  ExpectRoundTrip(AnyColumn(Column<int16_t>{-32768, 32767}), ZigZag());
+  ExpectRoundTrip(AnyColumn(Column<int64_t>{INT64_MIN, INT64_MAX, 0}),
+                  ZigZag());
+}
+
+}  // namespace
+}  // namespace recomp

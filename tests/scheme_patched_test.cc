@@ -1,0 +1,119 @@
+// Tests for the PATCHED combinator — the paper's L0-metric decomposition
+// ("really a step function, but with the occasional divergent element").
+
+#include <gtest/gtest.h>
+
+#include "schemes/scheme.h"
+#include "test_util.h"
+#include "util/bits.h"
+#include "util/random.h"
+
+namespace recomp {
+namespace {
+
+using testutil::ExpectRoundTrip;
+
+/// Mostly-narrow data with a fraction of wide outliers.
+Column<uint32_t> OutlierColumn(uint64_t n, int base_bits, double fraction,
+                               uint64_t seed) {
+  Rng rng(seed);
+  Column<uint32_t> col;
+  col.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(fraction)) {
+      col.push_back(static_cast<uint32_t>(rng.Below(1u << 30)) | (1u << 29));
+    } else {
+      col.push_back(static_cast<uint32_t>(rng.Below(1u << base_bits)));
+    }
+  }
+  return col;
+}
+
+TEST(PatchedSchemeTest, SplitsBaseAndPatches) {
+  Column<uint32_t> col{1, 2, 1000, 3};
+  auto compressed = Compress(AnyColumn(col), Patched(2));
+  ASSERT_OK(compressed.status());
+  EXPECT_EQ(compressed->root().parts.at("base").column->As<uint32_t>(),
+            (Column<uint32_t>{1, 2, 1000 & 3, 3}));
+  EXPECT_EQ(
+      compressed->root().parts.at("patch_positions").column->As<uint32_t>(),
+      (Column<uint32_t>{2}));
+  EXPECT_EQ(compressed->root().parts.at("patch_values").column->As<uint32_t>(),
+            (Column<uint32_t>{1000}));
+  auto back = Decompress(*compressed);
+  ASSERT_OK(back.status());
+  EXPECT_EQ(back->As<uint32_t>(), col);
+}
+
+TEST(PatchedSchemeTest, NoOutliersNoPatches) {
+  Column<uint32_t> col{1, 2, 3};
+  auto compressed = Compress(AnyColumn(col), Patched(2));
+  ASSERT_OK(compressed.status());
+  EXPECT_TRUE(
+      compressed->root().parts.at("patch_positions").column->size() == 0);
+}
+
+TEST(PatchedSchemeTest, AutoWidthMinimizesFootprint) {
+  // 99% of values fit in 8 bits; 1% need 30. Auto width should land near 8,
+  // not 30.
+  Column<uint32_t> col = OutlierColumn(100000, 8, 0.01, 71);
+  auto compressed =
+      Compress(AnyColumn(col), Patched().With("base", Ns()));
+  ASSERT_OK(compressed.status());
+  const int width = compressed->Descriptor().params.width;
+  EXPECT_GE(width, 6);
+  EXPECT_LE(width, 12);
+  auto back = Decompress(*compressed);
+  ASSERT_OK(back.status());
+  EXPECT_EQ(back->As<uint32_t>(), col);
+}
+
+TEST(PatchedSchemeTest, PatchedNsBeatsPlainNsWithOutliers) {
+  Column<uint32_t> col = OutlierColumn(65536, 6, 0.005, 72);
+  auto plain = Compress(AnyColumn(col), Ns());
+  auto patched = Compress(AnyColumn(col), Patched().With("base", Ns()));
+  ASSERT_OK(plain.status());
+  ASSERT_OK(patched.status());
+  EXPECT_LT(patched->PayloadBytes(), plain->PayloadBytes());
+}
+
+TEST(PatchedSchemeTest, AllOutliersDegradesGracefully) {
+  // With every value wide, the optimum is width == value bits (no patches).
+  Column<uint32_t> col = OutlierColumn(10000, 6, 1.0, 73);
+  auto compressed = Compress(AnyColumn(col), Patched().With("base", Ns()));
+  ASSERT_OK(compressed.status());
+  EXPECT_EQ(
+      compressed->root().parts.at("patch_positions").column->size(), 0u);
+  auto back = Decompress(*compressed);
+  ASSERT_OK(back.status());
+  EXPECT_EQ(back->As<uint32_t>(), col);
+}
+
+TEST(PatchedSchemeTest, RoundTripsEdgeCases) {
+  ExpectRoundTrip(AnyColumn(Column<uint32_t>{}), Patched(4));
+  ExpectRoundTrip(AnyColumn(Column<uint32_t>{0}), Patched(4));
+  ExpectRoundTrip(AnyColumn(Column<uint64_t>{~uint64_t{0}, 0}), Patched(4));
+}
+
+TEST(PatchedSchemeTest, TamperedPatchDetected) {
+  Column<uint32_t> col{1, 1000, 2};
+  auto compressed = Compress(AnyColumn(col), Patched(2));
+  ASSERT_OK(compressed.status());
+  auto& values =
+      compressed->root().parts.at("patch_values").column->As<uint32_t>();
+  values[0] ^= 1;  // low bits no longer match the base column
+  EXPECT_EQ(Decompress(*compressed).status().code(), StatusCode::kCorruption);
+}
+
+TEST(PatchedSchemeTest, InsidePforComposition) {
+  // PFOR = MODELED(STEP) with a patched, packed residual.
+  Column<uint32_t> col = OutlierColumn(32768, 5, 0.01, 74);
+  for (uint64_t i = 0; i < col.size(); ++i) col[i] += 50000;  // add a frame
+  SchemeDescriptor pfor =
+      Modeled(Step(1024)).With("residual", Patched().With("base", Ns()));
+  CompressedColumn c = ExpectRoundTrip(AnyColumn(col), pfor);
+  EXPECT_GT(c.Ratio(), 3.0);
+}
+
+}  // namespace
+}  // namespace recomp

@@ -1,0 +1,108 @@
+// Tests for RPE and its catalog composition RLE = RPE{positions: DELTA} —
+// the paper's §II-A decomposition, including the byte-identity of RLE's
+// lengths column with the DELTA form of RPE's positions column.
+
+#include <gtest/gtest.h>
+
+#include "ops/run_boundaries.h"
+#include "schemes/scheme.h"
+#include "test_util.h"
+
+namespace recomp {
+namespace {
+
+using testutil::ExpectRoundTrip;
+using testutil::RunsColumn;
+
+TEST(RpeSchemeTest, PartsMatchRuns) {
+  Column<uint32_t> col{7, 7, 3, 3, 3, 9};
+  auto compressed = Compress(AnyColumn(col), Rpe());
+  ASSERT_OK(compressed.status());
+  EXPECT_EQ(compressed->root().parts.at("values").column->As<uint32_t>(),
+            (Column<uint32_t>{7, 3, 9}));
+  EXPECT_EQ(compressed->root().parts.at("positions").column->As<uint32_t>(),
+            (Column<uint32_t>{2, 5, 6}));
+}
+
+TEST(RpeSchemeTest, RoundTrip) {
+  ExpectRoundTrip(AnyColumn(RunsColumn(10000, 0.02, 21)), Rpe());
+  ExpectRoundTrip(AnyColumn(Column<uint32_t>{}), Rpe());
+  ExpectRoundTrip(AnyColumn(Column<uint32_t>{5}), Rpe());
+  ExpectRoundTrip(AnyColumn(Column<uint32_t>(5000, 1)), Rpe());
+}
+
+TEST(RpeSchemeTest, WorksForSignedValues) {
+  Column<int32_t> col{-1, -1, 5, 5, 5, -7};
+  ExpectRoundTrip(AnyColumn(col), Rpe());
+}
+
+TEST(RpeSchemeTest, CorruptPositionsDetected) {
+  Column<uint32_t> col{1, 1, 2};
+  auto compressed = Compress(AnyColumn(col), Rpe());
+  ASSERT_OK(compressed.status());
+  // Make positions non-increasing.
+  auto& positions =
+      compressed->root().parts.at("positions").column->As<uint32_t>();
+  positions[0] = 3;
+  auto back = Decompress(*compressed);
+  EXPECT_EQ(back.status().code(), StatusCode::kCorruption);
+}
+
+TEST(RpeSchemeTest, LastPositionMustBeN) {
+  Column<uint32_t> col{1, 1, 2};
+  auto compressed = Compress(AnyColumn(col), Rpe());
+  ASSERT_OK(compressed.status());
+  compressed->root().n = 99;
+  EXPECT_EQ(Decompress(*compressed).status().code(), StatusCode::kCorruption);
+}
+
+TEST(RleCompositionTest, LengthsAreTheDeltaForm) {
+  // Paper §II-A: RLE ≡ (ID values, DELTA positions) ∘ RPE. Compressing the
+  // positions part with DELTA must yield byte-exactly the classic lengths
+  // column.
+  Column<uint32_t> col = RunsColumn(20000, 0.03, 22);
+  SchemeDescriptor rle = Rpe().With("positions", Delta());
+  auto compressed = Compress(AnyColumn(col), rle);
+  ASSERT_OK(compressed.status());
+
+  auto runs = ops::FindRuns(col);
+  ASSERT_OK(runs.status());
+
+  const CompressedPart& positions_part =
+      compressed->root().parts.at("positions");
+  ASSERT_FALSE(positions_part.is_terminal());
+  const AnyColumn& deltas =
+      *positions_part.sub->parts.at("deltas").column;
+  EXPECT_EQ(deltas.As<uint32_t>(), runs->lengths);
+}
+
+TEST(RleCompositionTest, RoundTrip) {
+  SchemeDescriptor rle = Rpe().With("positions", Delta());
+  ExpectRoundTrip(AnyColumn(RunsColumn(10000, 0.05, 23)), rle);
+  ExpectRoundTrip(AnyColumn(Column<uint32_t>{}), rle);
+}
+
+TEST(RleCompositionTest, FullStackWithPackedLeaves) {
+  // RLE with NS-packed lengths and DELTA+NS values - the paper's intro
+  // composite for the shipped-orders date column.
+  SchemeDescriptor desc =
+      Rpe()
+          .With("positions", Delta().With("deltas", Ns()))
+          .With("values",
+                Delta().With("deltas", ZigZag().With("recoded", Ns())));
+  Column<uint32_t> col = RunsColumn(50000, 0.01, 24);
+  CompressedColumn c = ExpectRoundTrip(AnyColumn(col), desc);
+  // ~500 runs of ~100: tiny lengths, tiny value deltas.
+  EXPECT_GT(c.Ratio(), 50.0);
+}
+
+TEST(RpeSchemeTest, RatioReflectsRunCount) {
+  Column<uint32_t> col = RunsColumn(10000, 0.01, 25);  // ~100 runs
+  auto compressed = Compress(AnyColumn(col), Rpe());
+  ASSERT_OK(compressed.status());
+  // Payload is ~2 * runs * 4 bytes vs 40000 bytes uncompressed.
+  EXPECT_GT(compressed->Ratio(), 20.0);
+}
+
+}  // namespace
+}  // namespace recomp

@@ -1,0 +1,69 @@
+// Tests for the VBYTE (variable-byte) scheme.
+
+#include <gtest/gtest.h>
+
+#include "schemes/scheme.h"
+#include "test_util.h"
+
+namespace recomp {
+namespace {
+
+using testutil::ExpectRoundTrip;
+using testutil::UniformColumn;
+
+TEST(VByteSchemeTest, KnownEncoding) {
+  Column<uint32_t> col{0, 127, 128, 300};
+  auto compressed = Compress(AnyColumn(col), VByte());
+  ASSERT_OK(compressed.status());
+  const auto& stream =
+      compressed->root().parts.at("stream").column->As<uint8_t>();
+  // 0 -> [0x00]; 127 -> [0x7F]; 128 -> [0x80, 0x01]; 300 -> [0xAC, 0x02].
+  EXPECT_EQ(stream, (Column<uint8_t>{0x00, 0x7F, 0x80, 0x01, 0xAC, 0x02}));
+}
+
+TEST(VByteSchemeTest, RoundTrips) {
+  ExpectRoundTrip(AnyColumn(Column<uint32_t>{}), VByte());
+  ExpectRoundTrip(AnyColumn(Column<uint32_t>{~uint32_t{0}}), VByte());
+  ExpectRoundTrip(AnyColumn(Column<uint64_t>{~uint64_t{0}, 0, 1}), VByte());
+  ExpectRoundTrip(AnyColumn(UniformColumn<uint32_t>(5000, ~uint32_t{0}, 41)),
+                  VByte());
+  ExpectRoundTrip(AnyColumn(UniformColumn<uint8_t>(1000, 256, 42)), VByte());
+}
+
+TEST(VByteSchemeTest, SmallValuesCostOneByte) {
+  Column<uint32_t> col = UniformColumn<uint32_t>(1000, 128, 43);
+  auto compressed = Compress(AnyColumn(col), VByte());
+  ASSERT_OK(compressed.status());
+  EXPECT_EQ(compressed->PayloadBytes(), 1000u);
+  EXPECT_DOUBLE_EQ(compressed->Ratio(), 4.0);
+}
+
+TEST(VByteSchemeTest, TruncatedStreamDetected) {
+  Column<uint32_t> col{300, 300};
+  auto compressed = Compress(AnyColumn(col), VByte());
+  ASSERT_OK(compressed.status());
+  auto& stream = compressed->root().parts.at("stream").column->As<uint8_t>();
+  stream.pop_back();
+  EXPECT_EQ(Decompress(*compressed).status().code(), StatusCode::kCorruption);
+}
+
+TEST(VByteSchemeTest, TrailingBytesDetected) {
+  Column<uint32_t> col{1};
+  auto compressed = Compress(AnyColumn(col), VByte());
+  ASSERT_OK(compressed.status());
+  auto& stream = compressed->root().parts.at("stream").column->As<uint8_t>();
+  stream.push_back(0x00);
+  EXPECT_EQ(Decompress(*compressed).status().code(), StatusCode::kCorruption);
+}
+
+TEST(VByteSchemeTest, OverlongValueForTypeDetected) {
+  // Encode a uint64 value, then lie about the output type via the envelope.
+  Column<uint64_t> col{uint64_t{1} << 40};
+  auto compressed = Compress(AnyColumn(col), VByte());
+  ASSERT_OK(compressed.status());
+  compressed->root().out_type = TypeId::kUInt16;
+  EXPECT_EQ(Decompress(*compressed).status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace recomp

@@ -1,0 +1,103 @@
+// Unit tests for column statistics.
+
+#include <gtest/gtest.h>
+
+#include "columnar/stats.h"
+
+namespace recomp {
+namespace {
+
+TEST(StatsTest, EmptyColumn) {
+  ColumnStats s = ComputeStats(Column<uint32_t>{});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.run_count, 0u);
+  EXPECT_FALSE(s.sorted_nondecreasing);
+}
+
+TEST(StatsTest, SingleValue) {
+  ColumnStats s = ComputeStats(Column<uint32_t>{42});
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_EQ(s.min, 42u);
+  EXPECT_EQ(s.max, 42u);
+  EXPECT_EQ(s.run_count, 1u);
+  EXPECT_EQ(s.distinct, 1u);
+  EXPECT_TRUE(s.sorted_nondecreasing);
+  EXPECT_TRUE(s.strictly_increasing);
+  EXPECT_EQ(s.value_bits, 6);
+  EXPECT_EQ(s.range_bits, 0);
+}
+
+TEST(StatsTest, RunsAndSortedness) {
+  ColumnStats s = ComputeStats(Column<uint32_t>{1, 1, 1, 2, 2, 5, 5, 5, 5});
+  EXPECT_EQ(s.run_count, 3u);
+  EXPECT_EQ(s.max_run_length, 4u);
+  EXPECT_DOUBLE_EQ(s.avg_run_length, 3.0);
+  EXPECT_TRUE(s.sorted_nondecreasing);
+  EXPECT_FALSE(s.strictly_increasing);
+  EXPECT_EQ(s.distinct, 3u);
+}
+
+TEST(StatsTest, UnsortedDetected) {
+  ColumnStats s = ComputeStats(Column<uint32_t>{3, 1, 2});
+  EXPECT_FALSE(s.sorted_nondecreasing);
+  EXPECT_EQ(s.run_count, 3u);
+}
+
+TEST(StatsTest, DeltaBitsForSortedData) {
+  // Deltas: 10 (head), then 2, 2, 2 -> zigzagged small.
+  ColumnStats s = ComputeStats(Column<uint32_t>{10, 12, 14, 16});
+  EXPECT_TRUE(s.strictly_increasing);
+  EXPECT_EQ(s.max_delta_zigzag_bits, 3);  // zigzag(2) = 4 -> 3 bits
+  EXPECT_EQ(s.max_delta_zigzag_bits_with_head, 5);  // zigzag(10) = 20
+}
+
+TEST(StatsTest, RangeVsValueBits) {
+  ColumnStats s = ComputeStats(Column<uint32_t>{1000, 1001, 1003});
+  EXPECT_EQ(s.value_bits, 10);
+  EXPECT_EQ(s.range_bits, 2);  // max - min = 3
+}
+
+TEST(StatsTest, DistinctCapped) {
+  Column<uint32_t> col(ColumnStats::kDistinctCap + 100);
+  for (uint64_t i = 0; i < col.size(); ++i) col[i] = static_cast<uint32_t>(i);
+  ColumnStats s = ComputeStats(col);
+  EXPECT_TRUE(s.distinct_capped);
+  EXPECT_EQ(s.distinct, ColumnStats::kDistinctCap);
+}
+
+TEST(StatsTest, StepResidualWidthExactSegments) {
+  // Two segments of 4: [10..13] spread 3 (2 bits), [100..108] spread 8 (4 bits).
+  Column<uint32_t> col{10, 11, 12, 13, 100, 104, 101, 108};
+  EXPECT_EQ(StepResidualWidth(col, 4), 4);
+  EXPECT_EQ(StepResidualWidth(col, 8), 7);  // global spread 98 -> 7 bits
+}
+
+TEST(StatsTest, StepResidualWidthRaggedTail) {
+  Column<uint32_t> col{0, 0, 0, 7};  // segments of 3: {0,0,0} and {7}
+  EXPECT_EQ(StepResidualWidth(col, 3), 0);
+}
+
+TEST(StatsTest, StepResidualWidthEmptyOrZeroEll) {
+  EXPECT_EQ(StepResidualWidth(Column<uint32_t>{}, 4), 0);
+  EXPECT_EQ(StepResidualWidth(Column<uint32_t>{1, 2}, 0), 0);
+}
+
+TEST(StatsTest, WidthCoveringFraction) {
+  // 90 small values (4 bits), 10 large (20 bits).
+  Column<uint32_t> col;
+  for (int i = 0; i < 90; ++i) col.push_back(9);        // 4 bits
+  for (int i = 0; i < 10; ++i) col.push_back(1 << 19);  // 20 bits
+  EXPECT_EQ(WidthCoveringFraction(col, 0.0), 20);
+  EXPECT_EQ(WidthCoveringFraction(col, 0.10), 4);
+  EXPECT_EQ(WidthCoveringFraction(col, 0.05), 20);
+}
+
+TEST(StatsTest, WorksForAllUnsignedWidths) {
+  ColumnStats s8 = ComputeStats(Column<uint8_t>{255, 0});
+  EXPECT_EQ(s8.value_bits, 8);
+  ColumnStats s64 = ComputeStats(Column<uint64_t>{~uint64_t{0}});
+  EXPECT_EQ(s64.value_bits, 64);
+}
+
+}  // namespace
+}  // namespace recomp

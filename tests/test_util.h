@@ -1,0 +1,66 @@
+// Shared helpers for recomp tests.
+
+#ifndef RECOMP_TESTS_TEST_UTIL_H_
+#define RECOMP_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include "columnar/any_column.h"
+#include "core/pipeline.h"
+#include "util/random.h"
+
+#define EXPECT_OK(expr) EXPECT_TRUE((expr).ok()) << (expr).ToString()
+#define ASSERT_OK(expr) ASSERT_TRUE((expr).ok()) << (expr).ToString()
+
+namespace recomp::testutil {
+
+/// Compresses `input` with `desc`, decompresses, and asserts the roundtrip
+/// reproduces the input exactly. Returns the compressed form for further
+/// inspection.
+inline CompressedColumn ExpectRoundTrip(const AnyColumn& input,
+                                        const SchemeDescriptor& desc) {
+  auto compressed = Compress(input, desc);
+  EXPECT_TRUE(compressed.ok())
+      << desc.ToString() << ": " << compressed.status().ToString();
+  if (!compressed.ok()) return CompressedColumn{};
+  auto back = Decompress(*compressed);
+  EXPECT_TRUE(back.ok()) << desc.ToString() << ": "
+                         << back.status().ToString();
+  if (back.ok()) {
+    EXPECT_TRUE(*back == input)
+        << "roundtrip mismatch for " << desc.ToString();
+  }
+  return std::move(*compressed);
+}
+
+/// Sorted column with geometric runs (the paper's shipped-orders shape).
+inline Column<uint32_t> RunsColumn(uint64_t n, double new_run_probability,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  Column<uint32_t> col;
+  col.reserve(n);
+  uint32_t value = 1000;
+  for (uint64_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(new_run_probability)) {
+      value += 1 + static_cast<uint32_t>(rng.Below(3));
+    }
+    col.push_back(value);
+  }
+  return col;
+}
+
+/// Uniform random column over [0, bound).
+template <typename T>
+Column<T> UniformColumn(uint64_t n, uint64_t bound, uint64_t seed) {
+  Rng rng(seed);
+  Column<T> col;
+  col.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    col.push_back(static_cast<T>(rng.Below(bound)));
+  }
+  return col;
+}
+
+}  // namespace recomp::testutil
+
+#endif  // RECOMP_TESTS_TEST_UTIL_H_

@@ -1,0 +1,221 @@
+// Unit tests for the utility substrate: Status/Result, bit utilities,
+// zigzag recoding, deterministic PRNG, and string helpers.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bits.h"
+#include "util/random.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/zigzag.h"
+
+namespace recomp {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad width");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad width");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad width");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::Corruption("boom");
+  Status t = s;
+  EXPECT_EQ(t.code(), StatusCode::kCorruption);
+  EXPECT_EQ(t.message(), "boom");
+  EXPECT_EQ(s, t);
+}
+
+TEST(StatusTest, EachFactoryMapsToItsCode) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::KeyError("x").code(), StatusCode::kKeyError);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::OutOfRange("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+Result<int> HalveEven(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+Result<int> QuarterViaMacro(int v) {
+  RECOMP_ASSIGN_OR_RETURN(int half, HalveEven(v));
+  RECOMP_ASSIGN_OR_RETURN(int quarter, HalveEven(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*QuarterViaMacro(8), 2);
+  EXPECT_EQ(QuarterViaMacro(6).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(QuarterViaMacro(5).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BitsTest, BitWidthBoundaries) {
+  EXPECT_EQ(bits::BitWidth<uint32_t>(0), 0);
+  EXPECT_EQ(bits::BitWidth<uint32_t>(1), 1);
+  EXPECT_EQ(bits::BitWidth<uint32_t>(2), 2);
+  EXPECT_EQ(bits::BitWidth<uint32_t>(255), 8);
+  EXPECT_EQ(bits::BitWidth<uint32_t>(256), 9);
+  EXPECT_EQ(bits::BitWidth<uint32_t>(~uint32_t{0}), 32);
+  EXPECT_EQ(bits::BitWidth<uint64_t>(~uint64_t{0}), 64);
+  EXPECT_EQ(bits::BitWidth<uint8_t>(uint8_t{128}), 8);
+}
+
+TEST(BitsTest, LowMasks) {
+  EXPECT_EQ(bits::LowMask64(0), 0u);
+  EXPECT_EQ(bits::LowMask64(1), 1u);
+  EXPECT_EQ(bits::LowMask64(63), (uint64_t{1} << 63) - 1);
+  EXPECT_EQ(bits::LowMask64(64), ~uint64_t{0});
+  EXPECT_EQ(bits::LowMask32(32), ~uint32_t{0});
+  EXPECT_EQ(bits::LowMask32(5), 31u);
+}
+
+TEST(BitsTest, CeilDivAndRoundUp) {
+  EXPECT_EQ(bits::CeilDiv(0, 8), 0u);
+  EXPECT_EQ(bits::CeilDiv(1, 8), 1u);
+  EXPECT_EQ(bits::CeilDiv(8, 8), 1u);
+  EXPECT_EQ(bits::CeilDiv(9, 8), 2u);
+  EXPECT_EQ(bits::RoundUp(13, 8), 16u);
+  EXPECT_EQ(bits::RoundUp(16, 8), 16u);
+}
+
+TEST(BitsTest, PackedByteSize) {
+  EXPECT_EQ(bits::PackedByteSize(0, 7), 0u);
+  EXPECT_EQ(bits::PackedByteSize(8, 1), 1u);
+  EXPECT_EQ(bits::PackedByteSize(9, 1), 2u);
+  EXPECT_EQ(bits::PackedByteSize(3, 7), 3u);   // 21 bits -> 3 bytes
+  EXPECT_EQ(bits::PackedByteSize(4, 64), 32u);
+}
+
+TEST(ZigZagTest, KnownValues) {
+  EXPECT_EQ(zigzag::Encode<int32_t>(0), 0u);
+  EXPECT_EQ(zigzag::Encode<int32_t>(-1), 1u);
+  EXPECT_EQ(zigzag::Encode<int32_t>(1), 2u);
+  EXPECT_EQ(zigzag::Encode<int32_t>(-2), 3u);
+  EXPECT_EQ(zigzag::Encode<int32_t>(2), 4u);
+}
+
+TEST(ZigZagTest, RoundTripExtremes) {
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{1},
+                    std::numeric_limits<int64_t>::min(),
+                    std::numeric_limits<int64_t>::max()}) {
+    EXPECT_EQ(zigzag::Decode(zigzag::Encode(v)), v);
+  }
+  for (int32_t v : {std::numeric_limits<int32_t>::min(),
+                    std::numeric_limits<int32_t>::max(), -12345, 12345}) {
+    EXPECT_EQ(zigzag::Decode(zigzag::Encode(v)), v);
+  }
+}
+
+TEST(ZigZagTest, SmallDiffsEncodeSmall) {
+  // Wrapped diff of neighbors is small in zigzag space regardless of sign.
+  EXPECT_LE(zigzag::EncodeDiff<uint64_t>(100, 97), 6u);
+  EXPECT_LE(zigzag::EncodeDiff<uint64_t>(97, 100), 6u);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(1234), b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) differing += (a.Next() != b.Next());
+  EXPECT_GT(differing, 0);
+}
+
+TEST(RngTest, BelowStaysBelow) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.Range(3, 6));
+  EXPECT_EQ(seen, (std::set<uint64_t>{3, 4, 5, 6}));
+}
+
+TEST(RngTest, GeometricAtLeastOneAndMeanSane) {
+  Rng rng(99);
+  double total = 0;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    uint64_t g = rng.Geometric(0.25);
+    EXPECT_GE(g, 1u);
+    total += static_cast<double>(g);
+  }
+  // Mean of Geometric(0.25) is 4; allow generous tolerance.
+  EXPECT_NEAR(total / kSamples, 4.0, 0.25);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ZipfTest, RankZeroMostFrequent) {
+  Rng rng(42);
+  ZipfSampler zipf(100, 1.2);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[50]);
+}
+
+TEST(ZipfTest, SamplesInUniverse) {
+  Rng rng(42);
+  ZipfSampler zipf(16, 0.8);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Sample(rng), 16u);
+}
+
+TEST(StringUtilTest, Format) {
+  EXPECT_EQ(StringFormat("a=%d b=%s", 3, "xy"), "a=3 b=xy");
+  EXPECT_EQ(StringFormat("%s", ""), "");
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringUtilTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(1536), "1.50 KiB");
+  EXPECT_EQ(HumanBytes(3u << 20), "3.00 MiB");
+}
+
+}  // namespace
+}  // namespace recomp
