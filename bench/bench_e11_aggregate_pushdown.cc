@@ -54,14 +54,14 @@ void PrintTables() {
     const struct {
       const char* name;
       uint64_t got, want;
-      std::string strategy;
+      exec::Strategy strategy;
     } rows[] = {{"SUM", sum.value, ref_sum, sum.strategy},
                 {"MIN", min.value, ref_min, min.strategy},
                 {"MAX", max.value, ref_max, max.strategy}};
     for (const auto& row : rows) {
       std::printf("%-22s %-12s %22llu %10s %10s\n", c.name, row.name,
                   static_cast<unsigned long long>(row.got),
-                  row.strategy.c_str(), row.got == row.want ? "ok" : "FAIL");
+                  exec::StrategyName(row.strategy), row.got == row.want ? "ok" : "FAIL");
       if (row.got != row.want) std::exit(1);
     }
   }

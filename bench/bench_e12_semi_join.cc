@@ -59,7 +59,7 @@ void PrintTables() {
     auto result = exec::SemiJoinCompressed(compressed, keys);
     bench::CheckOk(result.status(), c.name);
     std::printf("%-26s %-14s %14llu %14zu %12.4f\n", c.name,
-                result->strategy.c_str(),
+                exec::StrategyName(result->strategy),
                 static_cast<unsigned long long>(result->probes),
                 result->positions.size(),
                 static_cast<double>(result->probes) /

@@ -1,0 +1,124 @@
+// E13 — Chunked columns: per-chunk scheme selection and zone-map pushdown.
+//
+// Claim (ROADMAP north star + Slesarev et al.): real columns drift, so
+// choosing one composition per *chunk* beats one per column on ratio, and
+// chunk zone maps prune whole chunks from selections before any per-chunk
+// strategy runs.
+//
+// Table 1: footprint of whole-column auto choice vs per-chunk auto choice on
+// a drifting column. Table 2: zone-map pruning counts under a selectivity
+// sweep. Timing: chunked vs whole-column selection.
+
+#include <algorithm>
+
+#include "bench_common.h"
+#include "core/analyzer.h"
+#include "core/catalog.h"
+#include "core/chunked.h"
+#include "exec/selection.h"
+#include "gen/generators.h"
+
+namespace {
+
+using namespace recomp;
+using bench::ValueOrDie;
+
+constexpr uint64_t kRows = 1u << 21;
+constexpr uint64_t kChunkRows = 64 * 1024;
+
+/// A drifting column: a run-heavy third, a noisy third, a sorted third.
+Column<uint32_t> MakeDriftingColumn() {
+  const uint64_t part = kRows / 3;
+  Column<uint32_t> col = gen::SortedRuns(part, 60.0, 2, 131);
+  Column<uint32_t> noise = gen::Uniform(part, uint64_t{1} << 22, 132);
+  col.insert(col.end(), noise.begin(), noise.end());
+  for (uint64_t i = 0; col.size() < kRows; ++i) {
+    col.push_back((uint32_t{1} << 23) + static_cast<uint32_t>(2 * i));
+  }
+  return col;
+}
+
+void PrintTables() {
+  const Column<uint32_t> col = MakeDriftingColumn();
+  const AnyColumn input(col);
+
+  bench::Section("E13: whole-column vs per-chunk scheme choice (rows=2^21)");
+  auto whole_desc = ValueOrDie(ChooseScheme(input), "choose whole");
+  CompressedColumn whole =
+      ValueOrDie(Compress(input, whole_desc), "compress whole");
+  ChunkedCompressedColumn chunked =
+      ValueOrDie(CompressChunkedAuto(input, {kChunkRows}), "compress chunked");
+  std::printf("%-22s %14s %10s %s\n", "strategy", "payload", "ratio",
+              "descriptor(s)");
+  std::printf("%-22s %14llu %9.2fx %s\n", "whole-column",
+              static_cast<unsigned long long>(whole.PayloadBytes()),
+              whole.Ratio(), whole.Descriptor().ToString().c_str());
+  std::printf("%-22s %14llu %9.2fx %llu chunks\n", "per-chunk",
+              static_cast<unsigned long long>(chunked.PayloadBytes()),
+              chunked.Ratio(),
+              static_cast<unsigned long long>(chunked.num_chunks()));
+  std::printf(
+      "\nExpected shape: the per-chunk choice matches each regime (RLE on "
+      "runs, NS/FOR on noise, DELTA on the sorted tail) and its payload is "
+      "no larger than the single whole-column compromise.\n");
+
+  bench::Section("E13: zone-map pruning under a selectivity sweep");
+  std::printf("%-14s %8s %8s %8s %8s %16s %10s\n", "predicate", "chunks",
+              "pruned", "full", "exec", "values decoded", "matches");
+  const uint64_t sorted_base = uint64_t{1} << 23;
+  const struct {
+    const char* name;
+    exec::RangePredicate pred;
+  } sweeps[] = {
+      {"point-ish", {sorted_base + 1000, sorted_base + 1040}},
+      {"narrow", {sorted_base, sorted_base + (1u << 16)}},
+      {"third", {sorted_base, ~uint64_t{0}}},
+      {"everything", {0, ~uint64_t{0}}},
+  };
+  for (const auto& sweep : sweeps) {
+    auto result = ValueOrDie(exec::SelectCompressed(chunked, sweep.pred),
+                             "chunked select");
+    std::printf("%-14s %8llu %8llu %8llu %8llu %16llu %10zu\n", sweep.name,
+                static_cast<unsigned long long>(result.stats.chunks_total),
+                static_cast<unsigned long long>(result.stats.chunks_pruned),
+                static_cast<unsigned long long>(result.stats.chunks_full),
+                static_cast<unsigned long long>(result.stats.chunks_executed),
+                static_cast<unsigned long long>(result.stats.values_decoded),
+                result.positions.size());
+  }
+  std::printf(
+      "\nExpected shape: selective predicates prune most chunks outright; "
+      "covering predicates emit whole chunks from zone maps without decoding "
+      "a value.\n");
+}
+
+void BM_ChunkedSelection(benchmark::State& state) {
+  const bool use_chunked = state.range(0) == 1;
+  const Column<uint32_t> col = MakeDriftingColumn();
+  const AnyColumn input(col);
+  auto whole_desc = ValueOrDie(ChooseScheme(input), "choose whole");
+  CompressedColumn whole =
+      ValueOrDie(Compress(input, whole_desc), "compress whole");
+  ChunkedCompressedColumn chunked =
+      ValueOrDie(CompressChunkedAuto(input, {kChunkRows}), "compress chunked");
+  const uint64_t sorted_base = uint64_t{1} << 23;
+  const exec::RangePredicate pred{sorted_base, sorted_base + (1u << 16)};
+  for (auto _ : state) {
+    if (use_chunked) {
+      auto result = exec::SelectCompressed(chunked, pred);
+      bench::CheckOk(result.status(), "chunked select");
+      benchmark::DoNotOptimize(result->positions.size());
+    } else {
+      auto result = exec::SelectCompressed(whole, pred);
+      bench::CheckOk(result.status(), "whole select");
+      benchmark::DoNotOptimize(result->positions.size());
+    }
+  }
+  state.SetLabel(use_chunked ? "chunked+zone-maps" : "whole-column");
+  bench::SetThroughput(state, kRows * sizeof(uint32_t));
+}
+BENCHMARK(BM_ChunkedSelection)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+RECOMP_BENCH_MAIN(PrintTables)

@@ -1,5 +1,7 @@
-// A miniature compressed column store: analyze, compress, serialize to a
-// file, load it back, and serve point lookups and range queries without
+// A miniature compressed column store, chunked edition: ingest a drifting
+// column, let the analyzer pick a composition *per chunk*, serialize the
+// chunked envelope (v2: chunk directory + zone maps) to a file, load it
+// back, and serve point lookups and zone-map-pruned range queries without
 // ever materializing the column — the library's pieces composed the way a
 // DBMS buffer pool would use them.
 
@@ -7,6 +9,7 @@
 #include <fstream>
 
 #include "core/analyzer.h"
+#include "core/chunked.h"
 #include "core/pipeline.h"
 #include "core/serialize.h"
 #include "exec/point_access.h"
@@ -16,17 +19,36 @@
 int main() {
   using namespace recomp;
 
-  // Ingest: a sensor-style column; let the analyzer pick the composition.
-  Column<uint32_t> column = gen::StepLevels(1u << 20, 1024, 24, 8, 99);
-  auto descriptor = ChooseScheme(AnyColumn(column));
-  if (!descriptor.ok()) return 1;
-  auto compressed = Compress(AnyColumn(column), *descriptor);
-  if (!compressed.ok()) return 1;
-  std::printf("analyzer chose: %s (%.1fx)\n",
-              compressed->Descriptor().ToString().c_str(),
-              compressed->Ratio());
+  // Ingest: a column that drifts — run-heavy, then noisy, then sorted — so
+  // no single whole-column descriptor fits all of it.
+  constexpr uint64_t kPart = 1u << 18;
+  Column<uint32_t> column = gen::SortedRuns(kPart, 50.0, 2, 99);
+  {
+    Column<uint32_t> noise = gen::Uniform(kPart, 1u << 22, 100);
+    column.insert(column.end(), noise.begin(), noise.end());
+    for (uint64_t i = 0; i < kPart; ++i) {
+      column.push_back((1u << 23) + static_cast<uint32_t>(2 * i));
+    }
+  }
 
-  // Persist.
+  // Chunk-at-a-time compression with per-chunk scheme selection.
+  auto compressed = CompressChunkedAuto(AnyColumn(column), {64 * 1024});
+  if (!compressed.ok()) return 1;
+  std::printf("per-chunk analyzer choices (%.1fx overall):\n",
+              compressed->Ratio());
+  for (uint64_t i = 0; i < compressed->num_chunks(); ++i) {
+    const CompressedChunk& chunk = compressed->chunk(i);
+    std::printf("  chunk %2llu rows [%8llu, %8llu) zone [%8llu, %8llu]  %s\n",
+                static_cast<unsigned long long>(i),
+                static_cast<unsigned long long>(chunk.zone.row_begin),
+                static_cast<unsigned long long>(chunk.zone.row_begin +
+                                                chunk.zone.row_count),
+                static_cast<unsigned long long>(chunk.zone.min),
+                static_cast<unsigned long long>(chunk.zone.max),
+                chunk.column.Descriptor().ToString().c_str());
+  }
+
+  // Persist as a v2 buffer (chunk directory + per-chunk payloads).
   auto buffer = Serialize(*compressed);
   if (!buffer.ok()) return 1;
   const char* path = "/tmp/recomp_column.bin";
@@ -35,7 +57,7 @@ int main() {
     file.write(reinterpret_cast<const char*>(buffer->data()),
                static_cast<std::streamsize>(buffer->size()));
   }
-  std::printf("wrote %zu bytes to %s (payload %llu + envelope)\n",
+  std::printf("wrote %zu bytes to %s (payload %llu + directory/envelope)\n",
               buffer->size(), path,
               static_cast<unsigned long long>(compressed->PayloadBytes()));
 
@@ -46,15 +68,15 @@ int main() {
     loaded.assign(std::istreambuf_iterator<char>(file),
                   std::istreambuf_iterator<char>());
   }
-  auto restored = Deserialize(loaded);
+  auto restored = DeserializeChunked(loaded);
   if (!restored.ok()) {
     std::fprintf(stderr, "load failed: %s\n",
                  restored.status().ToString().c_str());
     return 1;
   }
 
-  // Point lookups straight off the loaded compressed form.
-  for (uint64_t row : {uint64_t{0}, uint64_t{123456}, uint64_t{(1u << 20) - 1}}) {
+  // Point lookups straight off the loaded chunked form.
+  for (uint64_t row : {uint64_t{0}, 2 * kPart + 12345, 3 * kPart - 1}) {
     auto point = exec::GetAt(*restored, row);
     if (!point.ok() || point->value != column[row]) {
       std::fprintf(stderr, "point lookup mismatch at %llu\n",
@@ -64,18 +86,27 @@ int main() {
     std::printf("row %8llu -> %10llu   (%s)\n",
                 static_cast<unsigned long long>(row),
                 static_cast<unsigned long long>(point->value),
-                point->strategy.c_str());
+                exec::StrategyName(point->strategy));
   }
 
-  // A range query served with segment pruning.
-  exec::RangePredicate predicate{1u << 22, (1u << 22) + (1u << 19)};
+  // A range query over the sorted tail: the zone maps prune the run-heavy
+  // and noisy chunks before any per-chunk strategy runs.
+  exec::RangePredicate predicate{1u << 23, (1u << 23) + (1u << 17)};
   auto selection = exec::SelectCompressed(*restored, predicate);
   if (!selection.ok()) return 1;
   std::printf(
-      "range query matched %zu rows via '%s' (decoded %llu of %u values)\n",
-      selection->positions.size(), selection->stats.strategy.c_str(),
-      static_cast<unsigned long long>(selection->stats.values_decoded),
-      1u << 20);
+      "range query matched %zu rows: %llu/%llu chunks zone-map-pruned, "
+      "%llu emitted whole, %llu executed (decoded %llu values)\n",
+      selection->positions.size(),
+      static_cast<unsigned long long>(selection->stats.chunks_pruned),
+      static_cast<unsigned long long>(selection->stats.chunks_total),
+      static_cast<unsigned long long>(selection->stats.chunks_full),
+      static_cast<unsigned long long>(selection->stats.chunks_executed),
+      static_cast<unsigned long long>(selection->stats.values_decoded));
+  if (selection->stats.chunks_pruned == 0) {
+    std::fprintf(stderr, "expected zone maps to prune at least one chunk\n");
+    return 1;
+  }
 
   std::remove(path);
   std::printf("store roundtrip: OK\n");

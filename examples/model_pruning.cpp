@@ -33,7 +33,7 @@ int main() {
   std::printf("SELECT ... WHERE %u <= v <= %u\n",
               static_cast<unsigned>(predicate.lo),
               static_cast<unsigned>(predicate.hi));
-  std::printf("  strategy:          %s\n", selection->stats.strategy.c_str());
+  std::printf("  strategy:          %s\n", exec::StrategyName(selection->stats.strategy));
   std::printf("  segments skipped:  %llu / %llu\n",
               static_cast<unsigned long long>(selection->stats.segments_skipped),
               static_cast<unsigned long long>(selection->stats.segments_total));

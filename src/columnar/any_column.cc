@@ -54,4 +54,22 @@ std::string AnyColumn::ToString() const {
                       static_cast<unsigned long long>(size()));
 }
 
+Result<AnyColumn> SliceRows(const AnyColumn& column, uint64_t begin,
+                            uint64_t end) {
+  if (column.is_packed()) {
+    return Status::InvalidArgument("SliceRows requires a plain column");
+  }
+  if (begin > end || end > column.size()) {
+    return Status::OutOfRange(StringFormat(
+        "slice [%llu, %llu) out of range for a column of %llu rows",
+        static_cast<unsigned long long>(begin),
+        static_cast<unsigned long long>(end),
+        static_cast<unsigned long long>(column.size())));
+  }
+  return column.VisitPlain([&](const auto& col) -> Result<AnyColumn> {
+    using T = typename std::decay_t<decltype(col)>::value_type;
+    return AnyColumn(Column<T>(col.begin() + begin, col.begin() + end));
+  });
+}
+
 }  // namespace recomp

@@ -16,6 +16,7 @@
 #include "columnar/packed.h"
 #include "columnar/type.h"
 #include "util/macros.h"
+#include "util/result.h"
 
 namespace recomp {
 
@@ -95,6 +96,12 @@ class AnyColumn {
  private:
   Variant v_;
 };
+
+/// Copies rows [begin, end) of a plain column into a new column of the same
+/// type — the chunking primitive. Errors on packed columns and out-of-range
+/// bounds.
+Result<AnyColumn> SliceRows(const AnyColumn& column, uint64_t begin,
+                            uint64_t end);
 
 }  // namespace recomp
 

@@ -187,6 +187,31 @@ Result<SchemeDescriptor> ChooseScheme(const AnyColumn& input,
   return ranked.front().descriptor;
 }
 
+Result<std::vector<ChunkSchemeChoice>> ChooseSchemesChunked(
+    const AnyColumn& input, uint64_t chunk_rows,
+    const AnalyzerOptions& options) {
+  if (chunk_rows == 0) {
+    return Status::InvalidArgument("chunk_rows must be positive");
+  }
+  if (input.is_packed()) {
+    return Status::InvalidArgument("analysis requires a plain column");
+  }
+  std::vector<ChunkSchemeChoice> choices;
+  const uint64_t n = input.size();
+  uint64_t begin = 0;
+  do {
+    const uint64_t end = std::min<uint64_t>(n, begin + chunk_rows);
+    RECOMP_ASSIGN_OR_RETURN(AnyColumn slice, SliceRows(input, begin, end));
+    ChunkSchemeChoice choice;
+    choice.row_begin = begin;
+    choice.row_count = end - begin;
+    RECOMP_ASSIGN_OR_RETURN(choice.descriptor, ChooseScheme(slice, options));
+    choices.push_back(std::move(choice));
+    begin = end;
+  } while (begin < n);
+  return choices;
+}
+
 Result<std::vector<TrialOutcome>> TrialCompressCandidates(
     const AnyColumn& input, const AnalyzerOptions& options) {
   RECOMP_ASSIGN_OR_RETURN(std::vector<CandidateEvaluation> ranked,

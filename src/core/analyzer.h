@@ -45,6 +45,22 @@ Result<std::vector<CandidateEvaluation>> RankCandidates(
 Result<SchemeDescriptor> ChooseScheme(const AnyColumn& input,
                                       const AnalyzerOptions& options = {});
 
+/// One chunk's scheme choice from ChooseSchemesChunked.
+struct ChunkSchemeChoice {
+  uint64_t row_begin = 0;
+  uint64_t row_count = 0;
+  SchemeDescriptor descriptor;
+};
+
+/// Per-chunk selection: runs the analyzer independently over consecutive
+/// `chunk_rows`-row slices of `input` (the last chunk may be shorter), so a
+/// drifting column — runs here, noise there, a sorted stretch at the end —
+/// gets a different composition wherever that pays. Errors when chunk_rows
+/// is 0; an empty column yields one empty chunk so the choice is total.
+Result<std::vector<ChunkSchemeChoice>> ChooseSchemesChunked(
+    const AnyColumn& input, uint64_t chunk_rows,
+    const AnalyzerOptions& options = {});
+
 /// A candidate with its measured (not estimated) footprint.
 struct TrialOutcome {
   std::string name;

@@ -1,0 +1,196 @@
+#include "core/chunked.h"
+
+#include <algorithm>
+
+#include "columnar/stats.h"
+#include "core/pipeline.h"
+#include "schemes/scheme_internal.h"
+#include "util/string_util.h"
+
+namespace recomp {
+
+namespace {
+
+/// Zone map of a plain slice starting at `row_begin`. min/max come from the
+/// column statistics pass; signed slices get a count-only zone map (the
+/// chunked exec operators reject signed columns anyway, matching the
+/// whole-column operators).
+ZoneMap ComputeZoneMap(const AnyColumn& slice, uint64_t row_begin) {
+  ZoneMap zone;
+  zone.row_begin = row_begin;
+  zone.row_count = slice.size();
+  if (slice.size() == 0) return zone;
+  auto stats = internal::DispatchUnsignedColumn(
+      slice, [](const auto& col) -> Result<ColumnStats> {
+        return ComputeStats(col);
+      });
+  if (stats.ok()) {
+    zone.has_minmax = true;
+    zone.min = stats->min;
+    zone.max = stats->max;
+  }
+  return zone;
+}
+
+}  // namespace
+
+uint64_t ChunkedCompressedColumn::PayloadBytes() const {
+  uint64_t total = 0;
+  for (const CompressedChunk& chunk : chunks_) {
+    total += chunk.column.PayloadBytes();
+  }
+  return total;
+}
+
+double ChunkedCompressedColumn::Ratio() const {
+  const uint64_t payload = PayloadBytes();
+  if (payload == 0) return 0.0;
+  return static_cast<double>(UncompressedBytes()) /
+         static_cast<double>(payload);
+}
+
+uint64_t ChunkedCompressedColumn::ChunkIndexOf(uint64_t row) const {
+  RECOMP_DCHECK(row < n_, "ChunkIndexOf past the end of the column");
+  // Last chunk whose row_begin <= row.
+  const auto it = std::upper_bound(
+      chunks_.begin(), chunks_.end(), row,
+      [](uint64_t r, const CompressedChunk& c) { return r < c.zone.row_begin; });
+  return static_cast<uint64_t>(it - chunks_.begin()) - 1;
+}
+
+ChunkedCompressedColumn ChunkedCompressedColumn::FromSingle(
+    CompressedColumn column) {
+  ChunkedCompressedColumn out;
+  CompressedChunk chunk;
+  chunk.zone.row_begin = 0;
+  chunk.zone.row_count = column.size();
+  chunk.column = std::move(column);
+  out.type_ = chunk.column.type();
+  out.n_ = chunk.zone.row_count;
+  out.chunks_.push_back(std::move(chunk));
+  return out;
+}
+
+Status ChunkedCompressedColumn::AppendChunk(CompressedChunk chunk) {
+  if (chunk.zone.row_begin != n_) {
+    return Status::InvalidArgument(StringFormat(
+        "chunk starts at row %llu, expected %llu",
+        static_cast<unsigned long long>(chunk.zone.row_begin),
+        static_cast<unsigned long long>(n_)));
+  }
+  if (chunk.zone.row_count != chunk.column.size()) {
+    return Status::InvalidArgument(
+        "chunk zone map row count disagrees with its envelope");
+  }
+  if (chunks_.empty()) {
+    type_ = chunk.column.type();
+  } else if (chunk.column.type() != type_) {
+    return Status::InvalidArgument(StringFormat(
+        "chunk type %s differs from column type %s",
+        TypeIdName(chunk.column.type()), TypeIdName(type_)));
+  }
+  n_ += chunk.zone.row_count;
+  chunks_.push_back(std::move(chunk));
+  return Status::OK();
+}
+
+std::string ChunkedCompressedColumn::ToString() const {
+  std::string out = StringFormat(
+      "chunked %s n=%llu chunks=%zu (%s, %.2fx)\n", TypeIdName(type_),
+      static_cast<unsigned long long>(n_), chunks_.size(),
+      HumanBytes(PayloadBytes()).c_str(), Ratio());
+  for (size_t i = 0; i < chunks_.size(); ++i) {
+    const CompressedChunk& chunk = chunks_[i];
+    out += StringFormat(
+        "  [%zu] rows [%llu, %llu) %s", i,
+        static_cast<unsigned long long>(chunk.zone.row_begin),
+        static_cast<unsigned long long>(chunk.zone.row_begin +
+                                        chunk.zone.row_count),
+        chunk.column.Descriptor().ToString().c_str());
+    if (chunk.zone.has_minmax) {
+      out += StringFormat(" zone=[%llu, %llu]",
+                          static_cast<unsigned long long>(chunk.zone.min),
+                          static_cast<unsigned long long>(chunk.zone.max));
+    }
+    out += StringFormat(" (%s)\n",
+                        HumanBytes(chunk.column.PayloadBytes()).c_str());
+  }
+  return out;
+}
+
+Result<ChunkedCompressedColumn> CompressChunked(const AnyColumn& input,
+                                                const SchemeDescriptor& desc,
+                                                const ChunkingOptions& options) {
+  if (options.chunk_rows == 0) {
+    return Status::InvalidArgument("chunk_rows must be positive");
+  }
+  if (input.is_packed()) {
+    return Status::InvalidArgument(
+        "chunked compression requires a plain column");
+  }
+  ChunkedCompressedColumn out;
+  const uint64_t n = input.size();
+  uint64_t begin = 0;
+  do {
+    const uint64_t end = std::min<uint64_t>(n, begin + options.chunk_rows);
+    RECOMP_ASSIGN_OR_RETURN(AnyColumn slice, SliceRows(input, begin, end));
+    CompressedChunk chunk;
+    chunk.zone = ComputeZoneMap(slice, begin);
+    RECOMP_ASSIGN_OR_RETURN(chunk.column, Compress(slice, desc));
+    RECOMP_RETURN_NOT_OK(out.AppendChunk(std::move(chunk)));
+    begin = end;
+  } while (begin < n);
+  return out;
+}
+
+Result<ChunkedCompressedColumn> CompressChunkedAuto(
+    const AnyColumn& input, const ChunkingOptions& options,
+    const AnalyzerOptions& analyzer_options) {
+  if (options.chunk_rows == 0) {
+    return Status::InvalidArgument("chunk_rows must be positive");
+  }
+  if (input.is_packed()) {
+    return Status::InvalidArgument(
+        "chunked compression requires a plain column");
+  }
+  // Slice each chunk once and both analyze and compress it, instead of
+  // going through ChooseSchemesChunked (which would slice everything a
+  // second time just to return descriptors).
+  ChunkedCompressedColumn out;
+  const uint64_t n = input.size();
+  uint64_t begin = 0;
+  do {
+    const uint64_t end = std::min<uint64_t>(n, begin + options.chunk_rows);
+    RECOMP_ASSIGN_OR_RETURN(AnyColumn slice, SliceRows(input, begin, end));
+    RECOMP_ASSIGN_OR_RETURN(SchemeDescriptor desc,
+                            ChooseScheme(slice, analyzer_options));
+    CompressedChunk chunk;
+    chunk.zone = ComputeZoneMap(slice, begin);
+    RECOMP_ASSIGN_OR_RETURN(chunk.column, Compress(slice, desc));
+    RECOMP_RETURN_NOT_OK(out.AppendChunk(std::move(chunk)));
+    begin = end;
+  } while (begin < n);
+  return out;
+}
+
+Result<AnyColumn> DecompressChunked(const ChunkedCompressedColumn& chunked) {
+  return internal::DispatchAnyTypeId(
+      chunked.type(), [&](auto tag) -> Result<AnyColumn> {
+        using T = typename decltype(tag)::type;
+        Column<T> out;
+        out.reserve(chunked.size());
+        for (const CompressedChunk& chunk : chunked.chunks()) {
+          RECOMP_ASSIGN_OR_RETURN(AnyColumn part,
+                                  Decompress(chunk.column));
+          if (part.is_packed() || part.type() != chunked.type()) {
+            return Status::Corruption(
+                "chunk decompressed to an unexpected type");
+          }
+          const Column<T>& values = part.As<T>();
+          out.insert(out.end(), values.begin(), values.end());
+        }
+        return AnyColumn(std::move(out));
+      });
+}
+
+}  // namespace recomp

@@ -5,6 +5,11 @@
 // compresses every part named in `children`; decompression reverses the
 // recursion bottom-up using each scheme's fused kernel. (The alternative,
 // paper-faithful operator-plan strategy lives in core/plan_builder.h.)
+//
+// Compress/Decompress operate on one whole column — the single-chunk special
+// case of the segment-at-a-time envelope in core/chunked.h, which splits a
+// column into fixed-capacity chunks and applies these same functions per
+// chunk (optionally with a different descriptor each).
 
 #ifndef RECOMP_CORE_PIPELINE_H_
 #define RECOMP_CORE_PIPELINE_H_

@@ -108,6 +108,8 @@ class Reader {
 
   bool AtEnd() const { return pos_ == in_.size(); }
 
+  uint64_t Position() const { return pos_; }
+
   Status Need(uint64_t bytes) const {
     if (in_.size() - pos_ < bytes) {
       return Status::Corruption(StringFormat(
@@ -230,6 +232,9 @@ uint64_t NodeSerializedSize(const CompressedNode& node) {
   return size;
 }
 
+/// Fixed byte size of one v2 chunk-directory entry.
+constexpr uint64_t kDirectoryEntrySize = 8 + 8 + 1 + 8 + 8 + 8;
+
 }  // namespace
 
 Result<std::vector<uint8_t>> Serialize(const CompressedColumn& compressed) {
@@ -239,6 +244,34 @@ Result<std::vector<uint8_t>> Serialize(const CompressedColumn& compressed) {
   w.Raw(kMagic, 4);
   w.U16(kSerializedVersion);
   WriteNode(w, compressed.root());
+  return out;
+}
+
+Result<std::vector<uint8_t>> Serialize(const ChunkedCompressedColumn& chunked) {
+  if (chunked.num_chunks() > (uint64_t{1} << 24)) {
+    // Stay within what DeserializeChunked accepts: the writer must never
+    // produce a buffer its own reader refuses.
+    return Status::InvalidArgument("too many chunks to serialize (> 2^24)");
+  }
+  std::vector<uint8_t> out;
+  out.reserve(SerializedSize(chunked));
+  Writer w(&out);
+  w.Raw(kMagic, 4);
+  w.U16(kSerializedVersionChunked);
+  w.U8(static_cast<uint8_t>(chunked.type()));
+  w.U64(chunked.size());
+  w.U32(static_cast<uint32_t>(chunked.num_chunks()));
+  for (const CompressedChunk& chunk : chunked.chunks()) {
+    w.U64(chunk.zone.row_begin);
+    w.U64(chunk.zone.row_count);
+    w.U8(chunk.zone.has_minmax ? 1 : 0);
+    w.U64(chunk.zone.min);
+    w.U64(chunk.zone.max);
+    w.U64(NodeSerializedSize(chunk.column.root()));
+  }
+  for (const CompressedChunk& chunk : chunked.chunks()) {
+    WriteNode(w, chunk.column.root());
+  }
   return out;
 }
 
@@ -261,8 +294,92 @@ Result<CompressedColumn> Deserialize(const std::vector<uint8_t>& buffer) {
   return CompressedColumn(std::move(root));
 }
 
+Result<ChunkedCompressedColumn> DeserializeChunked(
+    const std::vector<uint8_t>& buffer) {
+  Reader r(buffer);
+  char magic[4];
+  RECOMP_RETURN_NOT_OK(r.ReadRaw(magic, 4));
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::Corruption("bad magic: not a recomp buffer");
+  }
+  RECOMP_ASSIGN_OR_RETURN(uint16_t version, r.U16());
+  if (version == kSerializedVersion) {
+    // A whole-column buffer is the single-chunk special case.
+    RECOMP_ASSIGN_OR_RETURN(CompressedNode root, ReadNode(r, 0));
+    if (!r.AtEnd()) {
+      return Status::Corruption("trailing bytes after envelope");
+    }
+    return ChunkedCompressedColumn::FromSingle(
+        CompressedColumn(std::move(root)));
+  }
+  if (version != kSerializedVersionChunked) {
+    return Status::Corruption(
+        StringFormat("unsupported version %u", version));
+  }
+  RECOMP_ASSIGN_OR_RETURN(TypeId type, ReadTypeId(r));
+  RECOMP_ASSIGN_OR_RETURN(uint64_t total_rows, r.U64());
+  RECOMP_ASSIGN_OR_RETURN(uint32_t chunk_count, r.U32());
+  if (chunk_count > (uint32_t{1} << 24)) {
+    return Status::Corruption("implausible chunk count");
+  }
+  // The directory must fit in what remains before any entry is trusted.
+  RECOMP_RETURN_NOT_OK(r.Need(chunk_count * kDirectoryEntrySize));
+  std::vector<ZoneMap> zones(chunk_count);
+  std::vector<uint64_t> node_bytes(chunk_count);
+  for (uint32_t i = 0; i < chunk_count; ++i) {
+    RECOMP_ASSIGN_OR_RETURN(zones[i].row_begin, r.U64());
+    RECOMP_ASSIGN_OR_RETURN(zones[i].row_count, r.U64());
+    RECOMP_ASSIGN_OR_RETURN(uint8_t has_minmax, r.U8());
+    if (has_minmax > 1) {
+      return Status::Corruption("zone map flag must be 0 or 1");
+    }
+    zones[i].has_minmax = has_minmax == 1;
+    RECOMP_ASSIGN_OR_RETURN(zones[i].min, r.U64());
+    RECOMP_ASSIGN_OR_RETURN(zones[i].max, r.U64());
+    if (zones[i].has_minmax && zones[i].min > zones[i].max) {
+      return Status::Corruption("zone map min exceeds max");
+    }
+    RECOMP_ASSIGN_OR_RETURN(node_bytes[i], r.U64());
+  }
+  ChunkedCompressedColumn out;
+  for (uint32_t i = 0; i < chunk_count; ++i) {
+    const uint64_t before = r.Position();
+    RECOMP_ASSIGN_OR_RETURN(CompressedNode root, ReadNode(r, 0));
+    if (r.Position() - before != node_bytes[i]) {
+      return Status::Corruption(
+          "chunk payload length disagrees with the directory");
+    }
+    if (root.n != zones[i].row_count) {
+      return Status::Corruption(
+          "chunk row count disagrees with the directory");
+    }
+    if (root.out_type != type) {
+      return Status::Corruption("chunk type disagrees with the header");
+    }
+    CompressedChunk chunk;
+    chunk.zone = zones[i];
+    chunk.column = CompressedColumn(std::move(root));
+    RECOMP_RETURN_NOT_OK(out.AppendChunk(std::move(chunk)));
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes after envelope");
+  }
+  if (out.size() != total_rows) {
+    return Status::Corruption("total row count disagrees with the header");
+  }
+  return out;
+}
+
 uint64_t SerializedSize(const CompressedColumn& compressed) {
   return 4 + 2 + NodeSerializedSize(compressed.root());
+}
+
+uint64_t SerializedSize(const ChunkedCompressedColumn& chunked) {
+  uint64_t size = 4 + 2 + 1 + 8 + 4;
+  for (const CompressedChunk& chunk : chunked.chunks()) {
+    size += kDirectoryEntrySize + NodeSerializedSize(chunk.column.root());
+  }
+  return size;
 }
 
 }  // namespace recomp

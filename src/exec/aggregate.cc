@@ -54,7 +54,7 @@ Result<AggregateResult> ScanFallback(const CompressedNode& node, Kind kind) {
           return Status::InvalidArgument("min/max of an empty column");
         }
         AggregateResult result;
-        result.strategy = "decompress-scan";
+        result.strategy = Strategy::kDecompressScan;
         if (kind == Kind::kSum) {
           uint64_t acc = 0;
           for (const T v : values) acc += static_cast<uint64_t>(v);
@@ -84,7 +84,7 @@ Result<AggregateResult> AggregateRuns(const CompressedNode& node, Kind kind) {
           return Status::InvalidArgument("min/max of an empty column");
         }
         AggregateResult result;
-        result.strategy = "rle-dot";
+        result.strategy = Strategy::kRleDot;
         if (kind == Kind::kSum) {
           uint64_t acc = 0;
           uint32_t begin = 0;
@@ -118,7 +118,7 @@ Result<AggregateResult> AggregateStep(const CompressedNode& node, Kind kind) {
           return Status::InvalidArgument("min/max of an empty column");
         }
         AggregateResult result;
-        result.strategy = "step-mass";
+        result.strategy = Strategy::kStepMass;
         RECOMP_ASSIGN_OR_RETURN(Column<T> residuals, ops::Unpack<T>(packed));
         if (kind == Kind::kSum) {
           uint64_t acc = 0;
@@ -160,7 +160,7 @@ Result<AggregateResult> AggregateDict(const CompressedNode& node, Kind kind) {
           return Status::InvalidArgument("min/max of an empty column");
         }
         AggregateResult result;
-        result.strategy = "dict-extrema";
+        result.strategy = Strategy::kDictExtrema;
         if (kind == Kind::kSum) {
           uint64_t acc = 0;
           for (const uint32_t c : codes) {
@@ -170,7 +170,7 @@ Result<AggregateResult> AggregateDict(const CompressedNode& node, Kind kind) {
             acc += static_cast<uint64_t>(dict[c]);
           }
           result.value = acc;
-          result.strategy = "dict-sum";
+          result.strategy = Strategy::kDictSum;
         } else {
           // The dictionary is sorted: extrema of codes give extrema of
           // values without touching the dictionary per row.
@@ -219,6 +219,63 @@ Result<AggregateResult> MinCompressed(const CompressedColumn& compressed) {
 
 Result<AggregateResult> MaxCompressed(const CompressedColumn& compressed) {
   return AggregateCompressed(compressed, Kind::kMax);
+}
+
+namespace {
+
+Result<ChunkedAggregateResult> AggregateChunked(
+    const ChunkedCompressedColumn& chunked, Kind kind) {
+  if (!TypeIdIsUnsigned(chunked.type())) {
+    return Status::InvalidArgument(
+        "compressed aggregation requires an unsigned column");
+  }
+  if (kind != Kind::kSum && chunked.size() == 0) {
+    return Status::InvalidArgument("min/max of an empty column");
+  }
+  ChunkedAggregateResult result;
+  result.chunks_total = chunked.num_chunks();
+  if (kind == Kind::kMin) result.value = ~uint64_t{0};
+  for (const CompressedChunk& chunk : chunked.chunks()) {
+    if (chunk.zone.row_count == 0) continue;
+    // Min/max of a chunk with a zone map is the zone map; only SUM (and
+    // chunks lacking min/max) ever touch the payload.
+    if (kind != Kind::kSum && chunk.zone.has_minmax) {
+      const uint64_t v = kind == Kind::kMin ? chunk.zone.min : chunk.zone.max;
+      result.value = kind == Kind::kMin ? std::min(result.value, v)
+                                        : std::max(result.value, v);
+      ++result.chunks_pruned;
+      ++result.strategy_chunks[static_cast<int>(Strategy::kZoneMapOnly)];
+      continue;
+    }
+    ++result.chunks_executed;
+    RECOMP_ASSIGN_OR_RETURN(AggregateResult sub,
+                            AggregateCompressed(chunk.column, kind));
+    ++result.strategy_chunks[static_cast<int>(sub.strategy)];
+    if (kind == Kind::kSum) {
+      result.value += sub.value;
+    } else {
+      result.value = kind == Kind::kMin ? std::min(result.value, sub.value)
+                                        : std::max(result.value, sub.value);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<ChunkedAggregateResult> SumCompressed(
+    const ChunkedCompressedColumn& chunked) {
+  return AggregateChunked(chunked, Kind::kSum);
+}
+
+Result<ChunkedAggregateResult> MinCompressed(
+    const ChunkedCompressedColumn& chunked) {
+  return AggregateChunked(chunked, Kind::kMin);
+}
+
+Result<ChunkedAggregateResult> MaxCompressed(
+    const ChunkedCompressedColumn& chunked) {
+  return AggregateChunked(chunked, Kind::kMax);
 }
 
 }  // namespace recomp::exec

@@ -7,18 +7,17 @@
 #ifndef RECOMP_EXEC_AGGREGATE_H_
 #define RECOMP_EXEC_AGGREGATE_H_
 
-#include <string>
-
+#include "core/chunked.h"
 #include "core/compressed.h"
+#include "exec/strategy.h"
 #include "util/result.h"
 
 namespace recomp::exec {
 
 /// An aggregate value plus how it was computed.
 struct AggregateResult {
-  uint64_t value = 0;     ///< Sum (mod 2^64) or min/max as uint64.
-  std::string strategy;   ///< "rle-dot", "step-mass", "dict-extrema",
-                          ///< "decompress-scan".
+  uint64_t value = 0;  ///< Sum (mod 2^64) or min/max as uint64.
+  Strategy strategy = Strategy::kDecompressScan;
 };
 
 /// Σ column, wrapping mod 2^64. Empty columns sum to 0.
@@ -29,6 +28,31 @@ Result<AggregateResult> MinCompressed(const CompressedColumn& compressed);
 
 /// Maximum value; fails on empty columns.
 Result<AggregateResult> MaxCompressed(const CompressedColumn& compressed);
+
+/// An aggregate over a chunked column plus chunk-level execution counts.
+struct ChunkedAggregateResult {
+  uint64_t value = 0;            ///< Sum (mod 2^64) or min/max as uint64.
+  uint64_t chunks_total = 0;
+  uint64_t chunks_pruned = 0;    ///< Answered from the zone map alone.
+  uint64_t chunks_executed = 0;  ///< Dispatched to a per-chunk strategy.
+  /// Executed chunks served per strategy, indexed by Strategy; zone-map
+  /// answers count under kZoneMapOnly.
+  uint64_t strategy_chunks[kNumStrategies] = {};
+};
+
+/// Chunked Σ: per-chunk pushdown sums merged mod 2^64. Empty columns sum
+/// to 0.
+Result<ChunkedAggregateResult> SumCompressed(
+    const ChunkedCompressedColumn& chunked);
+
+/// Chunked minimum: chunks with zone maps are answered without touching
+/// their payloads; the rest dispatch per-chunk. Fails on empty columns.
+Result<ChunkedAggregateResult> MinCompressed(
+    const ChunkedCompressedColumn& chunked);
+
+/// Chunked maximum; see MinCompressed.
+Result<ChunkedAggregateResult> MaxCompressed(
+    const ChunkedCompressedColumn& chunked);
 
 }  // namespace recomp::exec
 

@@ -45,7 +45,7 @@ Result<SemiJoinResult> JoinRuns(const CompressedNode& node,
         using T = typename decltype(tag)::type;
         const Column<T>& values = values_any.As<T>();
         SemiJoinResult result;
-        result.strategy = "rle-runs";
+        result.strategy = Strategy::kRleRuns;
         result.probes = values.size();
         uint32_t begin = 0;
         for (uint64_t r = 0; r < values.size(); ++r) {
@@ -72,7 +72,7 @@ Result<SemiJoinResult> JoinDict(const CompressedNode& node,
         using T = typename decltype(tag)::type;
         const Column<T>& dict = dict_any.As<T>();
         SemiJoinResult result;
-        result.strategy = "dict-probe";
+        result.strategy = Strategy::kDictProbe;
         result.probes = dict.size();
         // One probe per dictionary entry, not per row.
         std::vector<bool> qualifies(dict.size());
@@ -121,7 +121,7 @@ Result<SemiJoinResult> JoinStepPruned(const CompressedNode& node,
         using T = typename decltype(tag)::type;
         const Column<T>& refs = node.parts.at("refs").column->As<T>();
         SemiJoinResult result;
-        result.strategy = "step-pruned";
+        result.strategy = Strategy::kStepPruned;
         Column<T> buffer(ell);
         for (uint64_t seg = 0; seg < refs.size(); ++seg) {
           const uint64_t begin = seg * ell;
@@ -151,7 +151,7 @@ Result<SemiJoinResult> JoinScan(const CompressedNode& node,
         using T = typename decltype(tag)::type;
         const Column<T>& values = column.As<T>();
         SemiJoinResult result;
-        result.strategy = "decompress-scan";
+        result.strategy = Strategy::kDecompressScan;
         result.probes = values.size();
         for (uint64_t i = 0; i < values.size(); ++i) {
           if (KeySetContains(keys, static_cast<uint64_t>(values[i]))) {

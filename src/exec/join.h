@@ -11,9 +11,9 @@
 #define RECOMP_EXEC_JOIN_H_
 
 #include <cstdint>
-#include <string>
 
 #include "core/compressed.h"
+#include "exec/strategy.h"
 #include "util/result.h"
 
 namespace recomp::exec {
@@ -22,8 +22,8 @@ namespace recomp::exec {
 struct SemiJoinResult {
   /// Ascending positions whose value appears in the key set.
   Column<uint32_t> positions;
-  /// "dict-probe", "rle-runs", "step-pruned", or "decompress-scan".
-  std::string strategy;
+  /// kDictProbe, kRleRuns, kStepPruned, or kDecompressScan.
+  Strategy strategy = Strategy::kDecompressScan;
   /// Number of key-set membership probes actually performed (rows for the
   /// fallback; dictionary entries / runs / decoded values for pushdowns).
   uint64_t probes = 0;

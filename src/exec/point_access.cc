@@ -46,7 +46,7 @@ Result<PointResult> Fallback(const CompressedNode& node, uint64_t row) {
       node.out_type, [&](auto tag) -> Result<PointResult> {
         using T = typename decltype(tag)::type;
         PointResult result;
-        result.strategy = "decompress-scan";
+        result.strategy = Strategy::kDecompressScan;
         result.value = PlainAt<T>(column, row);
         return result;
       });
@@ -72,7 +72,7 @@ Result<PointResult> GetAt(const CompressedColumn& compressed, uint64_t row) {
             auto it = node.parts.find("packed");
             if (it != node.parts.end() && it->second.is_terminal() &&
                 it->second.column->is_packed()) {
-              result.strategy = "ns-direct";
+              result.strategy = Strategy::kNsDirect;
               result.value = static_cast<uint64_t>(
                   ops::UnpackOne<T>(it->second.column->packed(), row));
               return result;
@@ -89,7 +89,7 @@ Result<PointResult> GetAt(const CompressedColumn& compressed, uint64_t row) {
               const uint64_t ell = node.scheme.args[0].params.segment_length;
               if (refs != nullptr && packed != nullptr && ell != 0 &&
                   !refs->is_packed() && refs->type() == TypeIdOf<T>()) {
-                result.strategy = "for-direct";
+                result.strategy = Strategy::kForDirect;
                 result.value = static_cast<uint64_t>(static_cast<T>(
                     refs->As<T>()[row / ell] + ops::UnpackOne<T>(*packed, row)));
                 return result;
@@ -112,7 +112,7 @@ Result<PointResult> GetAt(const CompressedColumn& compressed, uint64_t row) {
                   std::upper_bound(pos.begin(), pos.end(),
                                    static_cast<uint32_t>(row)) -
                   pos.begin();
-              result.strategy = "rpe-binary-search";
+              result.strategy = Strategy::kRpeBinarySearch;
               result.value = PlainAt<T>(*values, run);
               return result;
             }
@@ -137,7 +137,7 @@ Result<PointResult> GetAt(const CompressedColumn& compressed, uint64_t row) {
               if (code >= dictionary->size()) {
                 return Status::Corruption("DICT code exceeds dictionary");
               }
-              result.strategy = "dict-probe";
+              result.strategy = Strategy::kDictProbe;
               result.value = PlainAt<T>(*dictionary, code);
               return result;
             }
@@ -149,6 +149,15 @@ Result<PointResult> GetAt(const CompressedColumn& compressed, uint64_t row) {
         }
         return Fallback(node, row);
       });
+}
+
+Result<PointResult> GetAt(const ChunkedCompressedColumn& chunked,
+                          uint64_t row) {
+  if (row >= chunked.size()) {
+    return Status::OutOfRange("point access past the end of the column");
+  }
+  const CompressedChunk& chunk = chunked.chunk(chunked.ChunkIndexOf(row));
+  return GetAt(chunk.column, row - chunk.zone.row_begin);
 }
 
 }  // namespace recomp::exec

@@ -13,23 +13,30 @@
 #define RECOMP_EXEC_POINT_ACCESS_H_
 
 #include <cstdint>
-#include <string>
 
+#include "core/chunked.h"
 #include "core/compressed.h"
+#include "exec/strategy.h"
 #include "util/result.h"
 
 namespace recomp::exec {
 
 /// One row's value plus the access path used.
 struct PointResult {
-  uint64_t value = 0;     ///< The row's value as uint64.
-  std::string strategy;   ///< "ns-direct", "for-direct", "rpe-binary-search",
-                          ///< "dict-probe", "decompress-scan".
+  uint64_t value = 0;  ///< The row's value as uint64.
+  Strategy strategy = Strategy::kDecompressScan;
 };
 
 /// Returns row `row` of the compressed column. Fails with OutOfRange when
 /// row >= size. Always equals Decompress(...)[row].
 Result<PointResult> GetAt(const CompressedColumn& compressed, uint64_t row);
+
+/// Chunked overload: locates the owning chunk (binary search over the chunk
+/// directory), then runs the whole-column access path inside it — so the
+/// cost stays O(1)/O(log runs) per lookup regardless of chunk count. The
+/// strategy reports the inner chunk's access path.
+Result<PointResult> GetAt(const ChunkedCompressedColumn& chunked,
+                          uint64_t row);
 
 }  // namespace recomp::exec
 

@@ -45,7 +45,7 @@ Result<SelectionResult> SelectRuns(const CompressedNode& node,
         using T = typename decltype(tag)::type;
         const Column<T>& values = values_any.As<T>();
         SelectionResult result;
-        result.stats.strategy = "rle-runs";
+        result.stats.strategy = Strategy::kRleRuns;
         result.stats.runs_examined = values.size();
         uint32_t begin = 0;
         for (uint64_t r = 0; r < values.size(); ++r) {
@@ -78,7 +78,7 @@ Result<SelectionResult> SelectDict(const CompressedNode& node,
         using T = typename decltype(tag)::type;
         const Column<T>& dict = dict_any.As<T>();
         SelectionResult result;
-        result.stats.strategy = "dict-codes";
+        result.stats.strategy = Strategy::kDictCodes;
         result.stats.values_decoded = codes.size();
         // First code whose value >= lo; last code whose value <= hi.
         const uint64_t lo_code =
@@ -119,7 +119,7 @@ Result<SelectionResult> SelectStepPruned(const CompressedNode& node,
         using T = typename decltype(tag)::type;
         const Column<T>& refs = node.parts.at("refs").column->As<T>();
         SelectionResult result;
-        result.stats.strategy = "step-pruned";
+        result.stats.strategy = Strategy::kStepPruned;
         result.stats.segments_total = refs.size();
         Column<T> buffer(ell);
         for (uint64_t seg = 0; seg < refs.size(); ++seg) {
@@ -164,7 +164,7 @@ Result<SelectionResult> SelectScan(const CompressedNode& node,
         using T = typename decltype(tag)::type;
         const Column<T>& values = column.As<T>();
         SelectionResult result;
-        result.stats.strategy = "decompress-scan";
+        result.stats.strategy = Strategy::kDecompressScan;
         result.stats.values_decoded = values.size();
         for (uint64_t i = 0; i < values.size(); ++i) {
           const uint64_t v = static_cast<uint64_t>(values[i]);
@@ -221,6 +221,46 @@ Result<SelectionResult> SelectCompressed(const CompressedColumn& compressed,
     default:
       return SelectScan(node, predicate);
   }
+}
+
+Result<ChunkedSelectionResult> SelectCompressed(
+    const ChunkedCompressedColumn& chunked, const RangePredicate& predicate) {
+  if (chunked.size() >= (uint64_t{1} << 32)) {
+    return Status::OutOfRange("selections support columns below 2^32 rows");
+  }
+  if (!TypeIdIsUnsigned(chunked.type())) {
+    return Status::InvalidArgument(
+        "range selection over compressed data requires an unsigned column");
+  }
+  ChunkedSelectionResult result;
+  result.stats.chunks_total = chunked.num_chunks();
+  for (uint64_t i = 0; i < chunked.num_chunks(); ++i) {
+    const CompressedChunk& chunk = chunked.chunk(i);
+    const ZoneMap& zone = chunk.zone;
+    if (zone.row_count == 0) continue;
+    if (zone.DisjointFrom(predicate.lo, predicate.hi)) {
+      ++result.stats.chunks_pruned;
+      continue;
+    }
+    const uint32_t base = static_cast<uint32_t>(zone.row_begin);
+    if (zone.ContainedIn(predicate.lo, predicate.hi)) {
+      ++result.stats.chunks_full;
+      for (uint64_t r = 0; r < zone.row_count; ++r) {
+        result.positions.push_back(base + static_cast<uint32_t>(r));
+      }
+      continue;
+    }
+    ++result.stats.chunks_executed;
+    RECOMP_ASSIGN_OR_RETURN(SelectionResult sub,
+                            SelectCompressed(chunk.column, predicate));
+    ++result.stats.strategy_chunks[static_cast<int>(sub.stats.strategy)];
+    result.stats.values_decoded += sub.stats.values_decoded;
+    for (const uint32_t p : sub.positions) {
+      result.positions.push_back(base + p);
+    }
+    result.stats.per_chunk.push_back({i, std::move(sub.stats)});
+  }
+  return result;
 }
 
 }  // namespace recomp::exec

@@ -11,9 +11,11 @@
 #define RECOMP_EXEC_SELECTION_H_
 
 #include <cstdint>
-#include <string>
+#include <vector>
 
+#include "core/chunked.h"
 #include "core/compressed.h"
+#include "exec/strategy.h"
 #include "util/result.h"
 
 namespace recomp::exec {
@@ -26,8 +28,7 @@ struct RangePredicate {
 
 /// How a selection was executed, for inspection and benchmarks.
 struct SelectionStats {
-  std::string strategy;           ///< "rle-runs", "dict-codes", "step-pruned",
-                                  ///< or "decompress-scan".
+  Strategy strategy = Strategy::kDecompressScan;
   uint64_t runs_examined = 0;     ///< rle-runs strategy.
   uint64_t segments_total = 0;    ///< step-pruned strategy.
   uint64_t segments_skipped = 0;  ///< Disjoint from the predicate: no work.
@@ -47,6 +48,40 @@ struct SelectionResult {
 /// positions always equal the decompress-then-filter reference.
 Result<SelectionResult> SelectCompressed(const CompressedColumn& compressed,
                                          const RangePredicate& predicate);
+
+/// The per-chunk stats of one executed chunk of a chunked selection.
+struct ChunkSelectionStats {
+  uint64_t chunk_index = 0;
+  SelectionStats stats;
+};
+
+/// How a chunked selection was executed: zone-map pruning counts plus how
+/// many chunks each per-chunk strategy served.
+struct ChunkedSelectionStats {
+  uint64_t chunks_total = 0;
+  uint64_t chunks_pruned = 0;    ///< Zone map disjoint: chunk never touched.
+  uint64_t chunks_full = 0;      ///< Zone map contained: emitted, no decode.
+  uint64_t chunks_executed = 0;  ///< Dispatched to a per-chunk strategy.
+  /// Executed chunks served per strategy, indexed by Strategy.
+  uint64_t strategy_chunks[kNumStrategies] = {};
+  /// Values decoded across executed chunks.
+  uint64_t values_decoded = 0;
+  /// Full stats of each executed chunk, in chunk order.
+  std::vector<ChunkSelectionStats> per_chunk;
+};
+
+/// The matching global positions plus chunk-level execution statistics.
+struct ChunkedSelectionResult {
+  Column<uint32_t> positions;
+  ChunkedSelectionStats stats;
+};
+
+/// Chunked overload: prunes whole chunks via their zone maps, dispatches the
+/// per-chunk pushdown strategies above only for overlapping chunks, and
+/// merges the position lists (offset by each chunk's row_begin). Always
+/// equals the whole-column reference.
+Result<ChunkedSelectionResult> SelectCompressed(
+    const ChunkedCompressedColumn& chunked, const RangePredicate& predicate);
 
 }  // namespace recomp::exec
 

@@ -1,0 +1,37 @@
+#include "exec/strategy.h"
+
+namespace recomp::exec {
+
+const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kDecompressScan:
+      return "decompress-scan";
+    case Strategy::kRleRuns:
+      return "rle-runs";
+    case Strategy::kDictCodes:
+      return "dict-codes";
+    case Strategy::kStepPruned:
+      return "step-pruned";
+    case Strategy::kRleDot:
+      return "rle-dot";
+    case Strategy::kStepMass:
+      return "step-mass";
+    case Strategy::kDictSum:
+      return "dict-sum";
+    case Strategy::kDictExtrema:
+      return "dict-extrema";
+    case Strategy::kNsDirect:
+      return "ns-direct";
+    case Strategy::kForDirect:
+      return "for-direct";
+    case Strategy::kRpeBinarySearch:
+      return "rpe-binary-search";
+    case Strategy::kDictProbe:
+      return "dict-probe";
+    case Strategy::kZoneMapOnly:
+      return "zone-map-only";
+  }
+  return "unknown";
+}
+
+}  // namespace recomp::exec

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/chunked.h"
 #include "core/pipeline.h"
 #include "core/plan_builder.h"
 #include "core/plan_executor.h"
@@ -150,6 +151,50 @@ TEST_P(CompositionFuzz, InvariantsHold) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CompositionFuzz,
                          ::testing::Range<uint64_t>(1000, 1016));
+
+TEST(CompositionFuzzTest, ChunkedRoundTripWithRandomChunkSizes) {
+  // The chunked envelope must hold the same invariants chunk-at-a-time:
+  // roundtrip losslessness and v2 serialization stability, across chunk
+  // sizes covering n < chunk, n == chunk, and n % chunk != 0.
+  Rng rng(8888);
+  for (int round = 0; round < 24; ++round) {
+    const SchemeDescriptor desc = RandomDescriptor(rng, 2);
+    ASSERT_OK(desc.Validate()) << desc.ToString();
+    const Column<uint32_t> col = RandomWorkload(rng);
+    const AnyColumn input(col);
+    uint64_t chunk_rows;
+    switch (round % 3) {
+      case 0:  // n < chunk: the single-chunk special case.
+        chunk_rows = col.size() + 1 + rng.Below(1000);
+        break;
+      case 1:  // n == chunk exactly.
+        chunk_rows = col.size();
+        break;
+      default:  // Multiple chunks with a ragged tail (n % chunk != 0).
+        chunk_rows = 2 + rng.Below(col.size() / 2);
+        while (col.size() % chunk_rows == 0) ++chunk_rows;
+        break;
+    }
+
+    auto chunked = CompressChunked(input, desc, {chunk_rows});
+    ASSERT_OK(chunked.status()) << desc.ToString() << " chunk " << chunk_rows;
+    ASSERT_EQ(chunked->num_chunks(),
+              (col.size() + chunk_rows - 1) / chunk_rows);
+    auto back = DecompressChunked(*chunked);
+    ASSERT_OK(back.status()) << desc.ToString();
+    ASSERT_TRUE(*back == input) << desc.ToString() << " chunk " << chunk_rows;
+
+    auto buffer = Serialize(*chunked);
+    ASSERT_OK(buffer.status()) << desc.ToString();
+    ASSERT_EQ(buffer->size(), SerializedSize(*chunked));
+    auto restored = DeserializeChunked(*buffer);
+    ASSERT_OK(restored.status()) << desc.ToString();
+    auto from_bytes = DecompressChunked(*restored);
+    ASSERT_OK(from_bytes.status()) << desc.ToString();
+    ASSERT_TRUE(*from_bytes == input)
+        << desc.ToString() << " chunk " << chunk_rows;
+  }
+}
 
 TEST(CompositionFuzzTest, OptimizerIsIdempotent) {
   Rng rng(77);

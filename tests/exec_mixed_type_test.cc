@@ -76,7 +76,7 @@ TEST(MixedTypeTest, Uint16ForAggregates) {
   EXPECT_EQ(sum->value, ops::Sum(col));
   EXPECT_EQ(min->value, *ops::Min(col));
   EXPECT_EQ(max->value, *ops::Max(col));
-  EXPECT_EQ(sum->strategy, "step-mass");
+  EXPECT_EQ(sum->strategy, exec::Strategy::kStepMass);
 }
 
 TEST(MixedTypeTest, ApproxSumWithRaggedTail) {

@@ -105,8 +105,8 @@ TEST(SelectionEdgeTest, PeeledEnvelopeFallsBackCorrectly) {
   auto slow = exec::SelectCompressed(*peeled, pred);
   ASSERT_OK(fast.status());
   ASSERT_OK(slow.status());
-  EXPECT_EQ(fast->stats.strategy, "step-pruned");
-  EXPECT_EQ(slow->stats.strategy, "decompress-scan");
+  EXPECT_EQ(fast->stats.strategy, exec::Strategy::kStepPruned);
+  EXPECT_EQ(slow->stats.strategy, exec::Strategy::kDecompressScan);
   EXPECT_EQ(fast->positions, slow->positions);
 }
 

@@ -40,7 +40,7 @@ TEST(SelectionTest, RleRunsStrategy) {
   RangePredicate pred{1100, 1200};
   auto result = exec::SelectCompressed(*compressed, pred);
   ASSERT_OK(result.status());
-  EXPECT_EQ(result->stats.strategy, "rle-runs");
+  EXPECT_EQ(result->stats.strategy, exec::Strategy::kRleRuns);
   EXPECT_GT(result->stats.runs_examined, 0u);
   EXPECT_EQ(result->positions, ReferenceSelect(*compressed, pred));
 }
@@ -53,7 +53,7 @@ TEST(SelectionTest, DictCodesStrategy) {
     RangePredicate pred{lo, lo + 500000000};
     auto result = exec::SelectCompressed(*compressed, pred);
     ASSERT_OK(result.status());
-    EXPECT_EQ(result->stats.strategy, "dict-codes");
+    EXPECT_EQ(result->stats.strategy, exec::Strategy::kDictCodes);
     EXPECT_EQ(result->positions, ReferenceSelect(*compressed, pred));
   }
 }
@@ -78,7 +78,7 @@ TEST(SelectionTest, StepPrunedStrategySkipsSegments) {
   RangePredicate pred{1u << 20, (1u << 20) + (1u << 16)};
   auto result = exec::SelectCompressed(*compressed, pred);
   ASSERT_OK(result.status());
-  EXPECT_EQ(result->stats.strategy, "step-pruned");
+  EXPECT_EQ(result->stats.strategy, exec::Strategy::kStepPruned);
   EXPECT_GT(result->stats.segments_skipped, result->stats.segments_partial);
   EXPECT_LT(result->stats.values_decoded, col.size() / 4);
   EXPECT_EQ(result->positions, ReferenceSelect(*compressed, pred));
@@ -105,7 +105,7 @@ TEST(SelectionTest, FallbackMatchesReference) {
   RangePredicate pred{100, 30000};
   auto result = exec::SelectCompressed(*compressed, pred);
   ASSERT_OK(result.status());
-  EXPECT_EQ(result->stats.strategy, "decompress-scan");
+  EXPECT_EQ(result->stats.strategy, exec::Strategy::kDecompressScan);
   EXPECT_EQ(result->positions, ReferenceSelect(*compressed, pred));
 }
 
@@ -145,7 +145,7 @@ TEST(SelectionTest, SignedColumnsRejected) {
 
 void ExpectAggregatesMatch(const Column<uint32_t>& col,
                            const SchemeDescriptor& desc,
-                           const std::string& expected_sum_strategy) {
+                           exec::Strategy expected_sum_strategy) {
   auto compressed = Compress(AnyColumn(col), desc);
   ASSERT_OK(compressed.status());
   auto sum = exec::SumCompressed(*compressed);
@@ -162,22 +162,22 @@ void ExpectAggregatesMatch(const Column<uint32_t>& col,
 
 TEST(AggregateTest, RleDotProduct) {
   ExpectAggregatesMatch(gen::SortedRuns(20000, 30.0, 3, 71), MakeRle(),
-                        "rle-dot");
+                        exec::Strategy::kRleDot);
 }
 
 TEST(AggregateTest, StepMass) {
   ExpectAggregatesMatch(gen::StepLevels(30000, 256, 20, 6, 72), MakeFor(256),
-                        "step-mass");
+                        exec::Strategy::kStepMass);
 }
 
 TEST(AggregateTest, DictStrategies) {
   ExpectAggregatesMatch(gen::ZipfValues(20000, 100, 1.0, 73), MakeDictNs(),
-                        "dict-sum");
+                        exec::Strategy::kDictSum);
 }
 
 TEST(AggregateTest, FallbackScan) {
   ExpectAggregatesMatch(gen::Uniform(10000, 1 << 20, 74), MakeDeltaNs(),
-                        "decompress-scan");
+                        exec::Strategy::kDecompressScan);
 }
 
 TEST(AggregateTest, EmptyColumn) {

@@ -42,7 +42,7 @@ Column<uint32_t> ReferenceSemiJoin(const Column<uint32_t>& col,
 }
 
 void ExpectSemiJoin(const Column<uint32_t>& col, const SchemeDescriptor& desc,
-                    const std::string& expected_strategy, uint64_t seed) {
+                    exec::Strategy expected_strategy, uint64_t seed) {
   auto compressed = Compress(AnyColumn(col), desc);
   ASSERT_OK(compressed.status());
   for (double hit_rate : {0.0, 0.01, 0.3}) {
@@ -56,7 +56,8 @@ void ExpectSemiJoin(const Column<uint32_t>& col, const SchemeDescriptor& desc,
 }
 
 TEST(SemiJoinTest, RleRuns) {
-  ExpectSemiJoin(gen::SortedRuns(20000, 40.0, 3, 1), MakeRle(), "rle-runs", 11);
+  ExpectSemiJoin(gen::SortedRuns(20000, 40.0, 3, 1), MakeRle(),
+                 exec::Strategy::kRleRuns, 11);
 }
 
 TEST(SemiJoinTest, DictProbesDictionaryNotRows) {
@@ -66,7 +67,7 @@ TEST(SemiJoinTest, DictProbesDictionaryNotRows) {
   Column<uint64_t> keys = MakeKeys(col, 0.1, 20, 12);
   auto result = exec::SemiJoinCompressed(*compressed, keys);
   ASSERT_OK(result.status());
-  EXPECT_EQ(result->strategy, "dict-probe");
+  EXPECT_EQ(result->strategy, exec::Strategy::kDictProbe);
   EXPECT_LE(result->probes, 200u);  // One per dictionary entry, not per row.
   EXPECT_EQ(result->positions, ReferenceSemiJoin(col, keys));
 }
@@ -81,14 +82,14 @@ TEST(SemiJoinTest, StepPrunedSkipsSegments) {
   keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
   auto result = exec::SemiJoinCompressed(*compressed, keys);
   ASSERT_OK(result.status());
-  EXPECT_EQ(result->strategy, "step-pruned");
+  EXPECT_EQ(result->strategy, exec::Strategy::kStepPruned);
   EXPECT_LT(result->probes, col.size() / 8);  // Most segments never decoded.
   EXPECT_EQ(result->positions, ReferenceSemiJoin(col, keys));
 }
 
 TEST(SemiJoinTest, FallbackScan) {
   ExpectSemiJoin(gen::Uniform(10000, 1 << 20, 4), MakeDeltaNs(),
-                 "decompress-scan", 13);
+                 exec::Strategy::kDecompressScan, 13);
 }
 
 TEST(SemiJoinTest, EmptyKeySetAndEmptyColumn) {

@@ -14,7 +14,7 @@ namespace {
 
 void ExpectPointAccess(const Column<uint32_t>& col,
                        const SchemeDescriptor& desc,
-                       const std::string& expected_strategy) {
+                       exec::Strategy expected_strategy) {
   auto compressed = Compress(AnyColumn(col), desc);
   ASSERT_OK(compressed.status());
   Rng rng(99);
@@ -29,38 +29,38 @@ void ExpectPointAccess(const Column<uint32_t>& col,
 }
 
 TEST(PointAccessTest, NsDirect) {
-  ExpectPointAccess(gen::Uniform(10000, 1 << 17, 1), Ns(), "ns-direct");
+  ExpectPointAccess(gen::Uniform(10000, 1 << 17, 1), Ns(), exec::Strategy::kNsDirect);
 }
 
 TEST(PointAccessTest, ForDirect) {
   ExpectPointAccess(gen::StepLevels(20000, 512, 24, 6, 2), MakeFor(512),
-                    "for-direct");
+                    exec::Strategy::kForDirect);
 }
 
 TEST(PointAccessTest, RpeBinarySearch) {
   ExpectPointAccess(gen::SortedRuns(20000, 30.0, 3, 3), Rpe(),
-                    "rpe-binary-search");
+                    exec::Strategy::kRpeBinarySearch);
 }
 
 TEST(PointAccessTest, DictProbePlainCodes) {
-  ExpectPointAccess(gen::ZipfValues(10000, 64, 1.1, 4), Dict(), "dict-probe");
+  ExpectPointAccess(gen::ZipfValues(10000, 64, 1.1, 4), Dict(), exec::Strategy::kDictProbe);
 }
 
 TEST(PointAccessTest, DictProbePackedCodes) {
   ExpectPointAccess(gen::ZipfValues(10000, 64, 1.1, 5), MakeDictNs(),
-                    "dict-probe");
+                    exec::Strategy::kDictProbe);
 }
 
 TEST(PointAccessTest, FallbackForSequentialSchemes) {
   ExpectPointAccess(gen::SortedRuns(5000, 10.0, 2, 6), MakeDeltaNs(),
-                    "decompress-scan");
+                    exec::Strategy::kDecompressScan);
 }
 
 TEST(PointAccessTest, RleFallsBackWhenPositionsComposed) {
   // RLE's positions are DELTA-compressed: no random access to run ends
   // without integrating them, so GetAt degrades gracefully.
   ExpectPointAccess(gen::SortedRuns(5000, 10.0, 2, 7), MakeRle(),
-                    "decompress-scan");
+                    exec::Strategy::kDecompressScan);
 }
 
 TEST(PointAccessTest, OutOfRangeRejected) {
@@ -100,7 +100,7 @@ TEST(PointAccessTest, Uint64ThroughFor) {
     auto result = exec::GetAt(*compressed, row);
     ASSERT_OK(result.status());
     EXPECT_EQ(result->value, col[row]);
-    EXPECT_EQ(result->strategy, "for-direct");
+    EXPECT_EQ(result->strategy, exec::Strategy::kForDirect);
   }
 }
 
