@@ -15,9 +15,17 @@
 #include "exec/point_access.h"
 #include "exec/selection.h"
 #include "gen/generators.h"
+#include "util/thread_pool.h"
 
 int main() {
   using namespace recomp;
+
+  // One pool for the whole store: per-chunk compression, scans, and batch
+  // lookups all fan out over it; results are identical to sequential.
+  ThreadPool pool(0);  // 0 = hardware concurrency.
+  const ExecContext ctx{&pool, 1};
+  std::printf("execution pool: %llu threads\n",
+              static_cast<unsigned long long>(pool.num_threads()));
 
   // Ingest: a column that drifts — run-heavy, then noisy, then sorted — so
   // no single whole-column descriptor fits all of it.
@@ -31,8 +39,9 @@ int main() {
     }
   }
 
-  // Chunk-at-a-time compression with per-chunk scheme selection.
-  auto compressed = CompressChunkedAuto(AnyColumn(column), {64 * 1024});
+  // Chunk-at-a-time compression with per-chunk scheme selection; the
+  // analyzer search runs per chunk, in parallel.
+  auto compressed = CompressChunkedAuto(AnyColumn(column), {64 * 1024}, {}, ctx);
   if (!compressed.ok()) return 1;
   std::printf("per-chunk analyzer choices (%.1fx overall):\n",
               compressed->Ratio());
@@ -77,7 +86,7 @@ int main() {
 
   // Point lookups straight off the loaded chunked form.
   for (uint64_t row : {uint64_t{0}, 2 * kPart + 12345, 3 * kPart - 1}) {
-    auto point = exec::GetAt(*restored, row);
+    auto point = exec::GetAt(*restored, row, ctx);
     if (!point.ok() || point->value != column[row]) {
       std::fprintf(stderr, "point lookup mismatch at %llu\n",
                    static_cast<unsigned long long>(row));
@@ -90,9 +99,10 @@ int main() {
   }
 
   // A range query over the sorted tail: the zone maps prune the run-heavy
-  // and noisy chunks before any per-chunk strategy runs.
+  // and noisy chunks before any per-chunk strategy runs, and the chunks
+  // that do overlap execute concurrently on the pool.
   exec::RangePredicate predicate{1u << 23, (1u << 23) + (1u << 17)};
-  auto selection = exec::SelectCompressed(*restored, predicate);
+  auto selection = exec::SelectCompressed(*restored, predicate, ctx);
   if (!selection.ok()) return 1;
   std::printf(
       "range query matched %zu rows: %llu/%llu chunks zone-map-pruned, "

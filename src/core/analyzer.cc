@@ -189,26 +189,28 @@ Result<SchemeDescriptor> ChooseScheme(const AnyColumn& input,
 
 Result<std::vector<ChunkSchemeChoice>> ChooseSchemesChunked(
     const AnyColumn& input, uint64_t chunk_rows,
-    const AnalyzerOptions& options) {
+    const AnalyzerOptions& options, const ExecContext& ctx) {
   if (chunk_rows == 0) {
     return Status::InvalidArgument("chunk_rows must be positive");
   }
   if (input.is_packed()) {
     return Status::InvalidArgument("analysis requires a plain column");
   }
-  std::vector<ChunkSchemeChoice> choices;
   const uint64_t n = input.size();
-  uint64_t begin = 0;
-  do {
+  const uint64_t num_chunks = n == 0 ? 1 : (n + chunk_rows - 1) / chunk_rows;
+  // Chunks are analyzed independently into pre-sized slots; ParallelForOk
+  // surfaces the first failure in chunk order.
+  std::vector<ChunkSchemeChoice> choices(num_chunks);
+  RECOMP_RETURN_NOT_OK(ParallelForOk(ctx, num_chunks, [&](uint64_t i) -> Status {
+    const uint64_t begin = i * chunk_rows;
     const uint64_t end = std::min<uint64_t>(n, begin + chunk_rows);
+    choices[i].row_begin = begin;
+    choices[i].row_count = end - begin;
     RECOMP_ASSIGN_OR_RETURN(AnyColumn slice, SliceRows(input, begin, end));
-    ChunkSchemeChoice choice;
-    choice.row_begin = begin;
-    choice.row_count = end - begin;
-    RECOMP_ASSIGN_OR_RETURN(choice.descriptor, ChooseScheme(slice, options));
-    choices.push_back(std::move(choice));
-    begin = end;
-  } while (begin < n);
+    RECOMP_ASSIGN_OR_RETURN(choices[i].descriptor,
+                            ChooseScheme(slice, options));
+    return Status::OK();
+  }));
   return choices;
 }
 

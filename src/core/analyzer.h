@@ -18,6 +18,7 @@
 #include "columnar/any_column.h"
 #include "core/descriptor.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace recomp {
 
@@ -57,9 +58,11 @@ struct ChunkSchemeChoice {
 /// drifting column — runs here, noise there, a sorted stretch at the end —
 /// gets a different composition wherever that pays. Errors when chunk_rows
 /// is 0; an empty column yields one empty chunk so the choice is total.
+/// Chunks are analyzed independently, so `ctx` fans the search out over its
+/// pool; the choices are identical for any thread count.
 Result<std::vector<ChunkSchemeChoice>> ChooseSchemesChunked(
     const AnyColumn& input, uint64_t chunk_rows,
-    const AnalyzerOptions& options = {});
+    const AnalyzerOptions& options = {}, const ExecContext& ctx = {});
 
 /// A candidate with its measured (not estimated) footprint.
 struct TrialOutcome {

@@ -118,9 +118,16 @@ std::string ChunkedCompressedColumn::ToString() const {
   return out;
 }
 
-Result<ChunkedCompressedColumn> CompressChunked(const AnyColumn& input,
-                                                const SchemeDescriptor& desc,
-                                                const ChunkingOptions& options) {
+namespace {
+
+/// Shared shape of CompressChunked / CompressChunkedAuto: validate, fan the
+/// chunk indices out over `ctx` into pre-sized slots (so workers never
+/// contend), compress each slice with the descriptor `choose` picks for it,
+/// then assemble in chunk order.
+template <typename ChooseFn>
+Result<ChunkedCompressedColumn> CompressChunkedImpl(
+    const AnyColumn& input, const ChunkingOptions& options,
+    const ExecContext& ctx, const ChooseFn& choose) {
   if (options.chunk_rows == 0) {
     return Status::InvalidArgument("chunk_rows must be positive");
   }
@@ -128,67 +135,78 @@ Result<ChunkedCompressedColumn> CompressChunked(const AnyColumn& input,
     return Status::InvalidArgument(
         "chunked compression requires a plain column");
   }
-  ChunkedCompressedColumn out;
   const uint64_t n = input.size();
-  uint64_t begin = 0;
-  do {
-    const uint64_t end = std::min<uint64_t>(n, begin + options.chunk_rows);
-    RECOMP_ASSIGN_OR_RETURN(AnyColumn slice, SliceRows(input, begin, end));
-    CompressedChunk chunk;
-    chunk.zone = ComputeZoneMap(slice, begin);
-    RECOMP_ASSIGN_OR_RETURN(chunk.column, Compress(slice, desc));
-    RECOMP_RETURN_NOT_OK(out.AppendChunk(std::move(chunk)));
-    begin = end;
-  } while (begin < n);
+  // An empty input still yields one empty chunk so the result is well-typed.
+  const uint64_t num_chunks =
+      n == 0 ? 1 : (n + options.chunk_rows - 1) / options.chunk_rows;
+  std::vector<CompressedChunk> slots(num_chunks);
+  RECOMP_RETURN_NOT_OK(
+      ParallelForOk(ctx, num_chunks, [&](uint64_t i) -> Status {
+        const uint64_t begin = i * options.chunk_rows;
+        const uint64_t end = std::min<uint64_t>(n, begin + options.chunk_rows);
+        RECOMP_ASSIGN_OR_RETURN(AnyColumn slice, SliceRows(input, begin, end));
+        RECOMP_ASSIGN_OR_RETURN(SchemeDescriptor desc, choose(slice));
+        slots[i].zone = ComputeZoneMap(slice, begin);
+        RECOMP_ASSIGN_OR_RETURN(slots[i].column, Compress(slice, desc));
+        return Status::OK();
+      }));
+  ChunkedCompressedColumn out;
+  for (CompressedChunk& slot : slots) {
+    RECOMP_RETURN_NOT_OK(out.AppendChunk(std::move(slot)));
+  }
   return out;
+}
+
+}  // namespace
+
+Result<ChunkedCompressedColumn> CompressChunked(const AnyColumn& input,
+                                                const SchemeDescriptor& desc,
+                                                const ChunkingOptions& options,
+                                                const ExecContext& ctx) {
+  return CompressChunkedImpl(
+      input, options, ctx,
+      [&](const AnyColumn&) -> Result<SchemeDescriptor> { return desc; });
 }
 
 Result<ChunkedCompressedColumn> CompressChunkedAuto(
     const AnyColumn& input, const ChunkingOptions& options,
-    const AnalyzerOptions& analyzer_options) {
-  if (options.chunk_rows == 0) {
-    return Status::InvalidArgument("chunk_rows must be positive");
-  }
-  if (input.is_packed()) {
-    return Status::InvalidArgument(
-        "chunked compression requires a plain column");
-  }
+    const AnalyzerOptions& analyzer_options, const ExecContext& ctx) {
   // Slice each chunk once and both analyze and compress it, instead of
   // going through ChooseSchemesChunked (which would slice everything a
   // second time just to return descriptors).
-  ChunkedCompressedColumn out;
-  const uint64_t n = input.size();
-  uint64_t begin = 0;
-  do {
-    const uint64_t end = std::min<uint64_t>(n, begin + options.chunk_rows);
-    RECOMP_ASSIGN_OR_RETURN(AnyColumn slice, SliceRows(input, begin, end));
-    RECOMP_ASSIGN_OR_RETURN(SchemeDescriptor desc,
-                            ChooseScheme(slice, analyzer_options));
-    CompressedChunk chunk;
-    chunk.zone = ComputeZoneMap(slice, begin);
-    RECOMP_ASSIGN_OR_RETURN(chunk.column, Compress(slice, desc));
-    RECOMP_RETURN_NOT_OK(out.AppendChunk(std::move(chunk)));
-    begin = end;
-  } while (begin < n);
-  return out;
+  return CompressChunkedImpl(
+      input, options, ctx,
+      [&](const AnyColumn& slice) -> Result<SchemeDescriptor> {
+        return ChooseScheme(slice, analyzer_options);
+      });
 }
 
-Result<AnyColumn> DecompressChunked(const ChunkedCompressedColumn& chunked) {
+Result<AnyColumn> DecompressChunked(const ChunkedCompressedColumn& chunked,
+                                    const ExecContext& ctx) {
   return internal::DispatchAnyTypeId(
       chunked.type(), [&](auto tag) -> Result<AnyColumn> {
         using T = typename decltype(tag)::type;
-        Column<T> out;
-        out.reserve(chunked.size());
-        for (const CompressedChunk& chunk : chunked.chunks()) {
-          RECOMP_ASSIGN_OR_RETURN(AnyColumn part,
-                                  Decompress(chunk.column));
-          if (part.is_packed() || part.type() != chunked.type()) {
-            return Status::Corruption(
-                "chunk decompressed to an unexpected type");
-          }
-          const Column<T>& values = part.As<T>();
-          out.insert(out.end(), values.begin(), values.end());
-        }
+        // Pre-sized output: every chunk owns the disjoint slice starting at
+        // its row_begin, so workers never overlap.
+        Column<T> out(chunked.size());
+        RECOMP_RETURN_NOT_OK(ParallelForOk(
+            ctx, chunked.num_chunks(), [&](uint64_t i) -> Status {
+              const CompressedChunk& chunk = chunked.chunk(i);
+              RECOMP_ASSIGN_OR_RETURN(AnyColumn part,
+                                      Decompress(chunk.column));
+              if (part.is_packed() || part.type() != chunked.type()) {
+                return Status::Corruption(
+                    "chunk decompressed to an unexpected type");
+              }
+              const Column<T>& values = part.As<T>();
+              if (values.size() != chunk.zone.row_count) {
+                return Status::Corruption(
+                    "chunk decompressed to an unexpected row count");
+              }
+              std::copy(values.begin(), values.end(),
+                        out.begin() + chunk.zone.row_begin);
+              return Status::OK();
+            }));
         return AnyColumn(std::move(out));
       });
 }

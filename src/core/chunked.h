@@ -24,6 +24,7 @@
 #include "core/analyzer.h"
 #include "core/compressed.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace recomp {
 
@@ -113,21 +114,25 @@ class ChunkedCompressedColumn {
 
 /// Compresses `input` (a plain column) chunk-at-a-time, every chunk with the
 /// same composite `desc`. An empty input yields one empty chunk so the
-/// result is always well-typed.
+/// result is always well-typed. Chunks compress independently, so `ctx` fans
+/// them out over its pool; the result is identical for any thread count.
 Result<ChunkedCompressedColumn> CompressChunked(
     const AnyColumn& input, const SchemeDescriptor& desc,
-    const ChunkingOptions& options = {});
+    const ChunkingOptions& options = {}, const ExecContext& ctx = {});
 
 /// Compresses `input` chunk-at-a-time, letting the analyzer choose a
 /// descriptor *per chunk* (ChooseSchemesChunked): the paper's
-/// search-over-compositions run once per segment of the column.
+/// search-over-compositions run once per segment of the column. The
+/// per-chunk analyzer search is embarrassingly parallel under `ctx`.
 Result<ChunkedCompressedColumn> CompressChunkedAuto(
     const AnyColumn& input, const ChunkingOptions& options = {},
-    const AnalyzerOptions& analyzer_options = {});
+    const AnalyzerOptions& analyzer_options = {}, const ExecContext& ctx = {});
 
-/// Reverses CompressChunked / CompressChunkedAuto by decompressing and
-/// concatenating every chunk.
-Result<AnyColumn> DecompressChunked(const ChunkedCompressedColumn& chunked);
+/// Reverses CompressChunked / CompressChunkedAuto by decompressing every
+/// chunk — concurrently under `ctx`, each chunk writing its disjoint slice
+/// of the pre-sized output — and concatenating in chunk order.
+Result<AnyColumn> DecompressChunked(const ChunkedCompressedColumn& chunked,
+                                    const ExecContext& ctx = {});
 
 }  // namespace recomp
 

@@ -322,13 +322,33 @@ Result<ChunkedCompressedColumn> DeserializeChunked(
   if (chunk_count > (uint32_t{1} << 24)) {
     return Status::Corruption("implausible chunk count");
   }
+  if (chunk_count == 0) {
+    // The writer always emits at least one chunk (an empty column is one
+    // empty chunk), so an empty directory — with or without claimed rows —
+    // is a buffer no Serialize ever produced.
+    return Status::Corruption("empty chunk directory");
+  }
   // The directory must fit in what remains before any entry is trusted.
   RECOMP_RETURN_NOT_OK(r.Need(chunk_count * kDirectoryEntrySize));
   std::vector<ZoneMap> zones(chunk_count);
   std::vector<uint64_t> node_bytes(chunk_count);
+  uint64_t expected_row_begin = 0;
   for (uint32_t i = 0; i < chunk_count; ++i) {
     RECOMP_ASSIGN_OR_RETURN(zones[i].row_begin, r.U64());
     RECOMP_ASSIGN_OR_RETURN(zones[i].row_count, r.U64());
+    // Chunks must tile [0, total_rows) in order: a row_begin below the
+    // running total is an overlap, above it a gap, either way corrupt.
+    if (zones[i].row_begin != expected_row_begin) {
+      return Status::Corruption(StringFormat(
+          "chunk %u starts at row %llu, expected %llu (directory not "
+          "contiguous)",
+          i, static_cast<unsigned long long>(zones[i].row_begin),
+          static_cast<unsigned long long>(expected_row_begin)));
+    }
+    if (zones[i].row_count > ~uint64_t{0} - expected_row_begin) {
+      return Status::Corruption("chunk row counts overflow");
+    }
+    expected_row_begin += zones[i].row_count;
     RECOMP_ASSIGN_OR_RETURN(uint8_t has_minmax, r.U8());
     if (has_minmax > 1) {
       return Status::Corruption("zone map flag must be 0 or 1");
@@ -341,6 +361,19 @@ Result<ChunkedCompressedColumn> DeserializeChunked(
     }
     RECOMP_ASSIGN_OR_RETURN(node_bytes[i], r.U64());
   }
+  if (expected_row_begin != total_rows) {
+    return Status::Corruption("directory row counts disagree with the header");
+  }
+  // Every chunk payload must lie inside the buffer before any is parsed:
+  // reject node_bytes offsets that run past the end (or overflow the sum).
+  uint64_t payload_bytes = 0;
+  for (uint32_t i = 0; i < chunk_count; ++i) {
+    if (node_bytes[i] > ~uint64_t{0} - payload_bytes) {
+      return Status::Corruption("chunk payload lengths overflow");
+    }
+    payload_bytes += node_bytes[i];
+  }
+  RECOMP_RETURN_NOT_OK(r.Need(payload_bytes));
   ChunkedCompressedColumn out;
   for (uint32_t i = 0; i < chunk_count; ++i) {
     const uint64_t before = r.Position();

@@ -224,7 +224,7 @@ Result<AggregateResult> MaxCompressed(const CompressedColumn& compressed) {
 namespace {
 
 Result<ChunkedAggregateResult> AggregateChunked(
-    const ChunkedCompressedColumn& chunked, Kind kind) {
+    const ChunkedCompressedColumn& chunked, Kind kind, const ExecContext& ctx) {
   if (!TypeIdIsUnsigned(chunked.type())) {
     return Status::InvalidArgument(
         "compressed aggregation requires an unsigned column");
@@ -232,13 +232,40 @@ Result<ChunkedAggregateResult> AggregateChunked(
   if (kind != Kind::kSum && chunked.size() == 0) {
     return Status::InvalidArgument("min/max of an empty column");
   }
-  ChunkedAggregateResult result;
-  result.chunks_total = chunked.num_chunks();
-  if (kind == Kind::kMin) result.value = ~uint64_t{0};
-  for (const CompressedChunk& chunk : chunked.chunks()) {
+  const uint64_t num_chunks = chunked.num_chunks();
+
+  // Phase 1 (sequential, zone maps only): which chunks need their payload?
+  // Min/max of a chunk with a zone map is the zone map; only SUM (and
+  // chunks lacking min/max) ever touch the payload.
+  std::vector<uint64_t> to_execute;
+  for (uint64_t i = 0; i < num_chunks; ++i) {
+    const CompressedChunk& chunk = chunked.chunk(i);
     if (chunk.zone.row_count == 0) continue;
-    // Min/max of a chunk with a zone map is the zone map; only SUM (and
-    // chunks lacking min/max) ever touch the payload.
+    if (kind != Kind::kSum && chunk.zone.has_minmax) continue;
+    to_execute.push_back(i);
+  }
+
+  // Phase 2: aggregate the payload chunks, concurrently when ctx has a pool,
+  // each into its own pre-sized slot. to_execute is in chunk order, so the
+  // first error ParallelForOk reports is the sequential loop's error.
+  std::vector<AggregateResult> slots(to_execute.size());
+  RECOMP_RETURN_NOT_OK(
+      ParallelForOk(ctx, to_execute.size(), [&](uint64_t t) -> Status {
+        RECOMP_ASSIGN_OR_RETURN(
+            slots[t],
+            AggregateCompressed(chunked.chunk(to_execute[t]).column, kind));
+        return Status::OK();
+      }));
+
+  // Phase 3 (sequential): fold partials in chunk order, exactly as the
+  // sequential path does.
+  ChunkedAggregateResult result;
+  result.chunks_total = num_chunks;
+  if (kind == Kind::kMin) result.value = ~uint64_t{0};
+  uint64_t slot = 0;
+  for (uint64_t i = 0; i < num_chunks; ++i) {
+    const CompressedChunk& chunk = chunked.chunk(i);
+    if (chunk.zone.row_count == 0) continue;
     if (kind != Kind::kSum && chunk.zone.has_minmax) {
       const uint64_t v = kind == Kind::kMin ? chunk.zone.min : chunk.zone.max;
       result.value = kind == Kind::kMin ? std::min(result.value, v)
@@ -247,9 +274,8 @@ Result<ChunkedAggregateResult> AggregateChunked(
       ++result.strategy_chunks[static_cast<int>(Strategy::kZoneMapOnly)];
       continue;
     }
+    const AggregateResult& sub = slots[slot++];
     ++result.chunks_executed;
-    RECOMP_ASSIGN_OR_RETURN(AggregateResult sub,
-                            AggregateCompressed(chunk.column, kind));
     ++result.strategy_chunks[static_cast<int>(sub.strategy)];
     if (kind == Kind::kSum) {
       result.value += sub.value;
@@ -264,18 +290,18 @@ Result<ChunkedAggregateResult> AggregateChunked(
 }  // namespace
 
 Result<ChunkedAggregateResult> SumCompressed(
-    const ChunkedCompressedColumn& chunked) {
-  return AggregateChunked(chunked, Kind::kSum);
+    const ChunkedCompressedColumn& chunked, const ExecContext& ctx) {
+  return AggregateChunked(chunked, Kind::kSum, ctx);
 }
 
 Result<ChunkedAggregateResult> MinCompressed(
-    const ChunkedCompressedColumn& chunked) {
-  return AggregateChunked(chunked, Kind::kMin);
+    const ChunkedCompressedColumn& chunked, const ExecContext& ctx) {
+  return AggregateChunked(chunked, Kind::kMin, ctx);
 }
 
 Result<ChunkedAggregateResult> MaxCompressed(
-    const ChunkedCompressedColumn& chunked) {
-  return AggregateChunked(chunked, Kind::kMax);
+    const ChunkedCompressedColumn& chunked, const ExecContext& ctx) {
+  return AggregateChunked(chunked, Kind::kMax, ctx);
 }
 
 }  // namespace recomp::exec

@@ -41,18 +41,21 @@ struct ChunkedAggregateResult {
 };
 
 /// Chunked Σ: per-chunk pushdown sums merged mod 2^64. Empty columns sum
-/// to 0.
+/// to 0. Chunks execute concurrently under `ctx`, each into its own slot;
+/// partials fold in chunk order, so the value and every counter match the
+/// sequential path bit-for-bit regardless of thread count.
 Result<ChunkedAggregateResult> SumCompressed(
-    const ChunkedCompressedColumn& chunked);
+    const ChunkedCompressedColumn& chunked, const ExecContext& ctx = {});
 
 /// Chunked minimum: chunks with zone maps are answered without touching
-/// their payloads; the rest dispatch per-chunk. Fails on empty columns.
+/// their payloads; the rest dispatch per-chunk (concurrently under `ctx`).
+/// Fails on empty columns.
 Result<ChunkedAggregateResult> MinCompressed(
-    const ChunkedCompressedColumn& chunked);
+    const ChunkedCompressedColumn& chunked, const ExecContext& ctx = {});
 
 /// Chunked maximum; see MinCompressed.
 Result<ChunkedAggregateResult> MaxCompressed(
-    const ChunkedCompressedColumn& chunked);
+    const ChunkedCompressedColumn& chunked, const ExecContext& ctx = {});
 
 }  // namespace recomp::exec
 

@@ -151,13 +151,25 @@ Result<PointResult> GetAt(const CompressedColumn& compressed, uint64_t row) {
       });
 }
 
-Result<PointResult> GetAt(const ChunkedCompressedColumn& chunked,
-                          uint64_t row) {
+Result<PointResult> GetAt(const ChunkedCompressedColumn& chunked, uint64_t row,
+                          const ExecContext& /*ctx*/) {
+  // A single lookup touches exactly one chunk: nothing to fan out.
   if (row >= chunked.size()) {
     return Status::OutOfRange("point access past the end of the column");
   }
   const CompressedChunk& chunk = chunked.chunk(chunked.ChunkIndexOf(row));
   return GetAt(chunk.column, row - chunk.zone.row_begin);
+}
+
+Result<std::vector<PointResult>> GetAtBatch(
+    const ChunkedCompressedColumn& chunked, const std::vector<uint64_t>& rows,
+    const ExecContext& ctx) {
+  std::vector<PointResult> results(rows.size());
+  RECOMP_RETURN_NOT_OK(ParallelForOk(ctx, rows.size(), [&](uint64_t i) -> Status {
+    RECOMP_ASSIGN_OR_RETURN(results[i], GetAt(chunked, rows[i]));
+    return Status::OK();
+  }));
+  return results;
 }
 
 }  // namespace recomp::exec

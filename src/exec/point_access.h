@@ -13,6 +13,7 @@
 #define RECOMP_EXEC_POINT_ACCESS_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "core/chunked.h"
 #include "core/compressed.h"
@@ -34,9 +35,17 @@ Result<PointResult> GetAt(const CompressedColumn& compressed, uint64_t row);
 /// Chunked overload: locates the owning chunk (binary search over the chunk
 /// directory), then runs the whole-column access path inside it — so the
 /// cost stays O(1)/O(log runs) per lookup regardless of chunk count. The
-/// strategy reports the inner chunk's access path.
-Result<PointResult> GetAt(const ChunkedCompressedColumn& chunked,
-                          uint64_t row);
+/// strategy reports the inner chunk's access path. A single lookup touches
+/// one chunk, so `ctx` is accepted for signature uniformity with the other
+/// chunked operators (and batch lookups to come) but never fans out.
+Result<PointResult> GetAt(const ChunkedCompressedColumn& chunked, uint64_t row,
+                          const ExecContext& ctx = {});
+
+/// Batch point access: one GetAt per row, fanned out over `ctx`. The values
+/// land in row order; the first failing row (in row order) yields the error.
+Result<std::vector<PointResult>> GetAtBatch(
+    const ChunkedCompressedColumn& chunked, const std::vector<uint64_t>& rows,
+    const ExecContext& ctx = {});
 
 }  // namespace recomp::exec
 

@@ -78,10 +78,14 @@ struct ChunkedSelectionResult {
 
 /// Chunked overload: prunes whole chunks via their zone maps, dispatches the
 /// per-chunk pushdown strategies above only for overlapping chunks, and
-/// merges the position lists (offset by each chunk's row_begin). Always
-/// equals the whole-column reference.
+/// merges the position lists (offset by each chunk's row_begin). Overlapping
+/// chunks execute concurrently under `ctx`, each into its own slot; the
+/// merge walks chunks in order, so positions stay sorted and every stats
+/// counter matches the sequential path bit-for-bit regardless of thread
+/// count. Always equals the whole-column reference.
 Result<ChunkedSelectionResult> SelectCompressed(
-    const ChunkedCompressedColumn& chunked, const RangePredicate& predicate);
+    const ChunkedCompressedColumn& chunked, const RangePredicate& predicate,
+    const ExecContext& ctx = {});
 
 }  // namespace recomp::exec
 

@@ -1,0 +1,92 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace recomp {
+
+ThreadPool::ThreadPool(uint64_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (uint64_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain the queue even when stopping: destruction must not drop work
+      // a ParallelFor caller is still waiting on.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ParallelFor(const ExecContext& ctx, uint64_t n,
+                 const std::function<void(uint64_t)>& fn) {
+  if (n == 0) return;
+  const uint64_t grain = std::max<uint64_t>(1, ctx.min_chunks_per_task);
+  const uint64_t num_tasks = (n + grain - 1) / grain;
+  if (!ctx.parallel() || num_tasks <= 1) {
+    for (uint64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Completion latch: the caller owns all state, tasks only decrement.
+  std::mutex mu;
+  std::condition_variable done;
+  uint64_t pending = num_tasks - 1;
+
+  for (uint64_t task = 1; task < num_tasks; ++task) {
+    const uint64_t begin = task * grain;
+    const uint64_t end = std::min(n, begin + grain);
+    ctx.pool->Submit([&, begin, end] {
+      for (uint64_t i = begin; i < end; ++i) fn(i);
+      std::lock_guard<std::mutex> lock(mu);
+      if (--pending == 0) done.notify_one();
+    });
+  }
+  // The calling thread takes the first range instead of idling.
+  for (uint64_t i = 0; i < std::min(n, grain); ++i) fn(i);
+
+  std::unique_lock<std::mutex> lock(mu);
+  done.wait(lock, [&] { return pending == 0; });
+}
+
+Status ParallelForOk(const ExecContext& ctx, uint64_t n,
+                     const std::function<Status(uint64_t)>& fn) {
+  std::vector<Status> statuses(n, Status::OK());
+  ParallelFor(ctx, n, [&](uint64_t i) { statuses[i] = fn(i); });
+  for (Status& status : statuses) {
+    if (!status.ok()) return std::move(status);
+  }
+  return Status::OK();
+}
+
+}  // namespace recomp

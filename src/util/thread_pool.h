@@ -1,0 +1,91 @@
+// Fixed-size thread pool and the ExecContext handle the chunked operators
+// parallelize over.
+//
+// Chunks are the independent unit of work (core/chunked.h); everything that
+// visits them — compression, decompression, the per-chunk analyzer search,
+// and the exec-layer scans — takes an ExecContext and fans chunk indices out
+// over the pool with ParallelFor. The design is deliberately minimal: a
+// fixed worker count, one FIFO queue, no work stealing. Determinism is the
+// contract that matters: ParallelFor only decides *where* fn(i) runs; every
+// caller writes into a pre-sized per-index slot and merges slots in index
+// order afterwards, so results are bit-identical to the sequential path for
+// any thread count.
+
+#ifndef RECOMP_UTIL_THREAD_POOL_H_
+#define RECOMP_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace recomp {
+
+/// A fixed-size pool of worker threads draining one shared FIFO queue.
+/// Tasks must not throw and must not block on work scheduled behind them in
+/// the same queue (no nested ParallelFor over the same pool).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means std::thread::hardware_concurrency
+  /// (at least 1).
+  explicit ThreadPool(uint64_t num_threads);
+
+  /// Finishes every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint64_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues one task for execution on a worker thread.
+  void Submit(std::function<void()> task);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// How the chunked operators execute: which pool to fan out over (nullptr
+/// means the sequential path — the default, so existing call sites are
+/// unchanged) and the grain size, i.e. the smallest number of consecutive
+/// chunks worth one task. Larger grains amortize queue traffic when chunks
+/// are tiny; 1 maximizes parallelism when per-chunk work dominates.
+struct ExecContext {
+  ThreadPool* pool = nullptr;
+  uint64_t min_chunks_per_task = 1;
+
+  /// True when work can actually fan out.
+  bool parallel() const { return pool != nullptr && pool->num_threads() > 1; }
+};
+
+/// Runs fn(i) exactly once for every i in [0, n) and returns when all calls
+/// have finished. Indices are partitioned into contiguous ranges of at least
+/// ctx.min_chunks_per_task; with no usable pool (or a single task) everything
+/// runs inline on the calling thread, in index order. fn must not throw and
+/// must not touch the same pool again (nested fan-out deadlocks a saturated
+/// fixed-size pool).
+void ParallelFor(const ExecContext& ctx, uint64_t n,
+                 const std::function<void(uint64_t)>& fn);
+
+/// ParallelFor for fallible work: every fn(i) runs to completion (no early
+/// exit — indices must stay independent), each status lands in its own slot,
+/// and the first non-OK status *in index order* is returned — the same error
+/// a sequential loop would surface. fn typically writes its payload into a
+/// caller-pre-sized slot vector and returns only the Status.
+Status ParallelForOk(const ExecContext& ctx, uint64_t n,
+                     const std::function<Status(uint64_t)>& fn);
+
+}  // namespace recomp
+
+#endif  // RECOMP_UTIL_THREAD_POOL_H_

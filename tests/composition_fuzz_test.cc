@@ -15,6 +15,8 @@
 #include "core/plan_executor.h"
 #include "core/plan_optimizer.h"
 #include "core/serialize.h"
+#include "exec/aggregate.h"
+#include "exec/selection.h"
 #include "gen/generators.h"
 #include "test_util.h"
 #include "util/random.h"
@@ -193,6 +195,66 @@ TEST(CompositionFuzzTest, ChunkedRoundTripWithRandomChunkSizes) {
     ASSERT_OK(from_bytes.status()) << desc.ToString();
     ASSERT_TRUE(*from_bytes == input)
         << desc.ToString() << " chunk " << chunk_rows;
+  }
+}
+
+TEST(CompositionFuzzTest, ParallelAgreementMatchesSequential) {
+  // Random column + random chunking + random thread count and grain: the
+  // parallel path must be bit-identical to the sequential path — positions,
+  // aggregates, pruning counters, and the decompressed column.
+  Rng rng(13131);
+  for (int round = 0; round < 10; ++round) {
+    const SchemeDescriptor desc = RandomDescriptor(rng, 2);
+    ASSERT_OK(desc.Validate()) << desc.ToString();
+    const Column<uint32_t> col = RandomWorkload(rng);
+    const AnyColumn input(col);
+    const uint64_t chunk_rows = 2 + rng.Below(col.size());
+    ThreadPool pool(1 + rng.Below(8));
+    const ExecContext ctx{&pool, 1 + rng.Below(4)};
+
+    auto seq = CompressChunked(input, desc, {chunk_rows});
+    auto par = CompressChunked(input, desc, {chunk_rows}, ctx);
+    ASSERT_OK(seq.status()) << desc.ToString();
+    ASSERT_OK(par.status()) << desc.ToString();
+    ASSERT_EQ(seq->num_chunks(), par->num_chunks());
+
+    auto seq_back = DecompressChunked(*seq);
+    auto par_back = DecompressChunked(*par, ctx);
+    ASSERT_OK(seq_back.status()) << desc.ToString();
+    ASSERT_OK(par_back.status()) << desc.ToString();
+    ASSERT_TRUE(*seq_back == input) << desc.ToString();
+    ASSERT_TRUE(*par_back == input) << desc.ToString();
+
+    const uint64_t a = rng.Below(uint64_t{1} << 32);
+    const uint64_t b = rng.Below(uint64_t{1} << 32);
+    const exec::RangePredicate pred{std::min(a, b), std::max(a, b)};
+    auto seq_sel = exec::SelectCompressed(*seq, pred);
+    auto par_sel = exec::SelectCompressed(*seq, pred, ctx);
+    ASSERT_OK(seq_sel.status()) << desc.ToString();
+    ASSERT_OK(par_sel.status()) << desc.ToString();
+    ASSERT_EQ(seq_sel->positions, par_sel->positions) << desc.ToString();
+    ASSERT_EQ(seq_sel->stats.chunks_pruned, par_sel->stats.chunks_pruned);
+    ASSERT_EQ(seq_sel->stats.chunks_full, par_sel->stats.chunks_full);
+    ASSERT_EQ(seq_sel->stats.chunks_executed, par_sel->stats.chunks_executed);
+    ASSERT_EQ(seq_sel->stats.values_decoded, par_sel->stats.values_decoded);
+
+    auto seq_sum = exec::SumCompressed(*seq);
+    auto par_sum = exec::SumCompressed(*seq, ctx);
+    ASSERT_OK(seq_sum.status()) << desc.ToString();
+    ASSERT_OK(par_sum.status()) << desc.ToString();
+    ASSERT_EQ(seq_sum->value, par_sum->value) << desc.ToString();
+
+    auto seq_min = exec::MinCompressed(*seq);
+    auto par_min = exec::MinCompressed(*seq, ctx);
+    ASSERT_OK(seq_min.status()) << desc.ToString();
+    ASSERT_OK(par_min.status()) << desc.ToString();
+    ASSERT_EQ(seq_min->value, par_min->value) << desc.ToString();
+
+    auto seq_max = exec::MaxCompressed(*seq);
+    auto par_max = exec::MaxCompressed(*seq, ctx);
+    ASSERT_OK(seq_max.status()) << desc.ToString();
+    ASSERT_OK(par_max.status()) << desc.ToString();
+    ASSERT_EQ(seq_max->value, par_max->value) << desc.ToString();
   }
 }
 

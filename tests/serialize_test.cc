@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "core/catalog.h"
 #include "core/serialize.h"
 #include "gen/generators.h"
@@ -128,6 +130,126 @@ TEST(SerializeTest, RandomBitFlipsNeverCrash) {
 
 TEST(SerializeTest, EmptyBufferRejected) {
   EXPECT_FALSE(Deserialize({}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Malformed v2 chunk directories
+// ---------------------------------------------------------------------------
+
+// v2 layout offsets (serialize.h): magic(4) + version(2) + out_type(1) +
+// total_rows(8) + chunk_count(4) = 19 header bytes, then 41-byte directory
+// entries { row_begin(8), row_count(8), has_minmax(1), min(8), max(8),
+// node_bytes(8) }.
+constexpr size_t kV2HeaderBytes = 19;
+constexpr size_t kV2EntryBytes = 41;
+
+size_t EntryOffset(size_t chunk, size_t field_offset) {
+  return kV2HeaderBytes + chunk * kV2EntryBytes + field_offset;
+}
+
+void PokeU64(std::vector<uint8_t>& buffer, size_t offset, uint64_t value) {
+  ASSERT_LE(offset + 8, buffer.size());
+  std::memcpy(buffer.data() + offset, &value, 8);
+}
+
+/// A 3-chunk v2 buffer over [0, 12) with 4 rows per chunk.
+std::vector<uint8_t> SmallChunkedBuffer() {
+  Column<uint32_t> col;
+  for (uint32_t i = 0; i < 12; ++i) col.push_back(i * 7 + 1);
+  auto chunked = CompressChunked(AnyColumn(col), Ns(), {4});
+  EXPECT_OK(chunked.status());
+  auto buffer = Serialize(*chunked);
+  EXPECT_OK(buffer.status());
+  return *buffer;
+}
+
+TEST(SerializeTest, V2OverlappingChunksRejected) {
+  std::vector<uint8_t> buffer = SmallChunkedBuffer();
+  // Chunk 1 claims to start inside chunk 0's rows.
+  PokeU64(buffer, EntryOffset(1, 0), 2);
+  auto restored = DeserializeChunked(buffer);
+  EXPECT_EQ(restored.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, V2NonContiguousChunksRejected) {
+  std::vector<uint8_t> buffer = SmallChunkedBuffer();
+  // Chunk 2 leaves a gap after chunk 1's rows.
+  PokeU64(buffer, EntryOffset(2, 0), 9);
+  auto restored = DeserializeChunked(buffer);
+  EXPECT_EQ(restored.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, V2NonzeroFirstRowBeginRejected) {
+  std::vector<uint8_t> buffer = SmallChunkedBuffer();
+  PokeU64(buffer, EntryOffset(0, 0), 1);
+  auto restored = DeserializeChunked(buffer);
+  EXPECT_EQ(restored.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, V2RowCountDisagreeingWithHeaderRejected) {
+  std::vector<uint8_t> buffer = SmallChunkedBuffer();
+  // The last chunk shrinks: the directory no longer tiles [0, total_rows).
+  PokeU64(buffer, EntryOffset(2, 8), 3);
+  auto restored = DeserializeChunked(buffer);
+  EXPECT_EQ(restored.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, V2RowCountOverflowRejected) {
+  std::vector<uint8_t> buffer = SmallChunkedBuffer();
+  PokeU64(buffer, EntryOffset(1, 8), ~uint64_t{0} - 1);
+  auto restored = DeserializeChunked(buffer);
+  EXPECT_EQ(restored.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, V2EmptyDirectoryRejected) {
+  // The writer always emits at least one chunk, so a zero-chunk directory is
+  // corrupt whether or not the header claims rows.
+  for (const uint8_t rows : {uint8_t{5}, uint8_t{0}}) {
+    // Hand-built header: magic, version 2, uint32 type, rows, zero chunks.
+    std::vector<uint8_t> buffer = {'R', 'C', 'M', 'P'};
+    buffer.push_back(2);
+    buffer.push_back(0);  // u16 version = 2.
+    buffer.push_back(static_cast<uint8_t>(TypeId::kUInt32));
+    for (int i = 0; i < 8; ++i) buffer.push_back(i == 0 ? rows : 0);  // u64.
+    for (int i = 0; i < 4; ++i) buffer.push_back(0);  // u32 chunk_count = 0.
+    auto restored = DeserializeChunked(buffer);
+    EXPECT_EQ(restored.status().code(), StatusCode::kCorruption)
+        << "rows=" << static_cast<int>(rows);
+  }
+}
+
+TEST(SerializeTest, V2NodeBytesPastBufferRejected) {
+  std::vector<uint8_t> buffer = SmallChunkedBuffer();
+  // A payload length reaching past the end of the buffer must be rejected
+  // from the directory alone, before any chunk payload is parsed.
+  PokeU64(buffer, EntryOffset(1, 33), buffer.size());
+  auto restored = DeserializeChunked(buffer);
+  EXPECT_EQ(restored.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, V2NodeBytesSumOverflowRejected) {
+  std::vector<uint8_t> buffer = SmallChunkedBuffer();
+  // Lengths whose sum wraps around 2^64 must not bypass the bounds check.
+  PokeU64(buffer, EntryOffset(0, 33), ~uint64_t{0} / 2 + 1);
+  PokeU64(buffer, EntryOffset(1, 33), ~uint64_t{0} / 2 + 1);
+  auto restored = DeserializeChunked(buffer);
+  EXPECT_EQ(restored.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, V2NodeBytesDisagreeingWithPayloadRejected) {
+  std::vector<uint8_t> buffer = SmallChunkedBuffer();
+  // Shift one byte of claimed length from chunk 0 to chunk 1: the total
+  // still fits, but each chunk's parsed length disagrees with its entry.
+  size_t off0 = EntryOffset(0, 33);
+  uint64_t n0;
+  std::memcpy(&n0, buffer.data() + off0, 8);
+  PokeU64(buffer, off0, n0 - 1);
+  size_t off1 = EntryOffset(1, 33);
+  uint64_t n1;
+  std::memcpy(&n1, buffer.data() + off1, 8);
+  PokeU64(buffer, off1, n1 + 1);
+  auto restored = DeserializeChunked(buffer);
+  EXPECT_EQ(restored.status().code(), StatusCode::kCorruption);
 }
 
 }  // namespace
