@@ -60,7 +60,7 @@ const Workload& SharedWorkload() {
     w->plain = MakeDriftingColumn();
     // Compress with however many cores the build machine has — this also
     // exercises the parallel compression path end-to-end.
-    ThreadPool pool(0);
+    ThreadPool pool(ThreadPool::DefaultThreadCount());
     w->chunked = ValueOrDie(CompressChunkedAuto(AnyColumn(w->plain),
                                                 {kChunkRows}, {},
                                                 ExecContext{&pool, 1}),

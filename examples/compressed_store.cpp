@@ -22,7 +22,7 @@ int main() {
 
   // One pool for the whole store: per-chunk compression, scans, and batch
   // lookups all fan out over it; results are identical to sequential.
-  ThreadPool pool(0);  // 0 = hardware concurrency.
+  ThreadPool pool(ThreadPool::DefaultThreadCount());
   const ExecContext ctx{&pool, 1};
   std::printf("execution pool: %llu threads\n",
               static_cast<unsigned long long>(pool.num_threads()));

@@ -2,42 +2,33 @@
 
 #include <algorithm>
 
-#include "columnar/stats.h"
 #include "core/pipeline.h"
 #include "schemes/scheme_internal.h"
 #include "util/string_util.h"
 
 namespace recomp {
 
-namespace {
-
-/// Zone map of a plain slice starting at `row_begin`. min/max come from the
-/// column statistics pass; signed slices get a count-only zone map (the
-/// chunked exec operators reject signed columns anyway, matching the
-/// whole-column operators).
 ZoneMap ComputeZoneMap(const AnyColumn& slice, uint64_t row_begin) {
   ZoneMap zone;
   zone.row_begin = row_begin;
   zone.row_count = slice.size();
   if (slice.size() == 0) return zone;
-  auto stats = internal::DispatchUnsignedColumn(
-      slice, [](const auto& col) -> Result<ColumnStats> {
-        return ComputeStats(col);
+  const Status status = internal::DispatchUnsignedColumn(
+      slice, [&](const auto& col) -> Status {
+        const auto [lo, hi] = std::minmax_element(col.begin(), col.end());
+        zone.has_minmax = true;
+        zone.min = static_cast<uint64_t>(*lo);
+        zone.max = static_cast<uint64_t>(*hi);
+        return Status::OK();
       });
-  if (stats.ok()) {
-    zone.has_minmax = true;
-    zone.min = stats->min;
-    zone.max = stats->max;
-  }
+  (void)status;
   return zone;
 }
 
-}  // namespace
-
 uint64_t ChunkedCompressedColumn::PayloadBytes() const {
   uint64_t total = 0;
-  for (const CompressedChunk& chunk : chunks_) {
-    total += chunk.column.PayloadBytes();
+  for (const auto& chunk : chunks_) {
+    total += chunk->column.PayloadBytes();
   }
   return total;
 }
@@ -54,7 +45,9 @@ uint64_t ChunkedCompressedColumn::ChunkIndexOf(uint64_t row) const {
   // Last chunk whose row_begin <= row.
   const auto it = std::upper_bound(
       chunks_.begin(), chunks_.end(), row,
-      [](uint64_t r, const CompressedChunk& c) { return r < c.zone.row_begin; });
+      [](uint64_t r, const std::shared_ptr<const CompressedChunk>& c) {
+        return r < c->zone.row_begin;
+      });
   return static_cast<uint64_t>(it - chunks_.begin()) - 1;
 }
 
@@ -67,11 +60,18 @@ ChunkedCompressedColumn ChunkedCompressedColumn::FromSingle(
   chunk.column = std::move(column);
   out.type_ = chunk.column.type();
   out.n_ = chunk.zone.row_count;
-  out.chunks_.push_back(std::move(chunk));
+  out.chunks_.push_back(
+      std::make_shared<const CompressedChunk>(std::move(chunk)));
   return out;
 }
 
 Status ChunkedCompressedColumn::AppendChunk(CompressedChunk chunk) {
+  return AppendChunk(std::make_shared<const CompressedChunk>(std::move(chunk)));
+}
+
+Status ChunkedCompressedColumn::AppendChunk(
+    std::shared_ptr<const CompressedChunk> shared) {
+  const CompressedChunk& chunk = *shared;
   if (chunk.zone.row_begin != n_) {
     return Status::InvalidArgument(StringFormat(
         "chunk starts at row %llu, expected %llu",
@@ -90,7 +90,7 @@ Status ChunkedCompressedColumn::AppendChunk(CompressedChunk chunk) {
         TypeIdName(chunk.column.type()), TypeIdName(type_)));
   }
   n_ += chunk.zone.row_count;
-  chunks_.push_back(std::move(chunk));
+  chunks_.push_back(std::move(shared));
   return Status::OK();
 }
 
@@ -100,7 +100,7 @@ std::string ChunkedCompressedColumn::ToString() const {
       static_cast<unsigned long long>(n_), chunks_.size(),
       HumanBytes(PayloadBytes()).c_str(), Ratio());
   for (size_t i = 0; i < chunks_.size(); ++i) {
-    const CompressedChunk& chunk = chunks_[i];
+    const CompressedChunk& chunk = *chunks_[i];
     out += StringFormat(
         "  [%zu] rows [%llu, %llu) %s", i,
         static_cast<unsigned long long>(chunk.zone.row_begin),

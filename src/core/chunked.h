@@ -17,6 +17,7 @@
 #define RECOMP_CORE_CHUNKED_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -62,9 +63,21 @@ struct CompressedChunk {
   CompressedColumn column;
 };
 
+/// Zone map of a plain slice starting at `row_begin`: one min/max pass
+/// (cheap enough for the streaming store to run at tail-roll time, under
+/// its column lock). Signed slices get a count-only zone map — the chunked
+/// exec operators reject signed columns anyway, matching the whole-column
+/// operators.
+ZoneMap ComputeZoneMap(const AnyColumn& slice, uint64_t row_begin);
+
 /// A column stored as a sequence of contiguous, independently compressed
 /// chunks. Chunks may use different descriptors; the logical column is their
 /// concatenation in order.
+///
+/// Chunks are held by shared, immutable reference: copying the envelope
+/// shares the chunk payloads instead of cloning them, so a copy is O(chunks)
+/// — the copy-on-write property the streaming store's snapshots build on
+/// (store/appendable_column.h). A chunk must never be mutated once appended.
 class ChunkedCompressedColumn {
  public:
   ChunkedCompressedColumn() = default;
@@ -76,8 +89,10 @@ class ChunkedCompressedColumn {
   TypeId type() const { return type_; }
 
   uint64_t num_chunks() const { return chunks_.size(); }
-  const CompressedChunk& chunk(uint64_t i) const { return chunks_[i]; }
-  const std::vector<CompressedChunk>& chunks() const { return chunks_; }
+  const CompressedChunk& chunk(uint64_t i) const { return *chunks_[i]; }
+  const std::vector<std::shared_ptr<const CompressedChunk>>& chunks() const {
+    return chunks_;
+  }
 
   /// Footprint of the uncompressed column.
   uint64_t UncompressedBytes() const {
@@ -103,13 +118,18 @@ class ChunkedCompressedColumn {
   /// with earlier chunks.
   Status AppendChunk(CompressedChunk chunk);
 
+  /// Appends an already-shared chunk without copying its payload — the
+  /// snapshot path: a live column and every snapshot of it share sealed
+  /// chunks. Same validation as AppendChunk; the chunk must stay immutable.
+  Status AppendChunk(std::shared_ptr<const CompressedChunk> chunk);
+
   /// Per-chunk summary: descriptor, rows, zone bounds, footprint.
   std::string ToString() const;
 
  private:
   uint64_t n_ = 0;
   TypeId type_ = TypeId::kUInt32;
-  std::vector<CompressedChunk> chunks_;
+  std::vector<std::shared_ptr<const CompressedChunk>> chunks_;
 };
 
 /// Compresses `input` (a plain column) chunk-at-a-time, every chunk with the

@@ -79,13 +79,18 @@ void WriteNode(Writer& w, const CompressedNode& node) {
 // Reading
 // ---------------------------------------------------------------------------
 
+/// Bounds-checked cursor over a byte range. Constructible from a sub-range
+/// so independent chunk payloads can be parsed by independent readers (the
+/// parallel-deserialization unit).
 class Reader {
  public:
-  explicit Reader(const std::vector<uint8_t>& in) : in_(in) {}
+  explicit Reader(const std::vector<uint8_t>& in)
+      : Reader(in.data(), in.size()) {}
+  Reader(const uint8_t* data, uint64_t size) : data_(data), size_(size) {}
 
   Result<uint8_t> U8() {
     RECOMP_RETURN_NOT_OK(Need(1));
-    return in_[pos_++];
+    return data_[pos_++];
   }
   Result<uint16_t> U16() { return Fixed<uint16_t>(); }
   Result<uint32_t> U32() { return Fixed<uint32_t>(); }
@@ -94,27 +99,27 @@ class Reader {
   Result<std::string> String() {
     RECOMP_ASSIGN_OR_RETURN(uint32_t len, U32());
     RECOMP_RETURN_NOT_OK(Need(len));
-    std::string s(reinterpret_cast<const char*>(in_.data() + pos_), len);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
     pos_ += len;
     return s;
   }
 
   Status ReadRaw(void* out, uint64_t bytes) {
     RECOMP_RETURN_NOT_OK(Need(bytes));
-    std::memcpy(out, in_.data() + pos_, bytes);
+    std::memcpy(out, data_ + pos_, bytes);
     pos_ += bytes;
     return Status::OK();
   }
 
-  bool AtEnd() const { return pos_ == in_.size(); }
+  bool AtEnd() const { return pos_ == size_; }
 
   uint64_t Position() const { return pos_; }
 
   Status Need(uint64_t bytes) const {
-    if (in_.size() - pos_ < bytes) {
+    if (size_ - pos_ < bytes) {
       return Status::Corruption(StringFormat(
           "buffer truncated: need %llu bytes at offset %zu",
-          static_cast<unsigned long long>(bytes), pos_));
+          static_cast<unsigned long long>(bytes), static_cast<size_t>(pos_)));
     }
     return Status::OK();
   }
@@ -124,13 +129,14 @@ class Reader {
   Result<T> Fixed() {
     RECOMP_RETURN_NOT_OK(Need(sizeof(T)));
     T v;
-    std::memcpy(&v, in_.data() + pos_, sizeof(T));
+    std::memcpy(&v, data_ + pos_, sizeof(T));
     pos_ += sizeof(T);
     return v;
   }
 
-  const std::vector<uint8_t>& in_;
-  size_t pos_ = 0;
+  const uint8_t* data_;
+  uint64_t size_;
+  uint64_t pos_ = 0;
 };
 
 Result<TypeId> ReadTypeId(Reader& r) {
@@ -261,16 +267,16 @@ Result<std::vector<uint8_t>> Serialize(const ChunkedCompressedColumn& chunked) {
   w.U8(static_cast<uint8_t>(chunked.type()));
   w.U64(chunked.size());
   w.U32(static_cast<uint32_t>(chunked.num_chunks()));
-  for (const CompressedChunk& chunk : chunked.chunks()) {
-    w.U64(chunk.zone.row_begin);
-    w.U64(chunk.zone.row_count);
-    w.U8(chunk.zone.has_minmax ? 1 : 0);
-    w.U64(chunk.zone.min);
-    w.U64(chunk.zone.max);
-    w.U64(NodeSerializedSize(chunk.column.root()));
+  for (const auto& chunk : chunked.chunks()) {
+    w.U64(chunk->zone.row_begin);
+    w.U64(chunk->zone.row_count);
+    w.U8(chunk->zone.has_minmax ? 1 : 0);
+    w.U64(chunk->zone.min);
+    w.U64(chunk->zone.max);
+    w.U64(NodeSerializedSize(chunk->column.root()));
   }
-  for (const CompressedChunk& chunk : chunked.chunks()) {
-    WriteNode(w, chunk.column.root());
+  for (const auto& chunk : chunked.chunks()) {
+    WriteNode(w, chunk->column.root());
   }
   return out;
 }
@@ -295,7 +301,7 @@ Result<CompressedColumn> Deserialize(const std::vector<uint8_t>& buffer) {
 }
 
 Result<ChunkedCompressedColumn> DeserializeChunked(
-    const std::vector<uint8_t>& buffer) {
+    const std::vector<uint8_t>& buffer, const ExecContext& ctx) {
   Reader r(buffer);
   char magic[4];
   RECOMP_RETURN_NOT_OK(r.ReadRaw(magic, 4));
@@ -367,18 +373,25 @@ Result<ChunkedCompressedColumn> DeserializeChunked(
   // Every chunk payload must lie inside the buffer before any is parsed:
   // reject node_bytes offsets that run past the end (or overflow the sum).
   uint64_t payload_bytes = 0;
+  std::vector<uint64_t> offsets(chunk_count);
   for (uint32_t i = 0; i < chunk_count; ++i) {
+    offsets[i] = payload_bytes;
     if (node_bytes[i] > ~uint64_t{0} - payload_bytes) {
       return Status::Corruption("chunk payload lengths overflow");
     }
     payload_bytes += node_bytes[i];
   }
   RECOMP_RETURN_NOT_OK(r.Need(payload_bytes));
-  ChunkedCompressedColumn out;
-  for (uint32_t i = 0; i < chunk_count; ++i) {
-    const uint64_t before = r.Position();
-    RECOMP_ASSIGN_OR_RETURN(CompressedNode root, ReadNode(r, 0));
-    if (r.Position() - before != node_bytes[i]) {
+  // The validated directory pins each payload's offset and length, so every
+  // chunk parses from its own bounded sub-reader — independently, fanned out
+  // over ctx's pool into pre-sized slots. ParallelForOk reports the first
+  // failing chunk in index order, exactly as a sequential loop would.
+  const uint8_t* payloads = buffer.data() + r.Position();
+  std::vector<std::shared_ptr<const CompressedChunk>> slots(chunk_count);
+  RECOMP_RETURN_NOT_OK(ParallelForOk(ctx, chunk_count, [&](uint64_t i) -> Status {
+    Reader chunk_reader(payloads + offsets[i], node_bytes[i]);
+    RECOMP_ASSIGN_OR_RETURN(CompressedNode root, ReadNode(chunk_reader, 0));
+    if (!chunk_reader.AtEnd()) {
       return Status::Corruption(
           "chunk payload length disagrees with the directory");
     }
@@ -392,9 +405,14 @@ Result<ChunkedCompressedColumn> DeserializeChunked(
     CompressedChunk chunk;
     chunk.zone = zones[i];
     chunk.column = CompressedColumn(std::move(root));
-    RECOMP_RETURN_NOT_OK(out.AppendChunk(std::move(chunk)));
+    slots[i] = std::make_shared<const CompressedChunk>(std::move(chunk));
+    return Status::OK();
+  }));
+  ChunkedCompressedColumn out;
+  for (uint32_t i = 0; i < chunk_count; ++i) {
+    RECOMP_RETURN_NOT_OK(out.AppendChunk(std::move(slots[i])));
   }
-  if (!r.AtEnd()) {
+  if (r.Position() + payload_bytes != buffer.size()) {
     return Status::Corruption("trailing bytes after envelope");
   }
   if (out.size() != total_rows) {
@@ -409,8 +427,8 @@ uint64_t SerializedSize(const CompressedColumn& compressed) {
 
 uint64_t SerializedSize(const ChunkedCompressedColumn& chunked) {
   uint64_t size = 4 + 2 + 1 + 8 + 4;
-  for (const CompressedChunk& chunk : chunked.chunks()) {
-    size += kDirectoryEntrySize + NodeSerializedSize(chunk.column.root());
+  for (const auto& chunk : chunked.chunks()) {
+    size += kDirectoryEntrySize + NodeSerializedSize(chunk->column.root());
   }
   return size;
 }

@@ -71,9 +71,14 @@ Result<std::vector<uint8_t>> Serialize(const ChunkedCompressedColumn& chunked);
 Result<CompressedColumn> Deserialize(const std::vector<uint8_t>& buffer);
 
 /// Parses either wire version: a v2 chunked buffer with its zone maps, or a
-/// v1 whole-column buffer wrapped as one chunk (count-only zone map).
+/// v1 whole-column buffer wrapped as one chunk (count-only zone map). The v2
+/// chunk directory is validated sequentially up front; the per-chunk payload
+/// parses are independent after that (each chunk's offset and length come
+/// from the validated directory), so `ctx` fans them out over its pool. The
+/// result — including which error is reported for a corrupt buffer — is
+/// identical for any thread count.
 Result<ChunkedCompressedColumn> DeserializeChunked(
-    const std::vector<uint8_t>& buffer);
+    const std::vector<uint8_t>& buffer, const ExecContext& ctx = {});
 
 /// Exact size Serialize will produce (envelope + payloads), for buffer
 /// planning and footprint accounting that includes metadata.

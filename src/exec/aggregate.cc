@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/pipeline.h"
+#include "exec/node_access.h"
 #include "ops/pack.h"
 #include "schemes/scheme_internal.h"
 #include "util/bits.h"
@@ -44,17 +45,19 @@ bool IsStepWithPackedResidual(const CompressedNode& node) {
 
 enum class Kind { kSum, kMin, kMax };
 
-Result<AggregateResult> ScanFallback(const CompressedNode& node, Kind kind) {
-  RECOMP_ASSIGN_OR_RETURN(AnyColumn column, DecompressNode(node));
+/// Folds a plain column, tagging the result with how the values were
+/// obtained: decompressed (fallback) or read in place (ID fast path).
+Result<AggregateResult> AggregateValues(const AnyColumn& data, Kind kind,
+                                        Strategy strategy) {
   return DispatchUnsignedTypeId(
-      node.out_type, [&](auto tag) -> Result<AggregateResult> {
+      data.type(), [&](auto tag) -> Result<AggregateResult> {
         using T = typename decltype(tag)::type;
-        const Column<T>& values = column.As<T>();
+        const Column<T>& values = data.As<T>();
         if (kind != Kind::kSum && values.empty()) {
           return Status::InvalidArgument("min/max of an empty column");
         }
         AggregateResult result;
-        result.strategy = Strategy::kDecompressScan;
+        result.strategy = strategy;
         if (kind == Kind::kSum) {
           uint64_t acc = 0;
           for (const T v : values) acc += static_cast<uint64_t>(v);
@@ -68,6 +71,11 @@ Result<AggregateResult> ScanFallback(const CompressedNode& node, Kind kind) {
         }
         return result;
       });
+}
+
+Result<AggregateResult> ScanFallback(const CompressedNode& node, Kind kind) {
+  RECOMP_ASSIGN_OR_RETURN(AnyColumn column, DecompressNode(node));
+  return AggregateValues(column, kind, Strategy::kDecompressScan);
 }
 
 Result<AggregateResult> AggregateRuns(const CompressedNode& node, Kind kind) {
@@ -201,6 +209,13 @@ Result<AggregateResult> AggregateCompressed(const CompressedColumn& compressed,
       return AggregateDict(node, kind);
     case SchemeKind::kModeled:
       if (IsStepWithPackedResidual(node)) return AggregateStep(node, kind);
+      return ScanFallback(node, kind);
+    case SchemeKind::kId:
+      // Terminal plain data (the streaming store's uncompressed tail
+      // chunks): aggregate in place, no decompress copy.
+      if (const AnyColumn* data = PlainIdData(node)) {
+        return AggregateValues(*data, kind, Strategy::kPlainScan);
+      }
       return ScanFallback(node, kind);
     default:
       return ScanFallback(node, kind);

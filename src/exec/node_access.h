@@ -1,0 +1,31 @@
+// Shared envelope-shape probes for the exec operators' fast paths.
+
+#ifndef RECOMP_EXEC_NODE_ACCESS_H_
+#define RECOMP_EXEC_NODE_ACCESS_H_
+
+#include "core/compressed.h"
+
+namespace recomp::exec {
+
+/// The terminal plain column behind an ID envelope's "data" part — the
+/// streaming store's uncompressed tail chunks — or nullptr when the part is
+/// missing, composed, packed, of an unexpected type, or of the wrong length
+/// (the length check IdScheme::Decompress would make; a deserialized buffer
+/// can claim any n, and the fast path must not index past the real data).
+/// Selection, aggregation, and point access all key their in-place kId fast
+/// path on this one predicate so the three paths cannot drift apart; shapes
+/// it rejects fall back to the decompress path, which validates or errors.
+inline const AnyColumn* PlainIdData(const CompressedNode& node) {
+  auto it = node.parts.find("data");
+  if (it == node.parts.end() || !it->second.is_terminal() ||
+      it->second.column->is_packed() ||
+      it->second.column->type() != node.out_type ||
+      it->second.column->size() != node.n) {
+    return nullptr;
+  }
+  return &*it->second.column;
+}
+
+}  // namespace recomp::exec
+
+#endif  // RECOMP_EXEC_NODE_ACCESS_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/pipeline.h"
+#include "exec/node_access.h"
 #include "ops/pack.h"
 #include "schemes/scheme_internal.h"
 
@@ -68,6 +69,16 @@ Result<PointResult> GetAt(const CompressedColumn& compressed, uint64_t row) {
         PointResult result;
 
         switch (node.scheme.kind) {
+          case SchemeKind::kId: {
+            // Plain terminal data (see PlainIdData): a direct array read.
+            if (const AnyColumn* data = PlainIdData(node)) {
+              result.strategy = Strategy::kPlainScan;
+              result.value = PlainAt<T>(*data, row);
+              return result;
+            }
+            break;
+          }
+
           case SchemeKind::kNs: {
             auto it = node.parts.find("packed");
             if (it != node.parts.end() && it->second.is_terminal() &&

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/pipeline.h"
+#include "exec/node_access.h"
 #include "ops/pack.h"
 #include "schemes/scheme_internal.h"
 #include "util/bits.h"
@@ -155,16 +156,17 @@ Result<SelectionResult> SelectStepPruned(const CompressedNode& node,
       });
 }
 
-/// Fallback: materialize everything and scan.
-Result<SelectionResult> SelectScan(const CompressedNode& node,
-                                   const RangePredicate& pred) {
-  RECOMP_ASSIGN_OR_RETURN(AnyColumn column, DecompressNode(node));
+/// Filters a plain column, tagging the result with how the values were
+/// obtained: decompressed (fallback) or read in place (ID fast path).
+Result<SelectionResult> ScanValues(const AnyColumn& data,
+                                   const RangePredicate& pred,
+                                   Strategy strategy) {
   return DispatchUnsignedTypeId(
-      node.out_type, [&](auto tag) -> Result<SelectionResult> {
+      data.type(), [&](auto tag) -> Result<SelectionResult> {
         using T = typename decltype(tag)::type;
-        const Column<T>& values = column.As<T>();
+        const Column<T>& values = data.As<T>();
         SelectionResult result;
-        result.stats.strategy = Strategy::kDecompressScan;
+        result.stats.strategy = strategy;
         result.stats.values_decoded = values.size();
         for (uint64_t i = 0; i < values.size(); ++i) {
           const uint64_t v = static_cast<uint64_t>(values[i]);
@@ -174,6 +176,13 @@ Result<SelectionResult> SelectScan(const CompressedNode& node,
         }
         return result;
       });
+}
+
+/// Fallback: materialize everything and scan.
+Result<SelectionResult> SelectScan(const CompressedNode& node,
+                                   const RangePredicate& pred) {
+  RECOMP_ASSIGN_OR_RETURN(AnyColumn column, DecompressNode(node));
+  return ScanValues(column, pred, Strategy::kDecompressScan);
 }
 
 bool IsStepPrunable(const CompressedNode& node) {
@@ -217,6 +226,13 @@ Result<SelectionResult> SelectCompressed(const CompressedColumn& compressed,
       return SelectDict(node, predicate);
     case SchemeKind::kModeled:
       if (IsStepPrunable(node)) return SelectStepPruned(node, predicate);
+      return SelectScan(node, predicate);
+    case SchemeKind::kId:
+      // Terminal plain data (the streaming store's uncompressed tail
+      // chunks): scan in place, no decompress copy.
+      if (const AnyColumn* data = PlainIdData(node)) {
+        return ScanValues(*data, predicate, Strategy::kPlainScan);
+      }
       return SelectScan(node, predicate);
     default:
       return SelectScan(node, predicate);

@@ -30,6 +30,8 @@ const char* StrategyName(Strategy s) {
       return "dict-probe";
     case Strategy::kZoneMapOnly:
       return "zone-map-only";
+    case Strategy::kPlainScan:
+      return "plain-scan";
   }
   return "unknown";
 }

@@ -26,10 +26,12 @@ enum class Strategy : int {
   kRpeBinarySearch = 10,///< RPE point access: binary search over positions.
   kDictProbe = 11,      ///< DICT point access / semi-join dictionary probe.
   kZoneMapOnly = 12,    ///< Chunked: answered from zone maps alone.
+  kPlainScan = 13,      ///< ID: operate on the stored plain column in place
+                        ///< (the streaming store's uncompressed tail chunks).
 };
 
 /// Number of strategies.
-inline constexpr int kNumStrategies = 13;
+inline constexpr int kNumStrategies = 14;
 
 /// Stable display name, e.g. "rle-runs" (matches the historical strings).
 const char* StrategyName(Strategy s);

@@ -1,0 +1,267 @@
+#include "store/appendable_column.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/pipeline.h"
+#include "core/serialize.h"
+#include "schemes/scheme_internal.h"
+#include "util/string_util.h"
+
+namespace recomp::store {
+
+namespace {
+
+Result<AnyColumn> EmptyColumnOfType(TypeId type) {
+  return internal::DispatchAnyTypeId(type, [](auto tag) -> Result<AnyColumn> {
+    using T = typename decltype(tag)::type;
+    return AnyColumn(Column<T>{});
+  });
+}
+
+/// Wraps plain rows as a stored-plain ID envelope without copying them:
+/// exactly the node Compress(rows, Id()) builds (IdScheme stores the input
+/// as the terminal "data" part; CompressNode records scheme/n/out_type),
+/// minus that path's copy of the rows.
+CompressedColumn WrapPlainAsId(AnyColumn rows) {
+  CompressedNode node;
+  node.scheme = SchemeDescriptor(SchemeKind::kId);
+  node.n = rows.size();
+  node.out_type = rows.type();
+  CompressedPart part;
+  part.column = std::move(rows);
+  node.parts.emplace("data", std::move(part));
+  return CompressedColumn(std::move(node));
+}
+
+}  // namespace
+
+AppendableColumn::AppendableColumn(TypeId type, IngestOptions options,
+                                   ExecContext ctx)
+    : type_(type), options_(std::move(options)), ctx_(ctx) {
+  if (options_.chunk_rows == 0) {
+    seal_status_ = Status::InvalidArgument("chunk_rows must be positive");
+    return;
+  }
+  if (options_.descriptor.has_value()) {
+    const Status valid = options_.descriptor->Validate();
+    if (!valid.ok()) {
+      seal_status_ = valid;
+      return;
+    }
+  } else if (!TypeIdIsUnsigned(type)) {
+    // The analyzer only searches over unsigned data, so without a pinned
+    // descriptor every seal job would fail later, async. Fail here instead;
+    // signed columns work with an explicit composition (e.g. ZIGZAG).
+    seal_status_ = Status::InvalidArgument(
+        StringFormat("%s columns need an explicit descriptor (the analyzer "
+                     "handles unsigned data only); pin one, e.g. ZIGZAG",
+                     TypeIdName(type)));
+    return;
+  }
+  auto tail = EmptyColumnOfType(type);
+  if (tail.ok()) {
+    tail_ = std::move(*tail);
+  } else {
+    seal_status_ = tail.status();
+  }
+}
+
+AppendableColumn::~AppendableColumn() = default;  // TaskGroup waits.
+
+uint64_t AppendableColumn::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tail_begin_ + tail_.size();
+}
+
+uint64_t AppendableColumn::num_chunks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+uint64_t AppendableColumn::sealed_chunks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sealed_count_;
+}
+
+uint64_t AppendableColumn::pending_seals() const {
+  return seal_jobs_.pending();
+}
+
+Status AppendableColumn::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seal_status_;
+}
+
+Status AppendableColumn::Append(uint64_t value) {
+  // The per-row path stays allocation-free: one dispatch, one locked push.
+  std::vector<SealJob> jobs;
+  const Status status =
+      internal::DispatchUnsignedTypeId(type_, [&](auto tag) -> Status {
+        using T = typename decltype(tag)::type;
+        if (static_cast<uint64_t>(static_cast<T>(value)) != value) {
+          return Status::InvalidArgument(
+              StringFormat("value %llu does not fit a %s column",
+                           static_cast<unsigned long long>(value),
+                           TypeIdName(type_)));
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        RECOMP_RETURN_NOT_OK(seal_status_);
+        tail_.As<T>().push_back(static_cast<T>(value));
+        if (tail_.size() == options_.chunk_rows) {
+          RECOMP_RETURN_NOT_OK(RollTailLocked(&jobs));
+        }
+        return Status::OK();
+      });
+  ScheduleSealJobs(std::move(jobs));
+  return status;
+}
+
+Status AppendableColumn::AppendBatch(const AnyColumn& rows) {
+  if (rows.is_packed()) {
+    return Status::InvalidArgument("appends require a plain column");
+  }
+  if (rows.type() != type_) {
+    return Status::InvalidArgument(
+        StringFormat("append type %s differs from column type %s",
+                     TypeIdName(rows.type()), TypeIdName(type_)));
+  }
+  std::vector<SealJob> jobs;
+  const Status status =
+      internal::DispatchAnyTypeId(type_, [&](auto tag) -> Status {
+        using T = typename decltype(tag)::type;
+        const Column<T>& src = rows.As<T>();
+        std::lock_guard<std::mutex> lock(mu_);
+        RECOMP_RETURN_NOT_OK(seal_status_);
+        uint64_t i = 0;
+        while (i < src.size()) {
+          // Re-fetched each round: RollTailLocked replaces tail_.
+          Column<T>& tail = tail_.As<T>();
+          const uint64_t take = std::min<uint64_t>(
+              options_.chunk_rows - tail.size(), src.size() - i);
+          tail.insert(tail.end(), src.begin() + i, src.begin() + i + take);
+          i += take;
+          if (tail.size() == options_.chunk_rows) {
+            RECOMP_RETURN_NOT_OK(RollTailLocked(&jobs));
+          }
+        }
+        return Status::OK();
+      });
+  // Chunks rolled before a failure are still valid: always schedule.
+  ScheduleSealJobs(std::move(jobs));
+  return status;
+}
+
+Status AppendableColumn::Seal() {
+  std::vector<SealJob> jobs;
+  Status status;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!seal_status_.ok()) return seal_status_;
+    if (tail_.size() > 0) status = RollTailLocked(&jobs);
+  }
+  ScheduleSealJobs(std::move(jobs));
+  return status;
+}
+
+void AppendableColumn::WaitForSeals() { seal_jobs_.Wait(); }
+
+Status AppendableColumn::Flush() {
+  // Wait even when Seal() reports the sticky failure: Flush must always
+  // leave the column quiescent (no job still mutating slots_).
+  const Status sealed = Seal();
+  WaitForSeals();
+  RECOMP_RETURN_NOT_OK(sealed);
+  std::lock_guard<std::mutex> lock(mu_);
+  return seal_status_;
+}
+
+Result<ColumnSnapshot> AppendableColumn::Snapshot() const {
+  ColumnSnapshot snap;
+  AnyColumn tail_copy;
+  uint64_t tail_begin = 0;
+  bool with_tail_chunk = false;
+  {
+    // The critical section is the row copy alone; the tail's zone map and
+    // ID envelope are built after unlocking so appenders never wait behind
+    // a reader's O(chunk_rows) work.
+    std::lock_guard<std::mutex> lock(mu_);
+    RECOMP_RETURN_NOT_OK(seal_status_);
+    for (const auto& slot : slots_) {
+      RECOMP_RETURN_NOT_OK(snap.view_.AppendChunk(slot));
+    }
+    snap.sealed_ = sealed_count_;
+    snap.unsealed_ = slots_.size() - sealed_count_;
+    // A nonempty tail becomes one stored-plain chunk; an empty column
+    // yields one empty chunk so the view is well-typed (CompressChunked's
+    // convention).
+    with_tail_chunk = tail_.size() > 0 || slots_.empty();
+    if (with_tail_chunk) {
+      tail_copy = tail_;
+      tail_begin = tail_begin_;
+    }
+  }
+  if (with_tail_chunk) {
+    const ZoneMap zone = ComputeZoneMap(tail_copy, tail_begin);
+    RECOMP_RETURN_NOT_OK(snap.view_.AppendChunk(
+        CompressedChunk{zone, WrapPlainAsId(std::move(tail_copy))}));
+    if (zone.row_count > 0) ++snap.unsealed_;
+  }
+  return snap;
+}
+
+Result<std::vector<uint8_t>> AppendableColumn::Serialize() {
+  RECOMP_RETURN_NOT_OK(Flush());
+  RECOMP_ASSIGN_OR_RETURN(ColumnSnapshot snap, Snapshot());
+  return recomp::Serialize(snap.chunked());
+}
+
+Status AppendableColumn::RollTailLocked(std::vector<SealJob>* jobs) {
+  SealJob job;
+  job.slot = slots_.size();
+  job.zone = ComputeZoneMap(tail_, tail_begin_);
+  // Until the seal job lands, the chunk is served as a stored-plain ID
+  // envelope — same rows, zero decode work, real zone map. The tail moves
+  // into the envelope; the job compresses from that shared immutable copy.
+  AnyColumn rows = std::move(tail_);
+  RECOMP_ASSIGN_OR_RETURN(tail_, EmptyColumnOfType(type_));
+  job.source = std::make_shared<const CompressedChunk>(
+      CompressedChunk{job.zone, WrapPlainAsId(std::move(rows))});
+  tail_begin_ += job.zone.row_count;
+  slots_.push_back(job.source);
+  jobs->push_back(std::move(job));
+  return Status::OK();
+}
+
+void AppendableColumn::ScheduleSealJobs(std::vector<SealJob> jobs) {
+  for (SealJob& job : jobs) {
+    seal_jobs_.Run(ctx_, [this, job = std::move(job)]() mutable {
+      // The expensive part — scheme search + compression — runs without the
+      // lock; only the slot swap takes it.
+      Result<CompressedColumn> compressed = [&]() -> Result<CompressedColumn> {
+        const AnyColumn& rows =
+            *job.source->column.root().parts.at("data").column;
+        SchemeDescriptor desc;
+        if (options_.descriptor.has_value()) {
+          desc = *options_.descriptor;
+        } else {
+          RECOMP_ASSIGN_OR_RETURN(desc,
+                                  ChooseScheme(rows, options_.analyzer));
+        }
+        return Compress(rows, desc);
+      }();
+      std::lock_guard<std::mutex> lock(mu_);
+      if (compressed.ok()) {
+        slots_[job.slot] = std::make_shared<const CompressedChunk>(
+            CompressedChunk{job.zone, std::move(*compressed)});
+        ++sealed_count_;
+      } else if (seal_status_.ok()) {
+        // The slot keeps serving the stored-plain form (still correct);
+        // the failure surfaces on the next append/seal/snapshot.
+        seal_status_ = compressed.status();
+      }
+    });
+  }
+}
+
+}  // namespace recomp::store

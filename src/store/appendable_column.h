@@ -1,0 +1,184 @@
+// Streaming ingest: a column that grows while it is being scanned.
+//
+// The chunked envelope (core/chunked.h) made the chunk the independent unit
+// of compression and scanning; this subsystem makes it the unit of *ingest*.
+// An AppendableColumn keeps one mutable, uncompressed tail chunk plus a
+// vector of immutable sealed chunks. Appends land in the tail; whenever the
+// tail reaches chunk capacity (or Seal() is called) it is rolled into an
+// immutable chunk and a seal job — analyzer scheme choice + compression —
+// is scheduled on the shared ExecContext pool, so ingest never blocks
+// behind compression. Until its job lands, a rolled chunk is served as an
+// ID-encoded (stored-plain) envelope; the job then swaps in the compressed
+// form. Either form decodes to the same rows, so readers never wait.
+//
+// Reads go through Snapshot(): a copy-on-write view that shares the sealed
+// chunks by reference (O(chunks), no payload copies — see the shared-chunk
+// representation in ChunkedCompressedColumn) and copies only the current
+// tail rows as one ID chunk with a real min/max zone map. The snapshot is a
+// plain ChunkedCompressedColumn, so every chunked exec operator —
+// SelectCompressed, Sum/Min/MaxCompressed, GetAt(+Batch), DecompressChunked
+// — works on a live column unmodified and agrees bit-identically with
+// compressing the same rows once.
+
+#ifndef RECOMP_STORE_APPENDABLE_COLUMN_H_
+#define RECOMP_STORE_APPENDABLE_COLUMN_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "core/chunked.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace recomp::store {
+
+/// How a column ingests: chunk capacity and how sealed chunks compress.
+struct IngestOptions {
+  /// Capacity of the tail chunk in rows; reaching it triggers a seal job.
+  /// Must be positive.
+  uint64_t chunk_rows = 64 * 1024;
+  /// Constraints for the per-chunk analyzer search (used when `descriptor`
+  /// is unset).
+  AnalyzerOptions analyzer;
+  /// When set, every sealed chunk compresses with this fixed composition
+  /// (e.g. a classic from core/catalog.h) instead of the analyzer's
+  /// per-chunk choice.
+  std::optional<SchemeDescriptor> descriptor;
+};
+
+/// A consistent point-in-time view of an AppendableColumn. Sealed chunks are
+/// shared with the live column (copy-on-write); the tail rows are copied
+/// into one ID-encoded chunk. The view is a regular ChunkedCompressedColumn:
+/// hand it to any chunked operator.
+class ColumnSnapshot {
+ public:
+  ColumnSnapshot() = default;
+
+  const ChunkedCompressedColumn& chunked() const { return view_; }
+  uint64_t size() const { return view_.size(); }
+
+  /// Chunks whose background compression had landed when the snapshot was
+  /// taken; the rest (rolled-but-not-yet-sealed chunks and the tail) are
+  /// served as stored-plain ID envelopes.
+  uint64_t sealed_chunks() const { return sealed_; }
+  uint64_t unsealed_chunks() const { return unsealed_; }
+
+ private:
+  friend class AppendableColumn;
+  ChunkedCompressedColumn view_;
+  uint64_t sealed_ = 0;
+  uint64_t unsealed_ = 0;
+};
+
+/// A single growing column. All methods are thread-safe: any number of
+/// appenders, sealers, and snapshot readers may run concurrently (appends
+/// serialize on an internal mutex; snapshots see a consistent row prefix).
+/// The ExecContext's pool, when present, runs the seal jobs; it must outlive
+/// the column. Without a usable pool, sealing happens inline on the thread
+/// that rolled the tail.
+class AppendableColumn {
+ public:
+  explicit AppendableColumn(TypeId type, IngestOptions options = {},
+                            ExecContext ctx = {});
+
+  /// Waits for in-flight seal jobs (does not seal the tail).
+  ~AppendableColumn();
+
+  AppendableColumn(const AppendableColumn&) = delete;
+  AppendableColumn& operator=(const AppendableColumn&) = delete;
+
+  TypeId type() const { return type_; }
+
+  /// Rows appended so far (sealed chunks + tail).
+  uint64_t size() const;
+
+  /// Full chunks rolled off the tail so far (sealed or with a seal job in
+  /// flight).
+  uint64_t num_chunks() const;
+
+  /// Chunks whose compression job has landed.
+  uint64_t sealed_chunks() const;
+
+  /// Seal jobs scheduled on the pool and not yet landed.
+  uint64_t pending_seals() const;
+
+  /// The sticky ingest/seal status: OK, or the first failure (which every
+  /// subsequent append/seal/snapshot also reports).
+  Status status() const;
+
+  /// Appends one value (unsigned columns only; the value must fit the
+  /// column type). For bulk ingest prefer AppendBatch.
+  Status Append(uint64_t value);
+
+  /// Appends `rows` (a plain column of this column's type) at the end.
+  /// Rolls the tail — scheduling seal jobs — each time it reaches capacity.
+  Status AppendBatch(const AnyColumn& rows);
+
+  /// Rolls the current (possibly short) tail into a chunk and schedules its
+  /// seal job. A no-op when the tail is empty. Returns without waiting for
+  /// the job to land.
+  Status Seal();
+
+  /// Blocks until every scheduled seal job has landed.
+  void WaitForSeals();
+
+  /// Seal() + WaitForSeals(): afterwards every appended row sits in a
+  /// compressed sealed chunk. Reports the first seal failure, if any. The
+  /// column stays appendable.
+  Status Flush();
+
+  /// A consistent copy-on-write view of all rows appended so far; see
+  /// ColumnSnapshot. O(chunks) plus one copy of the tail rows.
+  Result<ColumnSnapshot> Snapshot() const;
+
+  /// Flush() + v2 wire format of the sealed column (core/serialize.h).
+  Result<std::vector<uint8_t>> Serialize();
+
+ private:
+  /// One rolled tail awaiting compression. The job reads its rows from the
+  /// rolled chunk's immutable stored-plain envelope (shared with slots_ and
+  /// any snapshots), so rolling moves the tail instead of copying it.
+  struct SealJob {
+    uint64_t slot = 0;
+    std::shared_ptr<const CompressedChunk> source;
+    ZoneMap zone;
+  };
+
+  /// Rolls the non-empty tail into slot `slots_.size()` (served as an ID
+  /// envelope until its seal job lands) and queues the job description.
+  /// Requires mu_ held.
+  Status RollTailLocked(std::vector<SealJob>* jobs);
+
+  /// Hands rolled chunks to the pool (or compresses inline without one).
+  /// Must be called WITHOUT mu_ held: inline jobs lock it to land.
+  void ScheduleSealJobs(std::vector<SealJob> jobs);
+
+  const TypeId type_;
+  const IngestOptions options_;
+  const ExecContext ctx_;
+
+  mutable std::mutex mu_;
+  /// First seal/ingest failure; sticky — once set, appends and snapshots
+  /// report it instead of silently diverging from the ingested data.
+  Status seal_status_;
+  /// All full chunks in row order; each slot holds the ID-encoded view
+  /// until its seal job swaps in the compressed chunk. Slots are immutable
+  /// objects replaced whole, so snapshots share them safely.
+  std::vector<std::shared_ptr<const CompressedChunk>> slots_;
+  uint64_t sealed_count_ = 0;
+  /// The mutable uncompressed tail: always a plain column of type_ with
+  /// fewer than options_.chunk_rows rows.
+  AnyColumn tail_;
+  /// Global row index where the tail starts.
+  uint64_t tail_begin_ = 0;
+
+  /// Last member: its destructor waits for seal jobs that capture `this`.
+  TaskGroup seal_jobs_;
+};
+
+}  // namespace recomp::store
+
+#endif  // RECOMP_STORE_APPENDABLE_COLUMN_H_

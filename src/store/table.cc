@@ -1,0 +1,176 @@
+#include "store/table.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "core/catalog.h"
+#include "schemes/scheme_internal.h"
+#include "util/string_util.h"
+
+namespace recomp::store {
+
+Result<const ColumnSnapshot*> TableSnapshot::column(
+    const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return &columns_[i];
+  }
+  return Status::KeyError("no column named '" + name + "'");
+}
+
+Result<Table> Table::Create(const std::vector<ColumnSpec>& specs,
+                            ExecContext ctx) {
+  if (specs.empty()) {
+    return Status::InvalidArgument("a table needs at least one column");
+  }
+  std::unordered_set<std::string> seen;
+  Table table;
+  for (const ColumnSpec& spec : specs) {
+    if (spec.name.empty()) {
+      return Status::InvalidArgument("column names must be nonempty");
+    }
+    if (!seen.insert(spec.name).second) {
+      return Status::InvalidArgument("duplicate column name '" + spec.name +
+                                     "'");
+    }
+    IngestOptions options = spec.options;
+    if (!spec.catalog_scheme.empty()) {
+      RECOMP_ASSIGN_OR_RETURN(SchemeDescriptor desc,
+                              CatalogLookup(spec.catalog_scheme));
+      options.descriptor = std::move(desc);
+    }
+    table.names_.push_back(spec.name);
+    table.columns_.push_back(std::make_unique<AppendableColumn>(
+        spec.type, std::move(options), ctx));
+  }
+  return table;
+}
+
+uint64_t Table::num_rows() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return columns_.empty() ? 0 : columns_[0]->size();
+}
+
+Result<AppendableColumn*> Table::column(const std::string& name) {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return columns_[i].get();
+  }
+  return Status::KeyError("no column named '" + name + "'");
+}
+
+Status Table::CheckColumnsHealthyLocked() {
+  RECOMP_RETURN_NOT_OK(table_status_);
+  // A column whose seal already failed would reject its append mid-row;
+  // refusing the whole row up front keeps the columns aligned. (A seal job
+  // failing *between* this check and the appends is caught below and
+  // recorded as the table's sticky misalignment error.)
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Status status = columns_[i]->status();
+    if (!status.ok()) {
+      return Status(status.code(), "column '" + names_[i] +
+                                       "' cannot ingest: " + status.message());
+    }
+  }
+  return Status::OK();
+}
+
+Status Table::RecordMisalignmentLocked(Status append_status, size_t column) {
+  if (append_status.ok() || column == 0) return append_status;
+  // Earlier columns of this row already landed: alignment is broken for
+  // good, so make every later operation say so instead of misreporting.
+  table_status_ = Status::Corruption(
+      "table columns are not row-aligned: appending to column '" +
+      names_[column] + "' failed mid-row: " + append_status.ToString());
+  return append_status;
+}
+
+Status Table::AppendRow(const std::vector<uint64_t>& values) {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        StringFormat("row has %zu values, table has %zu columns",
+                     values.size(), columns_.size()));
+  }
+  // Pre-validate every value so a rejected row touches no column: appends
+  // must stay row-aligned even on failure.
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    RECOMP_RETURN_NOT_OK(internal::DispatchUnsignedTypeId(
+        columns_[i]->type(), [&](auto tag) -> Status {
+          using T = typename decltype(tag)::type;
+          if (static_cast<uint64_t>(static_cast<T>(values[i])) != values[i]) {
+            return Status::InvalidArgument(StringFormat(
+                "value %llu does not fit column '%s'",
+                static_cast<unsigned long long>(values[i]),
+                names_[i].c_str()));
+          }
+          return Status::OK();
+        }));
+  }
+  std::lock_guard<std::mutex> lock(*mu_);
+  RECOMP_RETURN_NOT_OK(CheckColumnsHealthyLocked());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    RECOMP_RETURN_NOT_OK(RecordMisalignmentLocked(
+        columns_[i]->Append(values[i]), i));
+  }
+  return Status::OK();
+}
+
+Status Table::AppendBatch(const std::vector<AnyColumn>& columns) {
+  if (columns.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        StringFormat("batch has %zu columns, table has %zu",
+                     columns.size(), columns_.size()));
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].is_packed() || columns[i].type() != columns_[i]->type()) {
+      return Status::InvalidArgument("batch column " + names_[i] +
+                                     " has the wrong type");
+    }
+    if (columns[i].size() != columns[0].size()) {
+      return Status::InvalidArgument(
+          "batch columns must all have the same length");
+    }
+  }
+  std::lock_guard<std::mutex> lock(*mu_);
+  RECOMP_RETURN_NOT_OK(CheckColumnsHealthyLocked());
+  for (size_t i = 0; i < columns.size(); ++i) {
+    RECOMP_RETURN_NOT_OK(RecordMisalignmentLocked(
+        columns_[i]->AppendBatch(columns[i]), i));
+  }
+  return Status::OK();
+}
+
+Status Table::Seal() {
+  for (const auto& column : columns_) {
+    RECOMP_RETURN_NOT_OK(column->Seal());
+  }
+  return Status::OK();
+}
+
+Status Table::Flush() {
+  // Flush every column even after a failure: Wait() must cover them all.
+  Status first;
+  for (const auto& column : columns_) {
+    const Status status = column->Flush();
+    if (first.ok() && !status.ok()) first = status;
+  }
+  return first;
+}
+
+Result<TableSnapshot> Table::Snapshot() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  RECOMP_RETURN_NOT_OK(table_status_);
+  TableSnapshot snap;
+  snap.names_ = names_;
+  for (const auto& column : columns_) {
+    RECOMP_ASSIGN_OR_RETURN(ColumnSnapshot view, column->Snapshot());
+    snap.columns_.push_back(std::move(view));
+  }
+  snap.rows_ = snap.columns_.empty() ? 0 : snap.columns_[0].size();
+  for (const ColumnSnapshot& view : snap.columns_) {
+    if (view.size() != snap.rows_) {
+      return Status::Corruption("table columns are not row-aligned");
+    }
+  }
+  return snap;
+}
+
+}  // namespace recomp::store

@@ -1,0 +1,121 @@
+// A table of appendable columns: row-aligned streaming ingest.
+//
+// Groups AppendableColumns under one name space and keeps them row-aligned:
+// AppendRow/AppendBatch land the same number of rows in every column, and
+// Snapshot() cuts every column at the same row count, so a multi-column
+// reader sees one consistent prefix of the ingested rows. Columns may pin
+// their compression to a classic from the catalog (core/catalog.h) by name,
+// or leave the per-chunk analyzer search to choose.
+
+#ifndef RECOMP_STORE_TABLE_H_
+#define RECOMP_STORE_TABLE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "store/appendable_column.h"
+
+namespace recomp::store {
+
+/// One column of a Table.
+struct ColumnSpec {
+  std::string name;
+  TypeId type = TypeId::kUInt32;
+  IngestOptions options;
+  /// When nonempty, the scheme is looked up in the classic catalog
+  /// (CatalogLookup) and pinned as options.descriptor — "RLE", "FOR", ….
+  std::string catalog_scheme;
+};
+
+/// A row-aligned set of column snapshots: every column is cut at rows().
+class TableSnapshot {
+ public:
+  uint64_t rows() const { return rows_; }
+  uint64_t num_columns() const { return columns_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// The snapshot of the named column, or KeyError.
+  Result<const ColumnSnapshot*> column(const std::string& name) const;
+
+  const ColumnSnapshot& column(uint64_t i) const { return columns_[i]; }
+
+ private:
+  friend class Table;
+  uint64_t rows_ = 0;
+  std::vector<std::string> names_;
+  std::vector<ColumnSnapshot> columns_;
+};
+
+/// A growing table. Appends are row-aligned across columns and thread-safe;
+/// per-column seal jobs run on the ExecContext handed to Create. The pool
+/// must outlive the table.
+class Table {
+ public:
+  /// Validates the specs (nonempty unique names, at least one column,
+  /// resolvable catalog schemes) and builds the columns.
+  static Result<Table> Create(const std::vector<ColumnSpec>& specs,
+                              ExecContext ctx = {});
+
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  uint64_t num_columns() const { return columns_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Rows fully appended so far.
+  uint64_t num_rows() const;
+
+  /// The live column, or KeyError — for per-column appends, snapshots, or
+  /// introspection. Per-column appends break row alignment; mixing them
+  /// with AppendRow is the caller's responsibility.
+  Result<AppendableColumn*> column(const std::string& name);
+
+  /// Appends one row: values[i] goes to column i (unsigned columns; each
+  /// value must fit its column's type). Arity, value fit, and every
+  /// column's sticky status are validated before any column is touched, so
+  /// a rejected row leaves every column unchanged. If an append still
+  /// fails mid-row (a seal job failing concurrently), the table records the
+  /// misalignment as its own sticky error and every later append/snapshot
+  /// reports it.
+  Status AppendRow(const std::vector<uint64_t>& values);
+
+  /// Appends columns[i] (all the same length) to column i. Same validation
+  /// and failure semantics as AppendRow.
+  Status AppendBatch(const std::vector<AnyColumn>& columns);
+
+  /// Seals every column's tail (jobs scheduled, not awaited).
+  Status Seal();
+
+  /// Flushes every column; reports the first failure after flushing all.
+  Status Flush();
+
+  /// A row-aligned snapshot of every column.
+  Result<TableSnapshot> Snapshot() const;
+
+ private:
+  Table() : mu_(std::make_unique<std::mutex>()) {}
+
+  /// Refuses ingest when the table is already misaligned or any column's
+  /// sticky status is failed. Requires mu_ held.
+  Status CheckColumnsHealthyLocked();
+
+  /// Passes `append_status` through; when it failed after column 0 already
+  /// landed the row, also records the broken alignment in table_status_.
+  /// Requires mu_ held.
+  Status RecordMisalignmentLocked(Status append_status, size_t column);
+
+  std::vector<std::string> names_;
+  std::vector<std::unique_ptr<AppendableColumn>> columns_;
+  /// Serializes multi-column appends against snapshots so every snapshot
+  /// sees the same row count in every column (unique_ptr: Table stays
+  /// movable while AppendableColumn holds its own mutex).
+  std::unique_ptr<std::mutex> mu_;
+  /// Sticky: set when a mid-row append failure broke row alignment.
+  Status table_status_;
+};
+
+}  // namespace recomp::store
+
+#endif  // RECOMP_STORE_TABLE_H_

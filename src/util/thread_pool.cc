@@ -6,13 +6,14 @@
 namespace recomp {
 
 ThreadPool::ThreadPool(uint64_t num_threads) {
-  if (num_threads == 0) {
-    num_threads = std::max(1u, std::thread::hardware_concurrency());
-  }
   workers_.reserve(num_threads);
   for (uint64_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+}
+
+uint64_t ThreadPool::DefaultThreadCount() {
+  return std::max(1u, std::thread::hardware_concurrency());
 }
 
 ThreadPool::~ThreadPool() {
@@ -25,6 +26,12 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    // No worker will ever drain the queue: run inline so a zero-thread pool
+    // behaves exactly like the sequential path.
+    task();
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
@@ -87,6 +94,33 @@ Status ParallelForOk(const ExecContext& ctx, uint64_t n,
     if (!status.ok()) return std::move(status);
   }
   return Status::OK();
+}
+
+void TaskGroup::Run(const ExecContext& ctx, std::function<void()> task) {
+  if (!ctx.async()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  ctx.pool->Submit([this, task = std::move(task)] {
+    task();
+    std::lock_guard<std::mutex> lock(mu_);
+    --pending_;
+    cv_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+uint64_t TaskGroup::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_;
 }
 
 }  // namespace recomp

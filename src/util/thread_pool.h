@@ -31,8 +31,9 @@ namespace recomp {
 /// the same queue (no nested ParallelFor over the same pool).
 class ThreadPool {
  public:
-  /// Spawns `num_threads` workers; 0 means std::thread::hardware_concurrency
-  /// (at least 1).
+  /// Spawns `num_threads` workers. 0 is valid and spawns none: Submit then
+  /// runs every task inline on the calling thread, so a zero-thread pool is
+  /// the sequential path without any null-pool special casing at call sites.
   explicit ThreadPool(uint64_t num_threads);
 
   /// Finishes every queued task, then joins the workers.
@@ -43,7 +44,12 @@ class ThreadPool {
 
   uint64_t num_threads() const { return workers_.size(); }
 
-  /// Enqueues one task for execution on a worker thread.
+  /// One worker per hardware thread (at least 1): the sizing callers used to
+  /// spell ThreadPool(0) before 0 came to mean sequential.
+  static uint64_t DefaultThreadCount();
+
+  /// Enqueues one task for execution on a worker thread; with zero workers,
+  /// runs it inline before returning.
   void Submit(std::function<void()> task);
 
  private:
@@ -56,17 +62,23 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
-/// How the chunked operators execute: which pool to fan out over (nullptr
-/// means the sequential path — the default, so existing call sites are
-/// unchanged) and the grain size, i.e. the smallest number of consecutive
-/// chunks worth one task. Larger grains amortize queue traffic when chunks
-/// are tiny; 1 maximizes parallelism when per-chunk work dominates.
+/// How the chunked operators execute: which pool to fan out over (nullptr —
+/// or a zero-thread pool — means the sequential path; nullptr stays the
+/// default, so existing call sites are unchanged) and the grain size, i.e.
+/// the smallest number of consecutive chunks worth one task. Larger grains
+/// amortize queue traffic when chunks are tiny; 1 maximizes parallelism when
+/// per-chunk work dominates.
 struct ExecContext {
   ThreadPool* pool = nullptr;
   uint64_t min_chunks_per_task = 1;
 
   /// True when work can actually fan out.
   bool parallel() const { return pool != nullptr && pool->num_threads() > 1; }
+
+  /// True when work can run *somewhere else* than the calling thread — the
+  /// background-seal criterion, weaker than parallel(): one worker is enough
+  /// to take compression off an ingest thread.
+  bool async() const { return pool != nullptr && pool->num_threads() > 0; }
 };
 
 /// Runs fn(i) exactly once for every i in [0, n) and returns when all calls
@@ -85,6 +97,35 @@ void ParallelFor(const ExecContext& ctx, uint64_t n,
 /// caller-pre-sized slot vector and returns only the Status.
 Status ParallelForOk(const ExecContext& ctx, uint64_t n,
                      const std::function<Status(uint64_t)>& fn);
+
+/// A handle over a batch of independently submitted tasks: Run() hands each
+/// task to ctx's pool (or runs it inline when there is none), Wait() blocks
+/// until every task handed out so far has finished. Unlike ParallelFor the
+/// caller does not block per batch — this is the fire-and-forget shape the
+/// streaming store's background seal jobs need, with the completion wait
+/// Flush() requires. Tasks must not throw; destruction waits.
+class TaskGroup {
+ public:
+  TaskGroup() = default;
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Runs `task` on ctx's pool, or inline (before returning) without one.
+  void Run(const ExecContext& ctx, std::function<void()> task);
+
+  /// Blocks until every task passed to Run() has completed.
+  void Wait();
+
+  /// Number of tasks handed to a pool and not yet finished.
+  uint64_t pending() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t pending_ = 0;
+};
 
 }  // namespace recomp
 

@@ -118,8 +118,8 @@ TEST(ChunkedTest, AutoPicksDifferentDescriptorsPerChunk) {
   auto chunked = CompressChunkedAuto(input, {kChunk});
   ASSERT_OK(chunked.status());
   std::set<std::string> descriptors;
-  for (const CompressedChunk& chunk : chunked->chunks()) {
-    descriptors.insert(chunk.column.Descriptor().ToString());
+  for (const auto& chunk : chunked->chunks()) {
+    descriptors.insert(chunk->column.Descriptor().ToString());
   }
   EXPECT_GE(descriptors.size(), 2u) << chunked->ToString();
   auto back = DecompressChunked(*chunked);

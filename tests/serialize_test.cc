@@ -252,5 +252,75 @@ TEST(SerializeTest, V2NodeBytesDisagreeingWithPayloadRejected) {
   EXPECT_EQ(restored.status().code(), StatusCode::kCorruption);
 }
 
+// ---------------------------------------------------------------------------
+// Parallel deserialization
+// ---------------------------------------------------------------------------
+
+TEST(SerializeTest, ParallelDeserializeChunkedAgreesWithSequential) {
+  // The per-chunk payload parses fan out over the pool; the restored column
+  // must be structurally identical to the sequential parse for any thread
+  // count and grain.
+  Column<uint32_t> col = gen::SortedRuns(40000, 15.0, 3, 29);
+  {
+    Column<uint32_t> noise = gen::Uniform(20000, uint64_t{1} << 24, 30);
+    col.insert(col.end(), noise.begin(), noise.end());
+  }
+  auto chunked = CompressChunkedAuto(AnyColumn(col), {4096});
+  ASSERT_OK(chunked.status());
+  auto buffer = Serialize(*chunked);
+  ASSERT_OK(buffer.status());
+
+  auto sequential = DeserializeChunked(*buffer);
+  ASSERT_OK(sequential.status());
+  for (const uint64_t threads : {1ull, 2ull, 4ull, 8ull}) {
+    ThreadPool pool(threads);
+    for (const uint64_t grain : {1ull, 4ull}) {
+      SCOPED_TRACE(testing::Message() << "threads=" << threads
+                                      << " grain=" << grain);
+      auto parallel = DeserializeChunked(*buffer, ExecContext{&pool, grain});
+      ASSERT_OK(parallel.status());
+      ASSERT_EQ(parallel->num_chunks(), sequential->num_chunks());
+      ASSERT_EQ(parallel->size(), sequential->size());
+      for (uint64_t i = 0; i < sequential->num_chunks(); ++i) {
+        EXPECT_EQ(parallel->chunk(i).zone.row_begin,
+                  sequential->chunk(i).zone.row_begin);
+        EXPECT_EQ(parallel->chunk(i).zone.min, sequential->chunk(i).zone.min);
+        EXPECT_EQ(parallel->chunk(i).zone.max, sequential->chunk(i).zone.max);
+        EXPECT_EQ(parallel->chunk(i).column.Descriptor(),
+                  sequential->chunk(i).column.Descriptor());
+        EXPECT_EQ(parallel->chunk(i).column.PayloadBytes(),
+                  sequential->chunk(i).column.PayloadBytes());
+      }
+      auto back = DecompressChunked(*parallel);
+      ASSERT_OK(back.status());
+      EXPECT_TRUE(*back == AnyColumn(col));
+    }
+  }
+}
+
+TEST(SerializeTest, ParallelDeserializeReportsSameErrorAsSequential) {
+  // A corrupt chunk payload must surface the same first-in-chunk-order
+  // error whether the parses run sequentially or on a pool.
+  std::vector<uint8_t> buffer = SmallChunkedBuffer();
+  // Shift one byte of claimed length between the entries (total preserved):
+  // chunk 0's parse no longer matches its directory entry.
+  size_t off0 = EntryOffset(0, 33);
+  uint64_t n0;
+  std::memcpy(&n0, buffer.data() + off0, 8);
+  PokeU64(buffer, off0, n0 - 1);
+  size_t off1 = EntryOffset(1, 33);
+  uint64_t n1;
+  std::memcpy(&n1, buffer.data() + off1, 8);
+  PokeU64(buffer, off1, n1 + 1);
+
+  auto sequential = DeserializeChunked(buffer);
+  ASSERT_FALSE(sequential.ok());
+  ThreadPool pool(4);
+  auto parallel = DeserializeChunked(buffer, ExecContext{&pool, 1});
+  ASSERT_FALSE(parallel.ok());
+  EXPECT_EQ(parallel.status().code(), sequential.status().code());
+  EXPECT_EQ(parallel.status().ToString(), sequential.status().ToString());
+}
+
 }  // namespace
 }  // namespace recomp

@@ -27,9 +27,8 @@ TEST(ThreadPoolTest, RunsEverySubmittedTask) {
   EXPECT_EQ(count.load(), 100u);
 }
 
-TEST(ThreadPoolTest, ZeroThreadsMeansHardwareConcurrency) {
-  ThreadPool pool(0);
-  EXPECT_GE(pool.num_threads(), 1u);
+TEST(ThreadPoolTest, DefaultThreadCountIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
 }
 
 TEST(ThreadPoolTest, SingleThreadPoolStillRunsTasks) {
@@ -53,6 +52,24 @@ void ExpectCoversAllIndicesOnce(const ExecContext& ctx, uint64_t n) {
   for (uint64_t i = 0; i < n; ++i) {
     EXPECT_EQ(hits[i].load(), 1u) << "index " << i;
   }
+}
+
+TEST(ThreadPoolTest, ZeroThreadsRunsSubmittedTasksInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 0u);
+  // No workers: Submit must execute inline, not queue forever.
+  uint64_t count = 0;
+  std::thread::id ran_on;
+  pool.Submit([&] {
+    ++count;
+    ran_on = std::this_thread::get_id();
+  });
+  EXPECT_EQ(count, 1u);
+  EXPECT_EQ(ran_on, std::this_thread::get_id());
+  // And a zero-thread pool is a valid sequential ExecContext.
+  EXPECT_FALSE((ExecContext{&pool, 1}).parallel());
+  EXPECT_FALSE((ExecContext{&pool, 1}).async());
+  ExpectCoversAllIndicesOnce(ExecContext{&pool, 1}, 100);
 }
 
 TEST(ThreadPoolTest, ParallelForCoversAllIndicesExactlyOnce) {
@@ -90,10 +107,52 @@ TEST(ThreadPoolTest, ParallelForBlocksUntilAllWorkIsDone) {
 
 TEST(ThreadPoolTest, ExecContextParallelPredicate) {
   EXPECT_FALSE(ExecContext{}.parallel());
+  EXPECT_FALSE(ExecContext{}.async());
   ThreadPool one(1);
   EXPECT_FALSE((ExecContext{&one, 1}).parallel());
+  EXPECT_TRUE((ExecContext{&one, 1}).async());
   ThreadPool two(2);
   EXPECT_TRUE((ExecContext{&two, 1}).parallel());
+}
+
+TEST(TaskGroupTest, WaitBlocksUntilEveryTaskFinished) {
+  ThreadPool pool(4);
+  const ExecContext ctx{&pool, 1};
+  TaskGroup group;
+  // Non-atomic slots published only by Wait(): under TSan this also proves
+  // the completion wait synchronizes with the workers' writes.
+  std::vector<uint64_t> slots(256, 0);
+  for (uint64_t i = 0; i < slots.size(); ++i) {
+    group.Run(ctx, [&slots, i] { slots[i] = i + 1; });
+  }
+  group.Wait();
+  EXPECT_EQ(group.pending(), 0u);
+  for (uint64_t i = 0; i < slots.size(); ++i) {
+    EXPECT_EQ(slots[i], i + 1) << "task " << i;
+  }
+}
+
+TEST(TaskGroupTest, RunsInlineWithoutAPool) {
+  TaskGroup group;
+  uint64_t count = 0;
+  group.Run(ExecContext{}, [&] { ++count; });
+  EXPECT_EQ(count, 1u);  // Already ran: no pool means inline.
+  EXPECT_EQ(group.pending(), 0u);
+  group.Wait();  // A no-op, not a hang.
+}
+
+TEST(TaskGroupTest, ReusableAcrossWaits) {
+  ThreadPool pool(2);
+  const ExecContext ctx{&pool, 1};
+  TaskGroup group;
+  std::atomic<uint64_t> count{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 10; ++i) {
+      group.Run(ctx, [&] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    group.Wait();
+    EXPECT_EQ(count.load(), 10u * (batch + 1));
+  }
 }
 
 }  // namespace
