@@ -139,16 +139,17 @@ Result<ChunkedCompressedColumn> CompressChunkedImpl(
   // An empty input still yields one empty chunk so the result is well-typed.
   const uint64_t num_chunks =
       n == 0 ? 1 : (n + options.chunk_rows - 1) / options.chunk_rows;
-  std::vector<CompressedChunk> slots(num_chunks);
-  RECOMP_RETURN_NOT_OK(
-      ParallelForOk(ctx, num_chunks, [&](uint64_t i) -> Status {
+  std::vector<CompressedChunk> slots;
+  RECOMP_RETURN_NOT_OK(VisitIndicesInto(
+      ctx, num_chunks, &slots, [&](uint64_t i) -> Result<CompressedChunk> {
         const uint64_t begin = i * options.chunk_rows;
         const uint64_t end = std::min<uint64_t>(n, begin + options.chunk_rows);
         RECOMP_ASSIGN_OR_RETURN(AnyColumn slice, SliceRows(input, begin, end));
         RECOMP_ASSIGN_OR_RETURN(SchemeDescriptor desc, choose(slice));
-        slots[i].zone = ComputeZoneMap(slice, begin);
-        RECOMP_ASSIGN_OR_RETURN(slots[i].column, Compress(slice, desc));
-        return Status::OK();
+        CompressedChunk chunk;
+        chunk.zone = ComputeZoneMap(slice, begin);
+        RECOMP_ASSIGN_OR_RETURN(chunk.column, Compress(slice, desc));
+        return chunk;
       }));
   ChunkedCompressedColumn out;
   for (CompressedChunk& slot : slots) {

@@ -132,6 +132,34 @@ class ChunkedCompressedColumn {
   std::vector<std::shared_ptr<const CompressedChunk>> chunks_;
 };
 
+/// The shared fan-out scaffold of the chunked visitors (compression,
+/// deserialization, the exec scan): runs fn(i) for every i in [0, n) —
+/// concurrently under `ctx`, each result landing in its own pre-sized slot
+/// (*slots)[i] — and returns the first error in index order, exactly the
+/// error a sequential loop would surface. Callers merge the slots in index
+/// order afterwards, which keeps results bit-identical to the sequential
+/// path for any thread count.
+template <typename Slot, typename Fn>
+Status VisitIndicesInto(const ExecContext& ctx, uint64_t n,
+                        std::vector<Slot>* slots, const Fn& fn) {
+  slots->clear();
+  slots->resize(n);
+  return ParallelForOk(ctx, n, [&](uint64_t i) -> Status {
+    RECOMP_ASSIGN_OR_RETURN((*slots)[i], fn(i));
+    return Status::OK();
+  });
+}
+
+/// Sparse form: visits only `indices` (e.g. the chunks a zone map could not
+/// answer), slot t holding fn(indices[t]).
+template <typename Slot, typename Fn>
+Status VisitIndicesInto(const ExecContext& ctx,
+                        const std::vector<uint64_t>& indices,
+                        std::vector<Slot>* slots, const Fn& fn) {
+  return VisitIndicesInto(ctx, static_cast<uint64_t>(indices.size()), slots,
+                          [&](uint64_t t) { return fn(indices[t]); });
+}
+
 /// Compresses `input` (a plain column) chunk-at-a-time, every chunk with the
 /// same composite `desc`. An empty input yields one empty chunk so the
 /// result is always well-typed. Chunks compress independently, so `ctx` fans

@@ -384,30 +384,31 @@ Result<ChunkedCompressedColumn> DeserializeChunked(
   RECOMP_RETURN_NOT_OK(r.Need(payload_bytes));
   // The validated directory pins each payload's offset and length, so every
   // chunk parses from its own bounded sub-reader — independently, fanned out
-  // over ctx's pool into pre-sized slots. ParallelForOk reports the first
+  // over ctx's pool into pre-sized slots. VisitIndicesInto reports the first
   // failing chunk in index order, exactly as a sequential loop would.
   const uint8_t* payloads = buffer.data() + r.Position();
-  std::vector<std::shared_ptr<const CompressedChunk>> slots(chunk_count);
-  RECOMP_RETURN_NOT_OK(ParallelForOk(ctx, chunk_count, [&](uint64_t i) -> Status {
-    Reader chunk_reader(payloads + offsets[i], node_bytes[i]);
-    RECOMP_ASSIGN_OR_RETURN(CompressedNode root, ReadNode(chunk_reader, 0));
-    if (!chunk_reader.AtEnd()) {
-      return Status::Corruption(
-          "chunk payload length disagrees with the directory");
-    }
-    if (root.n != zones[i].row_count) {
-      return Status::Corruption(
-          "chunk row count disagrees with the directory");
-    }
-    if (root.out_type != type) {
-      return Status::Corruption("chunk type disagrees with the header");
-    }
-    CompressedChunk chunk;
-    chunk.zone = zones[i];
-    chunk.column = CompressedColumn(std::move(root));
-    slots[i] = std::make_shared<const CompressedChunk>(std::move(chunk));
-    return Status::OK();
-  }));
+  std::vector<std::shared_ptr<const CompressedChunk>> slots;
+  RECOMP_RETURN_NOT_OK(VisitIndicesInto(
+      ctx, chunk_count, &slots,
+      [&](uint64_t i) -> Result<std::shared_ptr<const CompressedChunk>> {
+        Reader chunk_reader(payloads + offsets[i], node_bytes[i]);
+        RECOMP_ASSIGN_OR_RETURN(CompressedNode root, ReadNode(chunk_reader, 0));
+        if (!chunk_reader.AtEnd()) {
+          return Status::Corruption(
+              "chunk payload length disagrees with the directory");
+        }
+        if (root.n != zones[i].row_count) {
+          return Status::Corruption(
+              "chunk row count disagrees with the directory");
+        }
+        if (root.out_type != type) {
+          return Status::Corruption("chunk type disagrees with the header");
+        }
+        CompressedChunk chunk;
+        chunk.zone = zones[i];
+        chunk.column = CompressedColumn(std::move(root));
+        return std::make_shared<const CompressedChunk>(std::move(chunk));
+      }));
   ChunkedCompressedColumn out;
   for (uint32_t i = 0; i < chunk_count; ++i) {
     RECOMP_RETURN_NOT_OK(out.AppendChunk(std::move(slots[i])));

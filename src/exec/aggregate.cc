@@ -1,9 +1,11 @@
 #include "exec/aggregate.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/pipeline.h"
 #include "exec/node_access.h"
+#include "exec/scan.h"
 #include "ops/pack.h"
 #include "schemes/scheme_internal.h"
 #include "util/bits.h"
@@ -238,85 +240,34 @@ Result<AggregateResult> MaxCompressed(const CompressedColumn& compressed) {
 
 namespace {
 
+// The chunked overloads are one-aggregate scans: the shared driver
+// (exec/scan.cc) owns the chunk loop — zone-map answers, parallel per-chunk
+// pushdown, ordered fold — and returns the same value and counters these
+// overloads historically produced.
 Result<ChunkedAggregateResult> AggregateChunked(
-    const ChunkedCompressedColumn& chunked, Kind kind, const ExecContext& ctx) {
-  if (!TypeIdIsUnsigned(chunked.type())) {
-    return Status::InvalidArgument(
-        "compressed aggregation requires an unsigned column");
-  }
-  if (kind != Kind::kSum && chunked.size() == 0) {
-    return Status::InvalidArgument("min/max of an empty column");
-  }
-  const uint64_t num_chunks = chunked.num_chunks();
-
-  // Phase 1 (sequential, zone maps only): which chunks need their payload?
-  // Min/max of a chunk with a zone map is the zone map; only SUM (and
-  // chunks lacking min/max) ever touch the payload.
-  std::vector<uint64_t> to_execute;
-  for (uint64_t i = 0; i < num_chunks; ++i) {
-    const CompressedChunk& chunk = chunked.chunk(i);
-    if (chunk.zone.row_count == 0) continue;
-    if (kind != Kind::kSum && chunk.zone.has_minmax) continue;
-    to_execute.push_back(i);
-  }
-
-  // Phase 2: aggregate the payload chunks, concurrently when ctx has a pool,
-  // each into its own pre-sized slot. to_execute is in chunk order, so the
-  // first error ParallelForOk reports is the sequential loop's error.
-  std::vector<AggregateResult> slots(to_execute.size());
-  RECOMP_RETURN_NOT_OK(
-      ParallelForOk(ctx, to_execute.size(), [&](uint64_t t) -> Status {
-        RECOMP_ASSIGN_OR_RETURN(
-            slots[t],
-            AggregateCompressed(chunked.chunk(to_execute[t]).column, kind));
-        return Status::OK();
-      }));
-
-  // Phase 3 (sequential): fold partials in chunk order, exactly as the
-  // sequential path does.
-  ChunkedAggregateResult result;
-  result.chunks_total = num_chunks;
-  if (kind == Kind::kMin) result.value = ~uint64_t{0};
-  uint64_t slot = 0;
-  for (uint64_t i = 0; i < num_chunks; ++i) {
-    const CompressedChunk& chunk = chunked.chunk(i);
-    if (chunk.zone.row_count == 0) continue;
-    if (kind != Kind::kSum && chunk.zone.has_minmax) {
-      const uint64_t v = kind == Kind::kMin ? chunk.zone.min : chunk.zone.max;
-      result.value = kind == Kind::kMin ? std::min(result.value, v)
-                                        : std::max(result.value, v);
-      ++result.chunks_pruned;
-      ++result.strategy_chunks[static_cast<int>(Strategy::kZoneMapOnly)];
-      continue;
-    }
-    const AggregateResult& sub = slots[slot++];
-    ++result.chunks_executed;
-    ++result.strategy_chunks[static_cast<int>(sub.strategy)];
-    if (kind == Kind::kSum) {
-      result.value += sub.value;
-    } else {
-      result.value = kind == Kind::kMin ? std::min(result.value, sub.value)
-                                        : std::max(result.value, sub.value);
-    }
-  }
-  return result;
+    const ChunkedCompressedColumn& chunked, AggregateOp op,
+    const ExecContext& ctx) {
+  ScanSpec spec;
+  spec.Aggregate(op);
+  RECOMP_ASSIGN_OR_RETURN(ScanResult scan, Scan(chunked, spec, ctx));
+  return std::move(scan.aggregates[0].agg);
 }
 
 }  // namespace
 
 Result<ChunkedAggregateResult> SumCompressed(
     const ChunkedCompressedColumn& chunked, const ExecContext& ctx) {
-  return AggregateChunked(chunked, Kind::kSum, ctx);
+  return AggregateChunked(chunked, AggregateOp::kSum, ctx);
 }
 
 Result<ChunkedAggregateResult> MinCompressed(
     const ChunkedCompressedColumn& chunked, const ExecContext& ctx) {
-  return AggregateChunked(chunked, Kind::kMin, ctx);
+  return AggregateChunked(chunked, AggregateOp::kMin, ctx);
 }
 
 Result<ChunkedAggregateResult> MaxCompressed(
     const ChunkedCompressedColumn& chunked, const ExecContext& ctx) {
-  return AggregateChunked(chunked, Kind::kMax, ctx);
+  return AggregateChunked(chunked, AggregateOp::kMax, ctx);
 }
 
 }  // namespace recomp::exec

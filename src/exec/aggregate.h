@@ -43,7 +43,8 @@ struct ChunkedAggregateResult {
 /// Chunked Σ: per-chunk pushdown sums merged mod 2^64. Empty columns sum
 /// to 0. Chunks execute concurrently under `ctx`, each into its own slot;
 /// partials fold in chunk order, so the value and every counter match the
-/// sequential path bit-for-bit regardless of thread count.
+/// sequential path bit-for-bit regardless of thread count. (A thin wrapper
+/// over a one-aggregate exec::Scan — see exec/scan.h — as are Min/Max.)
 Result<ChunkedAggregateResult> SumCompressed(
     const ChunkedCompressedColumn& chunked, const ExecContext& ctx = {});
 

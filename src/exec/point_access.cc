@@ -1,6 +1,8 @@
 #include "exec/point_access.h"
 
 #include <algorithm>
+#include <map>
+#include <optional>
 
 #include "core/pipeline.h"
 #include "exec/node_access.h"
@@ -53,9 +55,12 @@ Result<PointResult> Fallback(const CompressedNode& node, uint64_t row) {
       });
 }
 
-}  // namespace
-
-Result<PointResult> GetAt(const CompressedColumn& compressed, uint64_t row) {
+/// The O(1)/O(log runs) access path for `row`, or nullopt when the shape
+/// has none (sequential dependencies, composed parts): the caller decides
+/// whether to fall back per row (GetAt) or to decompress the whole chunk
+/// once for a batch of rows (GetAtBatch).
+Result<std::optional<PointResult>> TryDirectAt(const CompressedColumn& compressed,
+                                               uint64_t row) {
   const CompressedNode& node = compressed.root();
   if (row >= node.n) {
     return Status::OutOfRange("point access past the end of the column");
@@ -64,7 +69,7 @@ Result<PointResult> GetAt(const CompressedColumn& compressed, uint64_t row) {
     return Status::InvalidArgument("point access requires an unsigned column");
   }
   return DispatchUnsignedTypeId(
-      node.out_type, [&](auto tag) -> Result<PointResult> {
+      node.out_type, [&](auto tag) -> Result<std::optional<PointResult>> {
         using T = typename decltype(tag)::type;
         PointResult result;
 
@@ -74,7 +79,7 @@ Result<PointResult> GetAt(const CompressedColumn& compressed, uint64_t row) {
             if (const AnyColumn* data = PlainIdData(node)) {
               result.strategy = Strategy::kPlainScan;
               result.value = PlainAt<T>(*data, row);
-              return result;
+              return std::optional<PointResult>(result);
             }
             break;
           }
@@ -86,7 +91,7 @@ Result<PointResult> GetAt(const CompressedColumn& compressed, uint64_t row) {
               result.strategy = Strategy::kNsDirect;
               result.value = static_cast<uint64_t>(
                   ops::UnpackOne<T>(it->second.column->packed(), row));
-              return result;
+              return std::optional<PointResult>(result);
             }
             break;
           }
@@ -103,7 +108,7 @@ Result<PointResult> GetAt(const CompressedColumn& compressed, uint64_t row) {
                 result.strategy = Strategy::kForDirect;
                 result.value = static_cast<uint64_t>(static_cast<T>(
                     refs->As<T>()[row / ell] + ops::UnpackOne<T>(*packed, row)));
-                return result;
+                return std::optional<PointResult>(result);
               }
             }
             break;
@@ -125,7 +130,7 @@ Result<PointResult> GetAt(const CompressedColumn& compressed, uint64_t row) {
                   pos.begin();
               result.strategy = Strategy::kRpeBinarySearch;
               result.value = PlainAt<T>(*values, run);
-              return result;
+              return std::optional<PointResult>(result);
             }
             break;
           }
@@ -150,7 +155,7 @@ Result<PointResult> GetAt(const CompressedColumn& compressed, uint64_t row) {
               }
               result.strategy = Strategy::kDictProbe;
               result.value = PlainAt<T>(*dictionary, code);
-              return result;
+              return std::optional<PointResult>(result);
             }
             break;
           }
@@ -158,8 +163,17 @@ Result<PointResult> GetAt(const CompressedColumn& compressed, uint64_t row) {
           default:
             break;
         }
-        return Fallback(node, row);
+        return std::optional<PointResult>();
       });
+}
+
+}  // namespace
+
+Result<PointResult> GetAt(const CompressedColumn& compressed, uint64_t row) {
+  RECOMP_ASSIGN_OR_RETURN(std::optional<PointResult> direct,
+                          TryDirectAt(compressed, row));
+  if (direct.has_value()) return *direct;
+  return Fallback(compressed.root(), row);
 }
 
 Result<PointResult> GetAt(const ChunkedCompressedColumn& chunked, uint64_t row,
@@ -174,12 +188,89 @@ Result<PointResult> GetAt(const ChunkedCompressedColumn& chunked, uint64_t row,
 
 Result<std::vector<PointResult>> GetAtBatch(
     const ChunkedCompressedColumn& chunked, const std::vector<uint64_t>& rows,
-    const ExecContext& ctx) {
+    const ExecContext& ctx, uint64_t* chunks_touched) {
+  if (chunks_touched != nullptr) *chunks_touched = 0;
+  // Validate up front so the reported error is the first failing row in
+  // input order, as it was when this ran one GetAt per row.
+  for (const uint64_t row : rows) {
+    if (row >= chunked.size()) {
+      return Status::OutOfRange("point access past the end of the column");
+    }
+  }
+
+  // Group the requested rows by owning chunk — duplicates and arbitrary
+  // order included — so shapes without a direct access path decompress each
+  // touched chunk exactly once instead of once per requested row. Groups
+  // are visited in ascending chunk order; input order within a group is
+  // preserved, so results are deterministic for any thread count.
+  std::map<uint64_t, std::vector<uint64_t>> by_chunk;  // chunk → input idxs.
+  {
+    // Rows usually arrive sorted (scan gathers) or clustered: remember the
+    // current chunk's bounds so runs of rows in one chunk cost a bounds
+    // check each, not a binary search plus a map lookup.
+    std::vector<uint64_t>* group = nullptr;
+    uint64_t group_begin = 0, group_end = 0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (group == nullptr || rows[i] < group_begin || rows[i] >= group_end) {
+        const uint64_t c = chunked.ChunkIndexOf(rows[i]);
+        const ZoneMap& zone = chunked.chunk(c).zone;
+        group_begin = zone.row_begin;
+        group_end = zone.row_begin + zone.row_count;
+        group = &by_chunk[c];
+      }
+      group->push_back(i);
+    }
+  }
+  std::vector<uint64_t> touched;                  // Ascending chunk ids.
+  std::vector<std::vector<uint64_t>> groups;      // Input indices per chunk.
+  touched.reserve(by_chunk.size());
+  groups.reserve(by_chunk.size());
+  for (auto& [chunk, indices] : by_chunk) {
+    touched.push_back(chunk);
+    groups.push_back(std::move(indices));
+  }
+  if (chunks_touched != nullptr) *chunks_touched = touched.size();
+
   std::vector<PointResult> results(rows.size());
-  RECOMP_RETURN_NOT_OK(ParallelForOk(ctx, rows.size(), [&](uint64_t i) -> Status {
-    RECOMP_ASSIGN_OR_RETURN(results[i], GetAt(chunked, rows[i]));
-    return Status::OK();
-  }));
+  RECOMP_RETURN_NOT_OK(
+      ParallelForOk(ctx, touched.size(), [&](uint64_t g) -> Status {
+        const CompressedChunk& chunk = chunked.chunk(touched[g]);
+        const std::vector<uint64_t>& indices = groups[g];
+        const uint64_t base = chunk.zone.row_begin;
+
+        // Probe the shape once: the direct path exists for every row of a
+        // chunk or for none (it depends only on the envelope's shape).
+        RECOMP_ASSIGN_OR_RETURN(
+            std::optional<PointResult> first,
+            TryDirectAt(chunk.column, rows[indices[0]] - base));
+        if (first.has_value()) {
+          results[indices[0]] = *first;
+          for (size_t k = 1; k < indices.size(); ++k) {
+            RECOMP_ASSIGN_OR_RETURN(
+                std::optional<PointResult> direct,
+                TryDirectAt(chunk.column, rows[indices[k]] - base));
+            if (!direct.has_value()) {
+              return Status::Corruption(
+                  "direct point access vanished mid-chunk");
+            }
+            results[indices[k]] = *direct;
+          }
+          return Status::OK();
+        }
+
+        // No direct path: one decompress serves every requested row of the
+        // chunk, each answered exactly as per-row GetAt's fallback would.
+        RECOMP_ASSIGN_OR_RETURN(AnyColumn plain, Decompress(chunk.column));
+        return DispatchUnsignedTypeId(
+            chunk.column.type(), [&](auto tag) -> Status {
+              using T = typename decltype(tag)::type;
+              for (const uint64_t i : indices) {
+                results[i].strategy = Strategy::kDecompressScan;
+                results[i].value = PlainAt<T>(plain, rows[i] - base);
+              }
+              return Status::OK();
+            });
+      }));
   return results;
 }
 

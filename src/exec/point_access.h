@@ -41,11 +41,19 @@ Result<PointResult> GetAt(const CompressedColumn& compressed, uint64_t row);
 Result<PointResult> GetAt(const ChunkedCompressedColumn& chunked, uint64_t row,
                           const ExecContext& ctx = {});
 
-/// Batch point access: one GetAt per row, fanned out over `ctx`. The values
-/// land in row order; the first failing row (in row order) yields the error.
+/// Batch point access, grouped by owning chunk and fanned out over `ctx`
+/// one *chunk* at a time: shapes with a direct access path answer each row
+/// in O(1)/O(log runs), and shapes without one decompress each touched
+/// chunk exactly once — not once per requested row — no matter how many
+/// rows land in it, in whatever order, duplicates included. Results land in
+/// input order and agree row-for-row (value and strategy) with per-row
+/// GetAt; rows past the end are rejected up front, first in input order.
+/// This is the gather engine behind exec::Scan's late materialization.
+/// When `chunks_touched` is non-null it receives the number of distinct
+/// chunks the batch landed in (the grouping is computed anyway).
 Result<std::vector<PointResult>> GetAtBatch(
     const ChunkedCompressedColumn& chunked, const std::vector<uint64_t>& rows,
-    const ExecContext& ctx = {});
+    const ExecContext& ctx = {}, uint64_t* chunks_touched = nullptr);
 
 }  // namespace recomp::exec
 

@@ -4,6 +4,7 @@
 
 #include "core/pipeline.h"
 #include "exec/node_access.h"
+#include "exec/scan.h"
 #include "ops/pack.h"
 #include "schemes/scheme_internal.h"
 #include "util/bits.h"
@@ -239,92 +240,19 @@ Result<SelectionResult> SelectCompressed(const CompressedColumn& compressed,
   }
 }
 
-namespace {
-
-/// What the zone map decided for one chunk of a chunked operator.
-enum class ChunkAction : uint8_t {
-  kSkipEmpty,  ///< Zero rows: not counted anywhere.
-  kPrune,      ///< Disjoint from the predicate: never touched.
-  kEmitAll,    ///< Contained in the predicate: emitted without decode.
-  kExecute,    ///< Overlapping: dispatched to a per-chunk strategy.
-};
-
-}  // namespace
-
 Result<ChunkedSelectionResult> SelectCompressed(
     const ChunkedCompressedColumn& chunked, const RangePredicate& predicate,
     const ExecContext& ctx) {
-  if (chunked.size() >= (uint64_t{1} << 32)) {
-    return Status::OutOfRange("selections support columns below 2^32 rows");
-  }
-  if (!TypeIdIsUnsigned(chunked.type())) {
-    return Status::InvalidArgument(
-        "range selection over compressed data requires an unsigned column");
-  }
-  const uint64_t num_chunks = chunked.num_chunks();
-
-  // Phase 1 (sequential, zone maps only): classify every chunk and collect
-  // the ones that need a per-chunk strategy.
-  std::vector<ChunkAction> actions(num_chunks, ChunkAction::kSkipEmpty);
-  std::vector<uint64_t> to_execute;
-  for (uint64_t i = 0; i < num_chunks; ++i) {
-    const ZoneMap& zone = chunked.chunk(i).zone;
-    if (zone.row_count == 0) continue;
-    if (zone.DisjointFrom(predicate.lo, predicate.hi)) {
-      actions[i] = ChunkAction::kPrune;
-    } else if (zone.ContainedIn(predicate.lo, predicate.hi)) {
-      actions[i] = ChunkAction::kEmitAll;
-    } else {
-      actions[i] = ChunkAction::kExecute;
-      to_execute.push_back(i);
-    }
-  }
-
-  // Phase 2: run the overlapping chunks, concurrently when ctx has a pool,
-  // each into its own pre-sized slot. to_execute is in chunk order, so the
-  // first error ParallelForOk reports is the sequential loop's error.
-  std::vector<SelectionResult> slots(to_execute.size());
-  RECOMP_RETURN_NOT_OK(
-      ParallelForOk(ctx, to_execute.size(), [&](uint64_t t) -> Status {
-        RECOMP_ASSIGN_OR_RETURN(
-            slots[t],
-            SelectCompressed(chunked.chunk(to_execute[t]).column, predicate));
-        return Status::OK();
-      }));
-
-  // Phase 3 (sequential): merge in chunk order — positions stay sorted and
-  // the counters accumulate exactly as the sequential path does.
+  // A one-filter scan: the shared driver (exec/scan.cc) owns the chunk
+  // loop — zone-map classification, parallel per-chunk execution, ordered
+  // merge — and returns the same positions and counters this overload
+  // historically produced.
+  ScanSpec spec;
+  spec.Filter(predicate);
+  RECOMP_ASSIGN_OR_RETURN(ScanResult scan, Scan(chunked, spec, ctx));
   ChunkedSelectionResult result;
-  result.stats.chunks_total = num_chunks;
-  uint64_t slot = 0;
-  for (uint64_t i = 0; i < num_chunks; ++i) {
-    const ZoneMap& zone = chunked.chunk(i).zone;
-    const uint32_t base = static_cast<uint32_t>(zone.row_begin);
-    switch (actions[i]) {
-      case ChunkAction::kSkipEmpty:
-        break;
-      case ChunkAction::kPrune:
-        ++result.stats.chunks_pruned;
-        break;
-      case ChunkAction::kEmitAll:
-        ++result.stats.chunks_full;
-        for (uint64_t r = 0; r < zone.row_count; ++r) {
-          result.positions.push_back(base + static_cast<uint32_t>(r));
-        }
-        break;
-      case ChunkAction::kExecute: {
-        SelectionResult& sub = slots[slot++];
-        ++result.stats.chunks_executed;
-        ++result.stats.strategy_chunks[static_cast<int>(sub.stats.strategy)];
-        result.stats.values_decoded += sub.stats.values_decoded;
-        for (const uint32_t p : sub.positions) {
-          result.positions.push_back(base + p);
-        }
-        result.stats.per_chunk.push_back({i, std::move(sub.stats)});
-        break;
-      }
-    }
-  }
+  result.positions = std::move(scan.positions);
+  result.stats = std::move(scan.filters[0].stats);
   return result;
 }
 

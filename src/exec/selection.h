@@ -83,6 +83,10 @@ struct ChunkedSelectionResult {
 /// merge walks chunks in order, so positions stay sorted and every stats
 /// counter matches the sequential path bit-for-bit regardless of thread
 /// count. Always equals the whole-column reference.
+///
+/// This is a thin wrapper over a one-filter exec::Scan (exec/scan.h), which
+/// owns the chunk loop; multi-column and filter+gather+aggregate queries
+/// should use Scan directly.
 Result<ChunkedSelectionResult> SelectCompressed(
     const ChunkedCompressedColumn& chunked, const RangePredicate& predicate,
     const ExecContext& ctx = {});

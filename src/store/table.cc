@@ -9,12 +9,18 @@
 
 namespace recomp::store {
 
+Result<uint64_t> TableSnapshot::column_index(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::KeyError("no column named '" + name + "'");
+  }
+  return it->second;
+}
+
 Result<const ColumnSnapshot*> TableSnapshot::column(
     const std::string& name) const {
-  for (size_t i = 0; i < names_.size(); ++i) {
-    if (names_[i] == name) return &columns_[i];
-  }
-  return Status::KeyError("no column named '" + name + "'");
+  RECOMP_ASSIGN_OR_RETURN(const uint64_t i, column_index(name));
+  return &columns_[i];
 }
 
 Result<Table> Table::Create(const std::vector<ColumnSpec>& specs,
@@ -160,6 +166,9 @@ Result<TableSnapshot> Table::Snapshot() const {
   RECOMP_RETURN_NOT_OK(table_status_);
   TableSnapshot snap;
   snap.names_ = names_;
+  for (uint64_t i = 0; i < names_.size(); ++i) {
+    snap.index_.emplace(names_[i], i);
+  }
   for (const auto& column : columns_) {
     RECOMP_ASSIGN_OR_RETURN(ColumnSnapshot view, column->Snapshot());
     snap.columns_.push_back(std::move(view));

@@ -13,6 +13,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "store/appendable_column.h"
@@ -36,6 +37,11 @@ class TableSnapshot {
   uint64_t num_columns() const { return columns_.size(); }
   const std::vector<std::string>& names() const { return names_; }
 
+  /// Index of the named column, or KeyError. O(1): the name→index map is
+  /// built once when the snapshot is cut, not per lookup — scans resolve
+  /// every referenced column through this.
+  Result<uint64_t> column_index(const std::string& name) const;
+
   /// The snapshot of the named column, or KeyError.
   Result<const ColumnSnapshot*> column(const std::string& name) const;
 
@@ -46,6 +52,7 @@ class TableSnapshot {
   uint64_t rows_ = 0;
   std::vector<std::string> names_;
   std::vector<ColumnSnapshot> columns_;
+  std::unordered_map<std::string, uint64_t> index_;
 };
 
 /// A growing table. Appends are row-aligned across columns and thread-safe;

@@ -14,9 +14,11 @@
 #include "core/chunked.h"
 #include "exec/aggregate.h"
 #include "exec/point_access.h"
+#include "exec/scan.h"
 #include "exec/selection.h"
 #include "gen/generators.h"
 #include "store/appendable_column.h"
+#include "store/table.h"
 #include "test_util.h"
 #include "util/random.h"
 
@@ -259,6 +261,85 @@ TEST(StoreConcurrencyTest, FuzzLiveColumnMatchesSealedOracle) {
     ASSERT_OK(back.status());
     ASSERT_TRUE(*back == AnyColumn(rows)) << "round " << round;
   }
+}
+
+TEST(StoreConcurrencyTest, ScansRaceTableAppendsAndSeals) {
+  // Multi-column scans (filter + gather + aggregate via exec::Scan) race
+  // AppendBatch/Seal on a live table. Deterministic column contents — k[i]
+  // = i, v[i] = 3i + 1 — let every reader verify a whole scan result over
+  // whatever row prefix its snapshot caught, with closed-form expectations.
+  // Runs under the CI ThreadSanitizer job (Scan*/Store* filter).
+  constexpr uint64_t kRows = 24 * 1024;
+  constexpr uint64_t kChunkRows = 1024;
+  constexpr uint64_t kKeyCap = 5000;  // Filter: k < kKeyCap.
+
+  ThreadPool pool(4);
+  auto table = store::Table::Create(
+      {
+          {"k", TypeId::kUInt32, {kChunkRows}, ""},
+          {"v", TypeId::kUInt32, {kChunkRows + 300}, ""},  // Misaligned.
+      },
+      ExecContext{&pool, 1});
+  ASSERT_OK(table.status());
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> scans_run{0};
+
+  auto reader = [&]() {
+    exec::ScanSpec spec;
+    spec.Filter("k", RangePredicate{0, kKeyCap - 1})
+        .Project({"v"})
+        .Aggregate("v", exec::AggregateOp::kSum)
+        .Aggregate("k", exec::AggregateOp::kCount);
+    while (!done.load(std::memory_order_acquire)) {
+      auto snap = table->Snapshot();
+      ASSERT_OK(snap.status());
+      const uint64_t n = snap->rows();
+      auto result = exec::Scan(*snap, spec);
+      ASSERT_OK(result.status());
+      scans_run.fetch_add(1, std::memory_order_relaxed);
+
+      const uint64_t matches = std::min(n, kKeyCap);
+      ASSERT_EQ(result->rows_matched, matches) << "snapshot rows " << n;
+      ASSERT_EQ(result->positions.size(), matches);
+      const Column<uint32_t>& v =
+          result->projections[0].values.As<uint32_t>();
+      ASSERT_EQ(v.size(), matches);
+      for (uint64_t i = 0; i < matches; ++i) {
+        ASSERT_EQ(result->positions[i], i);
+        ASSERT_EQ(v[i], 3 * i + 1);
+      }
+      // Σ (3i + 1) for i in [0, matches).
+      const uint64_t expected_sum =
+          matches == 0 ? 0 : 3 * (matches * (matches - 1) / 2) + matches;
+      ASSERT_EQ(result->aggregates[0].value(), expected_sum);
+      ASSERT_EQ(result->aggregates[1].value(), matches);
+    }
+  };
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) readers.emplace_back(reader);
+
+  {
+    Rng rng(31);
+    uint64_t at = 0;
+    while (at < kRows) {
+      const uint64_t take = std::min<uint64_t>(1 + rng.Below(2500), kRows - at);
+      Column<uint32_t> k, v;
+      for (uint64_t i = at; i < at + take; ++i) {
+        k.push_back(static_cast<uint32_t>(i));
+        v.push_back(static_cast<uint32_t>(3 * i + 1));
+      }
+      ASSERT_OK(table->AppendBatch({AnyColumn(k), AnyColumn(v)}));
+      at += take;
+      if (rng.Bernoulli(0.2)) ASSERT_OK(table->Seal());
+    }
+  }
+  ASSERT_OK(table->Flush());
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  EXPECT_GT(scans_run.load(), 0u);
+  EXPECT_EQ(table->num_rows(), kRows);
 }
 
 }  // namespace

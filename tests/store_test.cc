@@ -429,5 +429,44 @@ TEST(StoreTest, TableCreateAndAppendValidation) {
   EXPECT_EQ(table->num_rows(), 1u);
 }
 
+TEST(StoreTest, SnapshotColumnLookupIsIndexedAndRejectsUnknownNames) {
+  // Many columns: the snapshot's name→index map (built once at snapshot
+  // creation) must send every name to the right slot, and unknown names —
+  // including near-misses and the empty string — to KeyError, for both
+  // column() and column_index().
+  std::vector<store::ColumnSpec> specs;
+  for (int c = 0; c < 24; ++c) {
+    specs.push_back({"col" + std::to_string(c), TypeId::kUInt32, {64}, ""});
+  }
+  auto table = Table::Create(specs);
+  ASSERT_OK(table.status());
+  std::vector<AnyColumn> batch;
+  for (int c = 0; c < 24; ++c) {
+    batch.emplace_back(Column<uint32_t>(100, static_cast<uint32_t>(c)));
+  }
+  ASSERT_OK(table->AppendBatch(batch));
+  auto snap = table->Snapshot();
+  ASSERT_OK(snap.status());
+
+  for (int c = 0; c < 24; ++c) {
+    const std::string name = "col" + std::to_string(c);
+    auto index = snap->column_index(name);
+    ASSERT_OK(index.status());
+    EXPECT_EQ(*index, static_cast<uint64_t>(c));
+    auto view = snap->column(name);
+    ASSERT_OK(view.status());
+    auto value = exec::GetAt((*view)->chunked(), 0);
+    ASSERT_OK(value.status());
+    EXPECT_EQ(value->value, static_cast<uint64_t>(c));
+  }
+  for (const std::string& unknown : {std::string("col24"), std::string("COL0"),
+                                     std::string("col"), std::string()}) {
+    auto index = snap->column_index(unknown);
+    ASSERT_FALSE(index.ok());
+    EXPECT_EQ(index.status().code(), StatusCode::kKeyError);
+    EXPECT_EQ(snap->column(unknown).status().code(), StatusCode::kKeyError);
+  }
+}
+
 }  // namespace
 }  // namespace recomp
