@@ -51,6 +51,17 @@ struct CompressedNode {
   CompressedNode Clone() const;
 };
 
+/// The terminal plain column behind a stored-plain ID envelope's "data"
+/// part — the shape the streaming store serves for uncompressed tail chunks
+/// and for rolled chunks whose seal job has not landed — or nullptr when the
+/// node is not that shape: wrong scheme, part missing, composed, packed, of
+/// an unexpected type, or of the wrong length (the length check
+/// IdScheme::Decompress would make; a deserialized buffer can claim any n,
+/// and in-place readers must not index past the real data). The exec fast
+/// paths (exec/node_access.h) and the store's recompressor both key on this
+/// one predicate so "stored plain" cannot mean different things per layer.
+const AnyColumn* StoredPlainData(const CompressedNode& node);
+
 /// A whole compressed column.
 class CompressedColumn {
  public:

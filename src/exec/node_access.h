@@ -8,22 +8,21 @@
 namespace recomp::exec {
 
 /// The terminal plain column behind an ID envelope's "data" part — the
-/// streaming store's uncompressed tail chunks — or nullptr when the part is
-/// missing, composed, packed, of an unexpected type, or of the wrong length
-/// (the length check IdScheme::Decompress would make; a deserialized buffer
-/// can claim any n, and the fast path must not index past the real data).
-/// Selection, aggregation, and point access all key their in-place kId fast
-/// path on this one predicate so the three paths cannot drift apart; shapes
-/// it rejects fall back to the decompress path, which validates or errors.
+/// streaming store's uncompressed tail chunks — or nullptr when the shape
+/// does not qualify. Selection, aggregation, and point access all key their
+/// in-place kId fast path on this one predicate so the three paths cannot
+/// drift apart; shapes it rejects fall back to the decompress path, which
+/// validates or errors. The predicate itself lives in core
+/// (StoredPlainData) because the store's recompressor keys its stored-plain
+/// candidate detection on exactly the same shape.
+///
+/// Reading `*PlainIdData(...)` in place is safe while the store recompresses
+/// concurrently: chunks are immutable once built, and recompression swaps
+/// the *slot pointer* (a fresh CompressedChunk object) rather than mutating
+/// the chunk a snapshot pinned — the pointer returned here stays valid for
+/// the life of the snapshot that produced the node.
 inline const AnyColumn* PlainIdData(const CompressedNode& node) {
-  auto it = node.parts.find("data");
-  if (it == node.parts.end() || !it->second.is_terminal() ||
-      it->second.column->is_packed() ||
-      it->second.column->type() != node.out_type ||
-      it->second.column->size() != node.n) {
-    return nullptr;
-  }
-  return &*it->second.column;
+  return StoredPlainData(node);
 }
 
 }  // namespace recomp::exec

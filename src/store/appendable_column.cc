@@ -90,7 +90,7 @@ uint64_t AppendableColumn::pending_seals() const {
 
 Status AppendableColumn::status() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return seal_status_;
+  return SlotAwareStatusLocked();
 }
 
 Status AppendableColumn::Append(uint64_t value) {
@@ -106,7 +106,7 @@ Status AppendableColumn::Append(uint64_t value) {
                            TypeIdName(type_)));
         }
         std::lock_guard<std::mutex> lock(mu_);
-        RECOMP_RETURN_NOT_OK(seal_status_);
+        RECOMP_RETURN_NOT_OK(SlotAwareStatusLocked());
         tail_.As<T>().push_back(static_cast<T>(value));
         if (tail_.size() == options_.chunk_rows) {
           RECOMP_RETURN_NOT_OK(RollTailLocked(&jobs));
@@ -132,7 +132,7 @@ Status AppendableColumn::AppendBatch(const AnyColumn& rows) {
         using T = typename decltype(tag)::type;
         const Column<T>& src = rows.As<T>();
         std::lock_guard<std::mutex> lock(mu_);
-        RECOMP_RETURN_NOT_OK(seal_status_);
+        RECOMP_RETURN_NOT_OK(SlotAwareStatusLocked());
         uint64_t i = 0;
         while (i < src.size()) {
           // Re-fetched each round: RollTailLocked replaces tail_.
@@ -157,7 +157,7 @@ Status AppendableColumn::Seal() {
   Status status;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!seal_status_.ok()) return seal_status_;
+    RECOMP_RETURN_NOT_OK(SlotAwareStatusLocked());
     if (tail_.size() > 0) status = RollTailLocked(&jobs);
   }
   ScheduleSealJobs(std::move(jobs));
@@ -173,7 +173,7 @@ Status AppendableColumn::Flush() {
   WaitForSeals();
   RECOMP_RETURN_NOT_OK(sealed);
   std::lock_guard<std::mutex> lock(mu_);
-  return seal_status_;
+  return SlotAwareStatusLocked();
 }
 
 Result<ColumnSnapshot> AppendableColumn::Snapshot() const {
@@ -186,9 +186,12 @@ Result<ColumnSnapshot> AppendableColumn::Snapshot() const {
     // ID envelope are built after unlocking so appenders never wait behind
     // a reader's O(chunk_rows) work.
     std::lock_guard<std::mutex> lock(mu_);
-    RECOMP_RETURN_NOT_OK(seal_status_);
-    for (const auto& slot : slots_) {
-      RECOMP_RETURN_NOT_OK(snap.view_.AppendChunk(slot));
+    RECOMP_RETURN_NOT_OK(SlotAwareStatusLocked());
+    for (uint64_t i = 0; i < slots_.size(); ++i) {
+      RECOMP_RETURN_NOT_OK(snap.view_.AppendChunk(slots_[i]));
+      // The access statistic the recompression policy reads: how many
+      // snapshots included this chunk.
+      ++slot_states_[i].access_count;
     }
     snap.sealed_ = sealed_count_;
     snap.unsealed_ = slots_.size() - sealed_count_;
@@ -229,8 +232,84 @@ Status AppendableColumn::RollTailLocked(std::vector<SealJob>* jobs) {
       CompressedChunk{job.zone, WrapPlainAsId(std::move(rows))});
   tail_begin_ += job.zone.row_count;
   slots_.push_back(job.source);
+  slot_states_.emplace_back();
   jobs->push_back(std::move(job));
   return Status::OK();
+}
+
+std::vector<AppendableColumn::ChunkInfo> AppendableColumn::ChunkInfos() const {
+  std::vector<ChunkInfo> infos;
+  std::lock_guard<std::mutex> lock(mu_);
+  infos.reserve(slots_.size());
+  for (uint64_t i = 0; i < slots_.size(); ++i) {
+    ChunkInfo info;
+    info.slot = i;
+    info.chunk = slots_[i];
+    info.sealed = slot_states_[i].sealed;
+    info.recompress_pending = slot_states_[i].recompress_pending;
+    info.age_chunks = slots_.size() - i - 1;
+    info.snapshot_accesses = slot_states_[i].access_count;
+    info.recompress_count = slot_states_[i].recompress_count;
+    infos.push_back(std::move(info));
+  }
+  return infos;
+}
+
+std::shared_ptr<const CompressedChunk> AppendableColumn::TryBeginRecompress(
+    uint64_t slot, bool* sealed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slot >= slots_.size() || slot_states_[slot].recompress_pending) {
+    return nullptr;
+  }
+  slot_states_[slot].recompress_pending = true;
+  if (sealed != nullptr) *sealed = slot_states_[slot].sealed;
+  return slots_[slot];
+}
+
+bool AppendableColumn::CompleteRecompress(
+    uint64_t slot, const std::shared_ptr<const CompressedChunk>& expected,
+    CompressedChunk replacement) {
+  // Built outside the lock: the swap itself is O(1) pointer work.
+  auto chunk =
+      std::make_shared<const CompressedChunk>(std::move(replacement));
+  std::lock_guard<std::mutex> lock(mu_);
+  SlotState& state = slot_states_[slot];
+  state.recompress_pending = false;
+  bool swapped = false;
+  if (slots_[slot] == expected) {
+    slots_[slot] = std::move(chunk);
+    if (!state.sealed) {
+      // A stored-plain backlog chunk just got its compression: it is sealed
+      // from here on (its late seal job, if any, will observe the pointer
+      // changed and drop its result).
+      state.sealed = true;
+      ++sealed_count_;
+    }
+    ++state.recompress_count;
+    swapped = true;
+  }
+  // Else: the original seal job landed between the claim and here; its
+  // result is as correct as ours, so first-lander wins and we drop this
+  // one. Either way the slot is sealed now: a seal failure parked on it is
+  // healed, and the column-wide mirror is recomputed from what remains.
+  if (!state.seal_failure.ok()) {
+    state.seal_failure = Status::OK();
+    slot_failure_status_ = Status::OK();
+    for (const SlotState& other : slot_states_) {
+      if (!other.seal_failure.ok()) {
+        slot_failure_status_ = other.seal_failure;
+        break;
+      }
+    }
+  }
+  return swapped;
+}
+
+void AppendableColumn::AbortRecompress(uint64_t slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Any parked seal failure stays parked (the slot is still unsealed and
+  // slot_failure_status_ already surfaces it); only the claim is released.
+  slot_states_[slot].recompress_pending = false;
 }
 
 void AppendableColumn::ScheduleSealJobs(std::vector<SealJob> jobs) {
@@ -252,13 +331,29 @@ void AppendableColumn::ScheduleSealJobs(std::vector<SealJob> jobs) {
       }();
       std::lock_guard<std::mutex> lock(mu_);
       if (compressed.ok()) {
-        slots_[job.slot] = std::make_shared<const CompressedChunk>(
-            CompressedChunk{job.zone, std::move(*compressed)});
-        ++sealed_count_;
-      } else if (seal_status_.ok()) {
-        // The slot keeps serving the stored-plain form (still correct);
-        // the failure surfaces on the next append/seal/snapshot.
-        seal_status_ = compressed.status();
+        if (slots_[job.slot] == job.source) {
+          slots_[job.slot] = std::make_shared<const CompressedChunk>(
+              CompressedChunk{job.zone, std::move(*compressed)});
+          slot_states_[job.slot].sealed = true;
+          ++sealed_count_;
+        }
+        // Else: a recompression drained this slot while the job was queued
+        // or running; the slot is already sealed with an equivalent (or
+        // better) envelope, so the late result is dropped.
+      } else {
+        SlotState& state = slot_states_[job.slot];
+        if (!state.sealed) {
+          // The slot keeps serving the stored-plain form (still correct);
+          // the failure surfaces on the next append/seal/snapshot — parked
+          // per slot so a recompression that later seals this chunk heals
+          // the column instead of leaving it poisoned forever.
+          state.seal_failure = compressed.status();
+          if (slot_failure_status_.ok()) {
+            slot_failure_status_ = compressed.status();
+          }
+        }
+        // Else: a recompression already sealed the slot; the stale failure
+        // is moot.
       }
     });
   }

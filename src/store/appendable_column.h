@@ -11,6 +11,12 @@
 // ID-encoded (stored-plain) envelope; the job then swaps in the compressed
 // form. Either form decodes to the same rows, so readers never wait.
 //
+// Slots stay revisitable after sealing: the background recompressor
+// (store/recompress.h) can claim a slot, re-run the analyzer off the scan
+// path, and swap in a better envelope via the same pointer-replacement
+// mechanism seal jobs use — per-slot access/age statistics (ChunkInfos)
+// feed its candidate selection.
+//
 // Reads go through Snapshot(): a copy-on-write view that shares the sealed
 // chunks by reference (O(chunks), no payload copies — see the shared-chunk
 // representation in ChunkedCompressedColumn) and copies only the current
@@ -105,8 +111,74 @@ class AppendableColumn {
   /// Seal jobs scheduled on the pool and not yet landed.
   uint64_t pending_seals() const;
 
-  /// The sticky ingest/seal status: OK, or the first failure (which every
-  /// subsequent append/seal/snapshot also reports).
+  /// The ingest options the column was built with (the recompression policy
+  /// consults the pinned descriptor, if any).
+  const IngestOptions& options() const { return options_; }
+
+  /// Point-in-time view of one rolled chunk, observed under the column lock:
+  /// the slot's current envelope plus the per-chunk access/age statistics
+  /// the recompression policy selects candidates from.
+  struct ChunkInfo {
+    uint64_t slot = 0;
+    /// The slot's chunk at observation time (pinned: safe to read after the
+    /// lock is released, even if the slot is swapped concurrently).
+    std::shared_ptr<const CompressedChunk> chunk;
+    /// Compression landed (original seal job or a later recompression). A
+    /// false value marks the stored-plain backlog: the chunk still serves
+    /// its ID envelope because its seal job is slow, queued, or failed.
+    bool sealed = false;
+    /// A recompression attempt currently holds this slot's claim.
+    bool recompress_pending = false;
+    /// Chunks rolled after this one — the roll-order age a policy's
+    /// cold-chunk threshold compares against.
+    uint64_t age_chunks = 0;
+    /// Snapshots that included this chunk (scan-side popularity proxy).
+    uint64_t snapshot_accesses = 0;
+    /// Successful recompression swaps of this slot so far.
+    uint64_t recompress_count = 0;
+  };
+
+  /// All rolled chunks' info, in slot (row) order. O(chunks).
+  std::vector<ChunkInfo> ChunkInfos() const;
+
+  // --- Recompression handshake (driven by store/recompress.h) ------------
+  //
+  // A recompression attempt is claim → (analyze + compress off-lock) →
+  // Complete or Abort. The claim only excludes *other recompression
+  // attempts*; the original seal job may still be in flight, so both the
+  // seal landing and CompleteRecompress swap the slot only if it still
+  // holds the envelope they started from — whoever lands second observes
+  // the pointer changed and drops its result. Readers are never involved:
+  // snapshots hold shared_ptr copies, so an in-flight scan keeps the chunk
+  // it pinned while new snapshots see the swapped slot.
+
+  /// Claims `slot` for one recompression attempt and returns the observed
+  /// chunk, or nullptr when the slot is out of range or already claimed.
+  /// `sealed`, when given, receives the slot's sealed state at claim time —
+  /// the state candidate selection saw may be stale by now (a seal job can
+  /// land in between), and the backlog-vs-revisit distinction must be made
+  /// against the claimed envelope.
+  std::shared_ptr<const CompressedChunk> TryBeginRecompress(
+      uint64_t slot, bool* sealed = nullptr);
+
+  /// Ends a claimed attempt by swapping `replacement` into the slot iff it
+  /// still holds `expected`. On swap, marks the slot sealed (a stored-plain
+  /// backlog chunk counts as sealed from here on) and bumps its
+  /// recompression count. Returns whether the swap happened.
+  bool CompleteRecompress(uint64_t slot,
+                          const std::shared_ptr<const CompressedChunk>& expected,
+                          CompressedChunk replacement);
+
+  /// Ends a claimed attempt without swapping (no gain, or the attempt
+  /// failed — the old envelope stays correct either way).
+  void AbortRecompress(uint64_t slot);
+
+  /// The ingest/seal status: OK, or the first failure (which every
+  /// subsequent append/seal/snapshot also reports). Construction and
+  /// ingest failures are permanent; a seal-job failure clears if a later
+  /// recompression (store/recompress.h) seals the failed chunk — the
+  /// stored-plain data was always correct, so a healed column ingests
+  /// again.
   Status status() const;
 
   /// Appends one value (unsigned columns only; the value must fit the
@@ -160,14 +232,45 @@ class AppendableColumn {
   const IngestOptions options_;
   const ExecContext ctx_;
 
+  /// Bookkeeping for one slot: seal/claim state plus the access statistics
+  /// ChunkInfos reports. Guarded by mu_.
+  struct SlotState {
+    bool sealed = false;
+    bool recompress_pending = false;
+    uint64_t access_count = 0;
+    uint64_t recompress_count = 0;
+    /// This slot's seal-job failure, parked per slot rather than written
+    /// straight into a column-wide sticky status: the failure surfaces
+    /// immediately (slot_failure_status_ mirrors the first parked failure),
+    /// but a recompression that later seals the slot *heals* it — the
+    /// stored-plain data was always correct, and once it is compressed
+    /// there is nothing left to report.
+    Status seal_failure;
+  };
+
+  /// First parked per-slot seal failure, in slot order, or OK. Kept in sync
+  /// by the seal jobs (set) and CompleteRecompress (recomputed on heal) so
+  /// the hot ingest guard stays O(1). Guarded by mu_.
+  Status SlotAwareStatusLocked() const {
+    return seal_status_.ok() ? slot_failure_status_ : seal_status_;
+  }
+
   mutable std::mutex mu_;
-  /// First seal/ingest failure; sticky — once set, appends and snapshots
-  /// report it instead of silently diverging from the ingested data.
+  /// First construction/ingest failure; sticky — once set, appends and
+  /// snapshots report it instead of silently diverging from the ingested
+  /// data. Seal-job failures live per slot (SlotState::seal_failure, with
+  /// slot_failure_status_ as the O(1) mirror) so recompression can heal
+  /// them; this status is reserved for failures no re-seal can fix.
   Status seal_status_;
+  /// Mirror of the first parked SlotState::seal_failure, or OK.
+  Status slot_failure_status_;
   /// All full chunks in row order; each slot holds the ID-encoded view
   /// until its seal job swaps in the compressed chunk. Slots are immutable
-  /// objects replaced whole, so snapshots share them safely.
+  /// objects replaced whole (by the seal job or a recompression), so
+  /// snapshots share them safely.
   std::vector<std::shared_ptr<const CompressedChunk>> slots_;
+  /// Parallel to slots_. Mutable: Snapshot() is const but counts accesses.
+  mutable std::vector<SlotState> slot_states_;
   uint64_t sealed_count_ = 0;
   /// The mutable uncompressed tail: always a plain column of type_ with
   /// fewer than options_.chunk_rows rows.

@@ -1,0 +1,285 @@
+#include "store/recompress.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/chunked.h"
+#include "core/pipeline.h"
+#include "util/string_util.h"
+
+namespace recomp::store {
+
+Status RecompressionPolicy::Validate() const {
+  if (min_gain < 1.0) {
+    return Status::InvalidArgument(
+        "RecompressionPolicy::min_gain must be >= 1.0 (a swap must not "
+        "grow the chunk)");
+  }
+  return Status::OK();
+}
+
+void RecompressionReport::MergeFrom(const RecompressionReport& other) {
+  chunks_examined += other.chunks_examined;
+  chunks_scheduled += other.chunks_scheduled;
+  chunks_reswapped += other.chunks_reswapped;
+  stored_plain_drained += other.stored_plain_drained;
+  chunks_kept += other.chunks_kept;
+  chunks_failed += other.chunks_failed;
+  bytes_before += other.bytes_before;
+  bytes_after += other.bytes_after;
+  swaps.insert(swaps.end(), other.swaps.begin(), other.swaps.end());
+}
+
+std::string RecompressionReport::ToString() const {
+  std::string out = StringFormat(
+      "recompression: examined=%llu scheduled=%llu reswapped=%llu "
+      "(backlog=%llu) kept=%llu failed=%llu, %s -> %s (saved %s)\n",
+      static_cast<unsigned long long>(chunks_examined),
+      static_cast<unsigned long long>(chunks_scheduled),
+      static_cast<unsigned long long>(chunks_reswapped),
+      static_cast<unsigned long long>(stored_plain_drained),
+      static_cast<unsigned long long>(chunks_kept),
+      static_cast<unsigned long long>(chunks_failed),
+      HumanBytes(bytes_before).c_str(), HumanBytes(bytes_after).c_str(),
+      HumanBytes(BytesSaved()).c_str());
+  for (const ChunkRecompression& swap : swaps) {
+    out += StringFormat(
+        "  %s[%llu]%s: %s (%s) -> %s (%s)\n",
+        swap.column.empty() ? "chunk" : swap.column.c_str(),
+        static_cast<unsigned long long>(swap.slot),
+        swap.was_stored_plain ? " backlog" : "",
+        swap.scheme_before.c_str(), HumanBytes(swap.bytes_before).c_str(),
+        swap.scheme_after.c_str(), HumanBytes(swap.bytes_after).c_str());
+  }
+  return out;
+}
+
+namespace {
+
+/// What one scheduled job resolved to; folded into the report in schedule
+/// order so the report is deterministic for any thread count.
+struct JobOutcome {
+  enum class Kind { kSwapped, kKept, kFailed } kind = Kind::kKept;
+  ChunkRecompression swap;  ///< Filled for kSwapped.
+};
+
+/// One recompression attempt over an already-claimed slot. Runs entirely
+/// without the column lock: rows come from the claimed (immutable) chunk,
+/// the swap at the end is the only locked step.
+JobOutcome RecompressOne(AppendableColumn& column, uint64_t slot,
+                         const std::shared_ptr<const CompressedChunk>& claimed,
+                         bool claimed_sealed,
+                         const RecompressionPolicy& policy,
+                         const std::string& column_name) {
+  JobOutcome outcome;
+  const auto fail = [&]() {
+    column.AbortRecompress(slot);
+    outcome.kind = JobOutcome::Kind::kFailed;
+    return outcome;
+  };
+
+  // The rows this chunk decodes to. Stored-plain envelopes are read in
+  // place; everything else decompresses (one chunk's worth of work, on a
+  // maintenance thread).
+  const CompressedColumn& current = claimed->column;
+  Result<AnyColumn> decompressed = AnyColumn();
+  const AnyColumn* rows = StoredPlainData(current.root());
+  if (rows == nullptr) {
+    decompressed = Decompress(current);
+    if (!decompressed.ok()) return fail();
+    rows = &*decompressed;
+  }
+
+  // The fresh choice: a pinned backlog chunk finishes its seal job's work
+  // with the pinned descriptor — unless the policy may override pins
+  // (recompress_pinned, with analyzable data), which is also how a column
+  // whose pin cannot represent its rows (a failed seal job) gets healed.
+  // Everything else re-runs the analyzer under the policy's constraints.
+  SchemeDescriptor desc;
+  const bool finish_pinned_seal =
+      !claimed_sealed && column.options().descriptor.has_value() &&
+      !(policy.recompress_pinned && TypeIdIsUnsigned(column.type()));
+  if (finish_pinned_seal) {
+    desc = *column.options().descriptor;
+  } else {
+    Result<SchemeDescriptor> choice = ChooseScheme(*rows, policy.analyzer);
+    if (!choice.ok()) return fail();
+    desc = std::move(*choice);
+  }
+
+  Result<CompressedColumn> next = Compress(*rows, desc);
+  if (!next.ok()) return fail();
+
+  const uint64_t bytes_before = current.PayloadBytes();
+  const uint64_t bytes_after = next->PayloadBytes();
+  // Backlog chunks are always taken (sealing them is the point, and their
+  // stored-plain footprint is the thing being drained); sealed chunks must
+  // beat the gain threshold to be worth the churn.
+  const bool take =
+      !claimed_sealed || static_cast<double>(bytes_before) >
+                             static_cast<double>(bytes_after) * policy.min_gain;
+  if (!take) {
+    column.AbortRecompress(slot);
+    outcome.kind = JobOutcome::Kind::kKept;
+    return outcome;
+  }
+
+  outcome.swap.column = column_name;
+  outcome.swap.slot = slot;
+  outcome.swap.was_stored_plain = !claimed_sealed;
+  outcome.swap.scheme_before = current.Descriptor().ToString();
+  outcome.swap.scheme_after = next->Descriptor().ToString();
+  outcome.swap.bytes_before = bytes_before;
+  outcome.swap.bytes_after = bytes_after;
+
+  // Recomputed, not copied: the zone map is part of what a re-seal
+  // refreshes (it equals the old one — same rows — but the claim is
+  // re-derived from data, not trusted).
+  const ZoneMap zone = ComputeZoneMap(*rows, claimed->zone.row_begin);
+  const bool swapped = column.CompleteRecompress(
+      slot, claimed, CompressedChunk{zone, std::move(*next)});
+  outcome.kind =
+      swapped ? JobOutcome::Kind::kSwapped : JobOutcome::Kind::kKept;
+  return outcome;
+}
+
+}  // namespace
+
+Recompressor::Recompressor(RecompressionPolicy policy, ExecContext ctx)
+    : policy_(std::move(policy)), ctx_(ctx) {}
+
+Result<RecompressionReport> Recompressor::Tick(AppendableColumn& column,
+                                               const std::string& column_name) {
+  RECOMP_RETURN_NOT_OK(policy_.Validate());
+
+  RecompressionReport report;
+  const std::vector<AppendableColumn::ChunkInfo> infos = column.ChunkInfos();
+  report.chunks_examined = infos.size();
+
+  const bool pinned = column.options().descriptor.has_value();
+  const bool analyzable = TypeIdIsUnsigned(column.type());
+
+  // Candidate order: the stored-plain backlog first (slot order — those
+  // chunks pay full-width storage today), then sealed chunks.
+  std::vector<uint64_t> candidates;
+  for (const auto& info : infos) {
+    if (info.sealed || info.recompress_pending) continue;
+    if (!policy_.drain_stored_plain) continue;
+    if (info.age_chunks < policy_.min_age_chunks) continue;
+    if (!pinned && !analyzable) continue;  // Nothing could compress it.
+    candidates.push_back(info.slot);
+  }
+  std::vector<uint64_t> sealed;
+  for (const auto& info : infos) {
+    if (!info.sealed || info.recompress_pending) continue;
+    if (!policy_.revisit_sealed || !analyzable) continue;
+    if (pinned && !policy_.recompress_pinned) continue;
+    if (info.age_chunks < policy_.min_age_chunks) continue;
+    sealed.push_back(info.slot);
+  }
+  // Under a budget, a fixed oldest-first order would re-price the same
+  // (possibly unimprovable) prefix every tick and never reach the rest:
+  // rotate where this tick's sealed scan starts, advancing the cursor by
+  // what the previous ticks consumed, so every candidate is reached within
+  // ceil(candidates / budget) ticks of the same Recompressor.
+  if (!sealed.empty()) {
+    const uint64_t offset =
+        cursor_.load(std::memory_order_relaxed) % sealed.size();
+    std::rotate(sealed.begin(), sealed.begin() + offset, sealed.end());
+  }
+  const size_t backlog_count = candidates.size();
+  candidates.insert(candidates.end(), sealed.begin(), sealed.end());
+  if (candidates.size() > policy_.max_chunks_per_tick) {
+    candidates.resize(policy_.max_chunks_per_tick);
+  }
+  // Advance by the sealed candidates this tick covers, so the next tick's
+  // window starts right after this one's. A backlog-saturated tick (no
+  // sealed candidate fit the budget) leaves the cursor alone.
+  const size_t sealed_taken =
+      candidates.size() > backlog_count ? candidates.size() - backlog_count
+                                        : 0;
+  cursor_.fetch_add(sealed_taken, std::memory_order_relaxed);
+
+  // Claim + schedule. Jobs run at low priority so a shared pool serves live
+  // seal jobs and scan fan-out first; each outcome lands in its own slot
+  // and is folded below in schedule order (deterministic report).
+  const bool may_revisit_sealed =
+      policy_.revisit_sealed && analyzable &&
+      (!pinned || policy_.recompress_pinned);
+  std::vector<JobOutcome> outcomes(candidates.size());
+  std::vector<char> scheduled(candidates.size(), 0);
+  {
+    TaskGroup jobs;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const uint64_t slot = candidates[i];
+      bool sealed_now = false;
+      std::shared_ptr<const CompressedChunk> claimed =
+          column.TryBeginRecompress(slot, &sealed_now);
+      if (claimed == nullptr) continue;  // Raced with another recompressor.
+      if (sealed_now && !may_revisit_sealed) {
+        // A backlog candidate whose seal job landed between selection and
+        // the claim: it is a sealed chunk now, and this policy does not
+        // revisit sealed chunks (of this column) — release the claim.
+        column.AbortRecompress(slot);
+        continue;
+      }
+      scheduled[i] = 1;
+      ++report.chunks_scheduled;
+      jobs.Run(
+          ctx_,
+          [&column, &outcomes, i, slot, claimed = std::move(claimed),
+           sealed_now, this, &column_name]() {
+            outcomes[i] = RecompressOne(column, slot, claimed, sealed_now,
+                                        policy_, column_name);
+          },
+          TaskPriority::kLow);
+    }
+    jobs.Wait();
+  }
+
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (!scheduled[i]) continue;
+    JobOutcome& outcome = outcomes[i];
+    switch (outcome.kind) {
+      case JobOutcome::Kind::kSwapped:
+        ++report.chunks_reswapped;
+        if (outcome.swap.was_stored_plain) ++report.stored_plain_drained;
+        report.bytes_before += outcome.swap.bytes_before;
+        report.bytes_after += outcome.swap.bytes_after;
+        report.swaps.push_back(std::move(outcome.swap));
+        break;
+      case JobOutcome::Kind::kKept:
+        ++report.chunks_kept;
+        break;
+      case JobOutcome::Kind::kFailed:
+        ++report.chunks_failed;
+        break;
+    }
+  }
+  return report;
+}
+
+Result<RecompressionReport> Recompressor::RecompressAll(
+    AppendableColumn& column, const std::string& column_name) {
+  // The per-tick budget is a maintenance-bandwidth knob; draining ignores
+  // it (a budgeted pass always revisits the oldest candidates first, so
+  // looping budgeted passes would starve the younger ones).
+  RecompressionPolicy drain = policy_;
+  drain.max_chunks_per_tick = ~uint64_t{0};
+  Recompressor unbudgeted(std::move(drain), ctx_);
+
+  RecompressionReport total;
+  // Each productive pass strictly shrinks the reswapped chunks (min_gain >=
+  // 1 and backlog chunks seal exactly once), so this terminates; the cap is
+  // a safety net, not a tuning knob.
+  for (int pass = 0; pass < 1000; ++pass) {
+    RECOMP_ASSIGN_OR_RETURN(RecompressionReport report,
+                            unbudgeted.Tick(column, column_name));
+    const bool progress = report.chunks_reswapped > 0;
+    total.MergeFrom(report);
+    if (!progress) break;
+  }
+  return total;
+}
+
+}  // namespace recomp::store

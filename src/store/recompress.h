@@ -1,0 +1,173 @@
+// Background recompression: revisiting scheme choices after the fact.
+//
+// Sealed chunks keep their first analyzer decision, and chunks rolled while
+// a seal job was slow or failed are stuck as stored-plain ID envelopes. The
+// paper's core claim — scheme choice should track the data — only pays off
+// if those decisions can be corrected over time, so this subsystem re-runs
+// the analyzer + compression + zone map *off the scan path* and swaps the
+// improved chunk in atomically:
+//
+//   candidates   RecompressionPolicy ranks the stored-plain backlog first
+//                (those chunks pay full-width storage and plain-scan costs),
+//                then sealed chunks whose current footprint loses to a fresh
+//                analyzer choice by a configurable ratio, using the
+//                per-chunk access/age statistics AppendableColumn tracks.
+//   execution    Recompressor claims a slot (TryBeginRecompress), schedules
+//                a low-priority job on the shared ExecContext pool via
+//                TaskGroup — live seal jobs and scan fan-out always go
+//                first — and the job decompresses, re-chooses, recompresses,
+//                and recomputes the zone map without any column lock held.
+//   swap         CompleteRecompress replaces the slot's
+//                shared_ptr<const CompressedChunk> iff it still holds the
+//                envelope the job started from (the original seal job may
+//                land concurrently; whoever lands second drops its result).
+//                In-flight snapshots keep scanning the chunk they pinned;
+//                the next snapshot sees the improved one. Zero divergence:
+//                both envelopes decode to the same rows.
+//
+// Wiring: store::Table exposes MaintenanceTick() (one bounded pass),
+// RecompressAll() (drain until no further progress), and a background mode
+// (StartMaintenance) that ticks on its own thread while ingest is live.
+
+#ifndef RECOMP_STORE_RECOMPRESS_H_
+#define RECOMP_STORE_RECOMPRESS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "store/appendable_column.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace recomp::store {
+
+/// Candidate selection knobs for one recompression pass.
+struct RecompressionPolicy {
+  /// Convert stored-plain ID chunks left behind by slow or failed seal jobs
+  /// (the backlog). These are always taken when they qualify — they pay
+  /// full-width storage today — regardless of min_gain.
+  bool drain_stored_plain = true;
+
+  /// Re-run the analyzer on sealed chunks and swap when the fresh choice
+  /// wins by min_gain.
+  bool revisit_sealed = true;
+
+  /// Also revisit sealed chunks of columns with a pinned descriptor
+  /// (IngestOptions::descriptor / catalog-pinned table columns). Off by
+  /// default: a pin usually exists on purpose; turn this on to migrate a
+  /// column off its pinned scheme in the background. It applies to backlog
+  /// draining too: off, the drain finishes the seal job's work with the
+  /// pin; on, the analyzer may override it — which is how a column whose
+  /// pin cannot represent its rows (failed seal jobs) gets healed, since a
+  /// successful re-seal of the failed chunk clears the column's seal
+  /// failure.
+  bool recompress_pinned = false;
+
+  /// A sealed chunk is reswapped only when
+  ///   old_payload_bytes > new_payload_bytes * min_gain,
+  /// i.e. the fresh choice is at least this factor smaller. 1.0 means "any
+  /// strict improvement"; higher values suppress churn.
+  double min_gain = 1.05;
+
+  /// Only chunks with at least this many younger chunks (rolled after them)
+  /// are candidates — the cold-data threshold. 0 considers every chunk; a
+  /// value around the write working set keeps the recompressor off chunks
+  /// whose seal jobs are realistically still in flight.
+  uint64_t min_age_chunks = 0;
+
+  /// At most this many chunks are scheduled per column per tick — the
+  /// maintenance bandwidth budget.
+  uint64_t max_chunks_per_tick = ~uint64_t{0};
+
+  /// Constraints for the fresh analyzer search (e.g. a decompression-cost
+  /// budget). Independent of the column's ingest-time AnalyzerOptions: the
+  /// usual reason to recompress is exactly that this differs.
+  AnalyzerOptions analyzer;
+
+  /// Structural checks (min_gain >= 1.0, so a swap can never grow a chunk).
+  /// The one validation both Recompressor::Tick and Table::StartMaintenance
+  /// run — shared so the background loop's "ticks cannot fail" invariant
+  /// cannot drift out of sync with Tick's actual rejections.
+  Status Validate() const;
+};
+
+/// One executed swap, for observability.
+struct ChunkRecompression {
+  std::string column;  ///< Table column name; empty for standalone columns.
+  uint64_t slot = 0;
+  bool was_stored_plain = false;  ///< Backlog drain vs sealed revisit.
+  std::string scheme_before;      ///< Descriptor strings (ToString form).
+  std::string scheme_after;
+  uint64_t bytes_before = 0;  ///< Payload bytes of the replaced envelope.
+  uint64_t bytes_after = 0;
+};
+
+/// What one pass (or an accumulation of passes) did.
+struct RecompressionReport {
+  uint64_t chunks_examined = 0;     ///< Candidates the policy looked at.
+  uint64_t chunks_scheduled = 0;    ///< Jobs actually claimed and run.
+  uint64_t chunks_reswapped = 0;    ///< Slots swapped to a new envelope.
+  uint64_t stored_plain_drained = 0;  ///< Reswaps that sealed backlog chunks.
+  uint64_t chunks_kept = 0;   ///< Analyzed but kept (no gain, or lost the
+                              ///< race against a landing seal job).
+  uint64_t chunks_failed = 0; ///< Job errored; old envelope kept.
+  uint64_t bytes_before = 0;  ///< Payload bytes over reswapped chunks only.
+  uint64_t bytes_after = 0;
+  /// Per-swap detail (scheme before → after), in schedule order.
+  std::vector<ChunkRecompression> swaps;
+
+  uint64_t BytesSaved() const {
+    return bytes_before > bytes_after ? bytes_before - bytes_after : 0;
+  }
+
+  /// Accumulates another pass into this report.
+  void MergeFrom(const RecompressionReport& other);
+
+  /// Human-readable multi-line summary (counts, bytes, scheme changes).
+  std::string ToString() const;
+};
+
+/// Executes recompression passes over AppendableColumns. Safe to use from
+/// multiple threads against the same column (slot claims exclude double
+/// work). The ExecContext's pool, when present, runs the jobs at low
+/// priority; without one, jobs run inline on the calling thread — in both
+/// cases off the scan path (readers only ever observe the O(1) slot swap).
+///
+/// The only state between calls is a fairness cursor: under a per-tick
+/// budget, consecutive Tick()s on the same Recompressor rotate where the
+/// sealed-candidate scan starts, so chunks beyond the budget window are
+/// reached eventually instead of the oldest (possibly unimprovable) chunks
+/// being re-priced forever. Reuse one Recompressor for a budgeted tick loop
+/// (the Table background mode does); a fresh instance starts oldest-first.
+class Recompressor {
+ public:
+  explicit Recompressor(RecompressionPolicy policy = {}, ExecContext ctx = {});
+
+  const RecompressionPolicy& policy() const { return policy_; }
+
+  /// One bounded pass: selects candidates (stored-plain backlog first, then
+  /// sealed chunks oldest-first), schedules up to max_chunks_per_tick jobs,
+  /// waits for them, and reports what happened. `column_name` labels the
+  /// report's swap entries.
+  Result<RecompressionReport> Tick(AppendableColumn& column,
+                                   const std::string& column_name = "");
+
+  /// Ticks — with the per-tick budget lifted, so no candidate can starve —
+  /// until a pass makes no further progress: the backlog is drained and no
+  /// sealed chunk beats min_gain. Returns the accumulated report.
+  Result<RecompressionReport> RecompressAll(AppendableColumn& column,
+                                            const std::string& column_name = "");
+
+ private:
+  const RecompressionPolicy policy_;
+  const ExecContext ctx_;
+  /// Fairness cursor over sealed candidates; see the class comment.
+  std::atomic<uint64_t> cursor_{0};
+};
+
+}  // namespace recomp::store
+
+#endif  // RECOMP_STORE_RECOMPRESS_H_

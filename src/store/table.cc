@@ -1,5 +1,8 @@
 #include "store/table.h"
 
+#include <atomic>
+#include <condition_variable>
+#include <thread>
 #include <unordered_set>
 #include <utility>
 
@@ -8,6 +11,101 @@
 #include "util/string_util.h"
 
 namespace recomp::store {
+
+/// Everything the background maintenance thread touches, heap-pinned so
+/// Table moves do not invalidate it. The column pointers are stable for the
+/// same reason (columns_ owns them by unique_ptr); StopMaintenance joins
+/// the thread before ~Table releases the columns.
+struct Table::Maintenance {
+  RecompressionPolicy policy;
+  std::chrono::milliseconds interval{100};
+  ExecContext ctx;
+  std::vector<std::pair<std::string, AppendableColumn*>> columns;
+
+  std::mutex mu;  ///< Guards stop (with cv).
+  std::condition_variable cv;
+  bool stop = false;
+
+  mutable std::mutex report_mu;  ///< Guards accumulated.
+  RecompressionReport accumulated;
+
+  /// True from StartMaintenance until Stop() has joined: the state a
+  /// maintenance_running() reader may poll without touching the thread
+  /// object (joinable() racing join() is UB).
+  std::atomic<bool> running{false};
+  std::mutex stop_mu;  ///< Serializes concurrent Stop() calls.
+  std::thread thread;  ///< Last: joined before the rest goes away.
+
+  /// Signals the loop and joins; idempotent and safe to call from several
+  /// threads. Called by StopMaintenance (outside the table mutex, so a
+  /// tick-long join never stalls appends or snapshots) and defensively by
+  /// the destructor, so a Maintenance can never be destroyed with its
+  /// thread still running.
+  void Stop() {
+    std::lock_guard<std::mutex> stop_lock(stop_mu);
+    if (!thread.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      stop = true;
+    }
+    cv.notify_all();
+    thread.join();
+    running.store(false, std::memory_order_release);
+  }
+
+  ~Maintenance() { Stop(); }
+
+  void Loop() {
+    Recompressor recompressor(policy, ctx);
+    for (;;) {
+      RecompressionReport pass;
+      for (const auto& [name, column] : columns) {
+        Result<RecompressionReport> tick = recompressor.Tick(*column, name);
+        if (tick.ok()) {
+          pass.MergeFrom(*tick);
+        } else {
+          // Unreachable while Tick's only rejection is the policy check
+          // StartMaintenance shares (RecompressionPolicy::Validate) — but
+          // if Tick ever grows another error path, make it visible as a
+          // failed attempt instead of silently no-opping forever.
+          ++pass.chunks_failed;
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(report_mu);
+        accumulated.MergeFrom(pass);
+      }
+      std::unique_lock<std::mutex> lock(mu);
+      if (cv.wait_for(lock, interval, [this] { return stop; })) return;
+    }
+  }
+};
+
+Table::Table() : mu_(std::make_unique<std::mutex>()) {}
+
+Table::Table(Table&&) noexcept = default;
+
+Table& Table::operator=(Table&& other) noexcept {
+  if (this == &other) return *this;
+  // Not defaulted: the member-wise default would free this table's columns
+  // *before* destroying its Maintenance state, leaving a still-running
+  // maintenance thread dereferencing freed columns. Stop it first.
+  if (mu_ != nullptr) StopMaintenance();
+  maintenance_.reset();
+  names_ = std::move(other.names_);
+  columns_ = std::move(other.columns_);
+  mu_ = std::move(other.mu_);
+  table_status_ = std::move(other.table_status_);
+  ctx_ = other.ctx_;
+  // The incoming thread (if any) keeps running: its state and the columns
+  // it points at are heap-pinned and just changed owners, not addresses.
+  maintenance_ = std::move(other.maintenance_);
+  return *this;
+}
+
+Table::~Table() {
+  if (mu_ != nullptr) StopMaintenance();  // Moved-from tables skip it.
+}
 
 Result<uint64_t> TableSnapshot::column_index(const std::string& name) const {
   const auto it = index_.find(name);
@@ -48,7 +146,95 @@ Result<Table> Table::Create(const std::vector<ColumnSpec>& specs,
     table.columns_.push_back(std::make_unique<AppendableColumn>(
         spec.type, std::move(options), ctx));
   }
+  table.ctx_ = ctx;
   return table;
+}
+
+Result<RecompressionReport> Table::MaintenanceTick(
+    const RecompressionPolicy& policy) {
+  Recompressor recompressor(policy, ctx_);
+  RecompressionReport report;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    RECOMP_ASSIGN_OR_RETURN(RecompressionReport pass,
+                            recompressor.Tick(*columns_[i], names_[i]));
+    report.MergeFrom(pass);
+  }
+  return report;
+}
+
+Result<RecompressionReport> Table::RecompressAll(
+    const RecompressionPolicy& policy) {
+  Recompressor recompressor(policy, ctx_);
+  RecompressionReport report;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    RECOMP_ASSIGN_OR_RETURN(RecompressionReport drained,
+                            recompressor.RecompressAll(*columns_[i], names_[i]));
+    report.MergeFrom(drained);
+  }
+  return report;
+}
+
+Status Table::StartMaintenance(RecompressionPolicy policy,
+                               std::chrono::milliseconds interval) {
+  // Same validation Recompressor::Tick runs: the background loop's "ticks
+  // cannot fail" invariant is anchored to one shared check.
+  RECOMP_RETURN_NOT_OK(policy.Validate());
+  // mu_ guards the maintenance_ pointer itself: maintenance_report() is
+  // documented as readable while maintenance runs, so replacing the state
+  // here must not race a concurrent reader dereferencing it.
+  std::lock_guard<std::mutex> lock(*mu_);
+  if (maintenance_ != nullptr &&
+      maintenance_->running.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("maintenance is already running");
+  }
+  auto state = std::make_shared<Maintenance>();
+  state->policy = std::move(policy);
+  state->interval = interval;
+  state->ctx = ctx_;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    state->columns.emplace_back(names_[i], columns_[i].get());
+  }
+  if (maintenance_ != nullptr) {
+    // A restart keeps the history: fold the previous run's totals in (the
+    // previous thread has been joined — running was false — so its
+    // accumulated report is quiescent).
+    state->accumulated = maintenance_->accumulated;
+  }
+  maintenance_ = std::move(state);
+  maintenance_->running.store(true, std::memory_order_release);
+  maintenance_->thread = std::thread([m = maintenance_.get()] { m->Loop(); });
+  return Status::OK();
+}
+
+void Table::StopMaintenance() {
+  // Pin the state under mu_, but join OUTSIDE it: a join can wait out a
+  // whole in-flight tick, and appends/snapshots must not stall behind it.
+  std::shared_ptr<Maintenance> state;
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    state = maintenance_;
+  }
+  if (state != nullptr) state->Stop();
+}
+
+bool Table::maintenance_running() const {
+  std::shared_ptr<Maintenance> state;
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    state = maintenance_;
+  }
+  return state != nullptr && state->running.load(std::memory_order_acquire);
+}
+
+RecompressionReport Table::maintenance_report() const {
+  std::shared_ptr<Maintenance> state;
+  {
+    std::lock_guard<std::mutex> lock(*mu_);
+    state = maintenance_;
+  }
+  if (state == nullptr) return {};
+  std::lock_guard<std::mutex> report_lock(state->report_mu);
+  return state->accumulated;
 }
 
 uint64_t Table::num_rows() const {

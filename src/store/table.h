@@ -10,6 +10,7 @@
 #ifndef RECOMP_STORE_TABLE_H_
 #define RECOMP_STORE_TABLE_H_
 
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -17,6 +18,7 @@
 #include <vector>
 
 #include "store/appendable_column.h"
+#include "store/recompress.h"
 
 namespace recomp::store {
 
@@ -65,8 +67,13 @@ class Table {
   static Result<Table> Create(const std::vector<ColumnSpec>& specs,
                               ExecContext ctx = {});
 
-  Table(Table&&) = default;
-  Table& operator=(Table&&) = default;
+  // Defined out of line: the defaulted bodies need the complete
+  // Maintenance type (unique_ptr member).
+  Table(Table&&) noexcept;
+  Table& operator=(Table&&) noexcept;
+
+  /// Stops background maintenance (if running) before the columns go away.
+  ~Table();
 
   uint64_t num_columns() const { return columns_.size(); }
   const std::vector<std::string>& names() const { return names_; }
@@ -101,8 +108,44 @@ class Table {
   /// A row-aligned snapshot of every column.
   Result<TableSnapshot> Snapshot() const;
 
+  // --- Recompression (store/recompress.h) --------------------------------
+
+  /// One bounded recompression pass over every column: drains the
+  /// stored-plain backlog and reswaps sealed chunks the fresh analyzer
+  /// beats, within the policy's per-tick budget. Jobs run at low priority
+  /// on the table's ExecContext pool; scans and ingest never wait on them.
+  Result<RecompressionReport> MaintenanceTick(
+      const RecompressionPolicy& policy = {});
+
+  /// Ticks until no column makes further progress: afterwards no
+  /// stored-plain backlog remains (short of failing chunks) and no sealed
+  /// chunk loses to a fresh choice by the policy's min_gain.
+  Result<RecompressionReport> RecompressAll(
+      const RecompressionPolicy& policy = {});
+
+  /// Background mode: a maintenance thread runs MaintenanceTick(policy)
+  /// every `interval` until StopMaintenance (or destruction). The policy is
+  /// validated here, up front, so the background ticks cannot fail; a tick
+  /// that somehow did would be skipped, never fatal. Fails if maintenance
+  /// is already running.
+  Status StartMaintenance(
+      RecompressionPolicy policy,
+      std::chrono::milliseconds interval = std::chrono::milliseconds(100));
+
+  /// Stops and joins the maintenance thread; a no-op when not running.
+  /// Everything the background ticks did stays visible via
+  /// maintenance_report().
+  void StopMaintenance();
+
+  bool maintenance_running() const;
+
+  /// Accumulated report of every background tick so far (live: readable
+  /// while maintenance runs). Manual MaintenanceTick/RecompressAll calls
+  /// return their own reports and are not folded in here.
+  RecompressionReport maintenance_report() const;
+
  private:
-  Table() : mu_(std::make_unique<std::mutex>()) {}
+  Table();  // Out of line: members need the complete Maintenance type.
 
   /// Refuses ingest when the table is already misaligned or any column's
   /// sticky status is failed. Requires mu_ held.
@@ -113,6 +156,13 @@ class Table {
   /// Requires mu_ held.
   Status RecordMisalignmentLocked(Status append_status, size_t column);
 
+  /// Background maintenance state, heap-allocated so the thread's view
+  /// stays stable while the Table object itself moves (the columns are
+  /// stable too: columns_ holds unique_ptrs). Held by shared_ptr so
+  /// Stop/report readers can pin the state outside the table mutex — the
+  /// join must not block appends and snapshots for a whole tick.
+  struct Maintenance;
+
   std::vector<std::string> names_;
   std::vector<std::unique_ptr<AppendableColumn>> columns_;
   /// Serializes multi-column appends against snapshots so every snapshot
@@ -121,6 +171,10 @@ class Table {
   std::unique_ptr<std::mutex> mu_;
   /// Sticky: set when a mid-row append failure broke row alignment.
   Status table_status_;
+  /// The ExecContext handed to Create; recompression jobs run on its pool.
+  ExecContext ctx_;
+  /// Guarded by mu_ (the pointer; the state has its own internal locks).
+  std::shared_ptr<Maintenance> maintenance_;
 };
 
 }  // namespace recomp::store

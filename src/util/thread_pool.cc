@@ -25,7 +25,7 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::Submit(std::function<void()> task, TaskPriority priority) {
   if (workers_.empty()) {
     // No worker will ever drain the queue: run inline so a zero-thread pool
     // behaves exactly like the sequential path.
@@ -34,7 +34,8 @@ void ThreadPool::Submit(std::function<void()> task) {
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    (priority == TaskPriority::kLow ? low_queue_ : queue_)
+        .push_back(std::move(task));
   }
   cv_.notify_one();
 }
@@ -44,12 +45,16 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      // Drain the queue even when stopping: destruction must not drop work
-      // a ParallelFor caller is still waiting on.
-      if (queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      cv_.wait(lock, [this] {
+        return stop_ || !queue_.empty() || !low_queue_.empty();
+      });
+      // Drain both queues even when stopping: destruction must not drop work
+      // a ParallelFor or TaskGroup caller is still waiting on.
+      std::deque<std::function<void()>>& source =
+          !queue_.empty() ? queue_ : low_queue_;
+      if (source.empty()) return;
+      task = std::move(source.front());
+      source.pop_front();
     }
     task();
   }
@@ -96,7 +101,8 @@ Status ParallelForOk(const ExecContext& ctx, uint64_t n,
   return Status::OK();
 }
 
-void TaskGroup::Run(const ExecContext& ctx, std::function<void()> task) {
+void TaskGroup::Run(const ExecContext& ctx, std::function<void()> task,
+                    TaskPriority priority) {
   if (!ctx.async()) {
     task();
     return;
@@ -105,12 +111,14 @@ void TaskGroup::Run(const ExecContext& ctx, std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mu_);
     ++pending_;
   }
-  ctx.pool->Submit([this, task = std::move(task)] {
-    task();
-    std::lock_guard<std::mutex> lock(mu_);
-    --pending_;
-    cv_.notify_all();
-  });
+  ctx.pool->Submit(
+      [this, task = std::move(task)] {
+        task();
+        std::lock_guard<std::mutex> lock(mu_);
+        --pending_;
+        cv_.notify_all();
+      },
+      priority);
 }
 
 void TaskGroup::Wait() {

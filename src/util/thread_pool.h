@@ -26,7 +26,15 @@
 
 namespace recomp {
 
-/// A fixed-size pool of worker threads draining one shared FIFO queue.
+/// Queue priority of one submitted task. Low-priority work (the store's
+/// background recompression jobs) runs only when no normal-priority task is
+/// queued, so maintenance never delays ingest seal jobs or scan fan-out
+/// sharing the same pool. Starvation is acceptable by design: a low task
+/// runs eventually because normal work is finite per operation.
+enum class TaskPriority { kNormal = 0, kLow = 1 };
+
+/// A fixed-size pool of worker threads draining one shared FIFO queue (plus
+/// a low-priority queue drained only when the main queue is empty).
 /// Tasks must not throw and must not block on work scheduled behind them in
 /// the same queue (no nested ParallelFor over the same pool).
 class ThreadPool {
@@ -49,8 +57,10 @@ class ThreadPool {
   static uint64_t DefaultThreadCount();
 
   /// Enqueues one task for execution on a worker thread; with zero workers,
-  /// runs it inline before returning.
-  void Submit(std::function<void()> task);
+  /// runs it inline before returning. Low-priority tasks wait behind every
+  /// queued normal task (see TaskPriority).
+  void Submit(std::function<void()> task,
+              TaskPriority priority = TaskPriority::kNormal);
 
  private:
   void WorkerLoop();
@@ -58,6 +68,7 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void()>> low_queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };
@@ -113,7 +124,10 @@ class TaskGroup {
   TaskGroup& operator=(const TaskGroup&) = delete;
 
   /// Runs `task` on ctx's pool, or inline (before returning) without one.
-  void Run(const ExecContext& ctx, std::function<void()> task);
+  /// `priority` is handed through to ThreadPool::Submit: kLow keeps
+  /// maintenance work (recompression) behind live seal jobs and scans.
+  void Run(const ExecContext& ctx, std::function<void()> task,
+           TaskPriority priority = TaskPriority::kNormal);
 
   /// Blocks until every task passed to Run() has completed.
   void Wait();

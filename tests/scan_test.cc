@@ -712,5 +712,192 @@ TEST(ScanTest, FuzzAgainstOracleAcrossThreadCounts) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Zero-filter specs and Limit × Aggregate interaction.
+// ---------------------------------------------------------------------------
+
+TEST(ScanTest, ZeroFilterPureProjectionIsTheFullColumn) {
+  // A projection-only spec is a full scan: every row gathers in order,
+  // rows_matched covers the column, and positions stay empty (the implicit
+  // everything-selection is never materialized). Checked over a sealed
+  // column and over a live snapshot whose tail is a stored-plain ID chunk.
+  const Column<uint32_t> col = MixedShapes(kChunk + 150, 47);
+  auto chunked = CompressChunkedAuto(AnyColumn(col), {kChunk});
+  ASSERT_OK(chunked.status());
+  ThreadPool pool(4);
+
+  ScanSpec spec;
+  spec.Project();
+  auto seq = Scan(*chunked, spec);
+  ASSERT_OK(seq.status());
+  auto par = Scan(*chunked, spec, ExecContext{&pool, 1});
+  ASSERT_OK(par.status());
+  ExpectScansIdentical(*seq, *par);
+
+  EXPECT_EQ(seq->rows_scanned, col.size());
+  EXPECT_EQ(seq->rows_matched, col.size());
+  EXPECT_TRUE(seq->positions.empty());
+  ASSERT_EQ(seq->projections.size(), 1u);
+  EXPECT_TRUE(seq->projections[0].values == AnyColumn(col));
+  EXPECT_EQ(seq->projections[0].gather.rows, col.size());
+
+  // Live table: the tail rows come off the kPlainScan point-access path.
+  auto table = store::Table::Create({{"x", TypeId::kUInt32, {kChunk}, ""}});
+  ASSERT_OK(table.status());
+  ASSERT_OK(table->AppendBatch({AnyColumn(col)}));  // Tail stays unsealed.
+  auto snap = table->Snapshot();
+  ASSERT_OK(snap.status());
+  ScanSpec named;
+  named.Project({"x"});
+  auto live = Scan(*snap, named);
+  ASSERT_OK(live.status());
+  EXPECT_TRUE(live->projections[0].values == AnyColumn(col));
+  EXPECT_GT(live->projections[0]
+                .gather.strategy_rows[static_cast<int>(exec::Strategy::kPlainScan)],
+            0u);
+}
+
+TEST(ScanTest, ZeroFilterProjectionDoesNotDisturbAggregatePushdown) {
+  // Projection and aggregate in one filterless, unlimited spec: the
+  // aggregate still pushes down per chunk (counters identical to the
+  // standalone chunked aggregate), while the projection gathers every row.
+  const Column<uint32_t> col = MixedShapes(2 * kChunk + 77, 53);
+  auto chunked = CompressChunkedAuto(AnyColumn(col), {kChunk});
+  ASSERT_OK(chunked.status());
+
+  ScanSpec spec;
+  spec.Project().Aggregate(AggregateOp::kSum).Aggregate(AggregateOp::kMin);
+  auto result = Scan(*chunked, spec);
+  ASSERT_OK(result.status());
+  EXPECT_TRUE(result->projections[0].values == AnyColumn(col));
+
+  auto legacy_sum = exec::SumCompressed(*chunked);
+  ASSERT_OK(legacy_sum.status());
+  EXPECT_EQ(result->aggregates[0].value(), legacy_sum->value);
+  EXPECT_EQ(result->aggregates[0].rows, col.size());
+  EXPECT_EQ(result->aggregates[0].agg.chunks_total, legacy_sum->chunks_total);
+  EXPECT_EQ(result->aggregates[0].agg.chunks_executed,
+            legacy_sum->chunks_executed);
+  EXPECT_EQ(result->aggregates[0].agg.chunks_pruned, legacy_sum->chunks_pruned);
+  auto legacy_min = exec::MinCompressed(*chunked);
+  ASSERT_OK(legacy_min.status());
+  EXPECT_EQ(result->aggregates[1].value(), legacy_min->value);
+  EXPECT_EQ(result->aggregates[1].agg.chunks_pruned, legacy_min->chunks_pruned);
+}
+
+TEST(ScanTest, LimitSwitchesAggregatesFromPushdownToGatheredPrefix) {
+  // Filterless aggregates interact with Limit by folding over exactly the
+  // first `limit` rows — the documented "aggregates see only those rows"
+  // semantics — which forces the gather path instead of chunk pushdown.
+  const Column<uint32_t> col = MixedShapes(2 * kChunk, 59);
+  auto chunked = CompressChunkedAuto(AnyColumn(col), {kChunk});
+  ASSERT_OK(chunked.status());
+  ThreadPool pool(4);
+  constexpr uint64_t kTake = 700;
+
+  ScanSpec spec;
+  spec.Aggregate(AggregateOp::kSum)
+      .Aggregate(AggregateOp::kMin)
+      .Aggregate(AggregateOp::kMax)
+      .Aggregate(AggregateOp::kCount)
+      .Limit(kTake);
+  auto seq = Scan(*chunked, spec);
+  ASSERT_OK(seq.status());
+  auto par = Scan(*chunked, spec, ExecContext{&pool, 1});
+  ASSERT_OK(par.status());
+  ExpectScansIdentical(*seq, *par);
+
+  uint64_t sum = 0, lo = ~uint64_t{0}, hi = 0;
+  for (uint64_t i = 0; i < kTake; ++i) {
+    sum += col[i];
+    lo = std::min<uint64_t>(lo, col[i]);
+    hi = std::max<uint64_t>(hi, col[i]);
+  }
+  EXPECT_EQ(seq->aggregates[0].value(), sum);
+  EXPECT_EQ(seq->aggregates[1].value(), lo);
+  EXPECT_EQ(seq->aggregates[2].value(), hi);
+  EXPECT_EQ(seq->aggregates[3].value(), kTake);
+  for (int g = 0; g < 3; ++g) {
+    EXPECT_EQ(seq->aggregates[g].rows, kTake);
+    // No pushdown: the fold ran over gathered values, not chunk payloads.
+    EXPECT_EQ(seq->aggregates[g].agg.chunks_executed, 0u);
+    EXPECT_EQ(seq->aggregates[g].agg.chunks_pruned, 0u);
+    EXPECT_EQ(seq->aggregates[g].gather.rows, kTake);
+  }
+
+  // A limit covering the whole column is no limit at all: back to the
+  // pushdown path, bit-identical to the unlimited spec.
+  ScanSpec covering;
+  covering.Aggregate(AggregateOp::kSum).Limit(col.size());
+  auto whole = Scan(*chunked, covering);
+  ASSERT_OK(whole.status());
+  ScanSpec unlimited;
+  unlimited.Aggregate(AggregateOp::kSum);
+  auto reference = Scan(*chunked, unlimited);
+  ASSERT_OK(reference.status());
+  ExpectScansIdentical(*whole, *reference);
+  EXPECT_GT(whole->aggregates[0].agg.chunks_executed, 0u);
+}
+
+TEST(ScanTest, LimitZeroYieldsEmptyAggregatesNotErrors) {
+  // Limit(0) is a valid answer, not an error — even for min/max, which
+  // fail on an empty *column* but not on an empty *selection*.
+  const Column<uint32_t> col = MixedShapes(kChunk, 61);
+  auto chunked = CompressChunkedAuto(AnyColumn(col), {kChunk});
+  ASSERT_OK(chunked.status());
+
+  for (const bool filtered : {false, true}) {
+    ScanSpec spec;
+    if (filtered) spec.Filter(RangePredicate{0, ~uint64_t{0}});
+    spec.Project()
+        .Aggregate(AggregateOp::kSum)
+        .Aggregate(AggregateOp::kMin)
+        .Aggregate(AggregateOp::kCount)
+        .Limit(0);
+    auto result = Scan(*chunked, spec);
+    ASSERT_OK(result.status()) << "filtered=" << filtered;
+    EXPECT_TRUE(result->positions.empty());
+    EXPECT_EQ(result->projections[0].values.size(), 0u);
+    EXPECT_EQ(result->aggregates[0].value(), 0u);
+    EXPECT_EQ(result->aggregates[0].rows, 0u);
+    EXPECT_EQ(result->aggregates[1].value(), 0u);  // Empty-selection min.
+    EXPECT_EQ(result->aggregates[1].rows, 0u);
+    EXPECT_EQ(result->aggregates[2].value(), 0u);
+    // The match count is unaffected by the limit.
+    EXPECT_EQ(result->rows_matched, col.size());
+  }
+}
+
+TEST(ScanTest, FilteredLimitFoldsAggregatesOverTheLimitedPrefix) {
+  // Filter × Limit × min/max/count: the aggregates fold over the first
+  // `limit` *matching* rows in row order (not over all matches).
+  const Column<uint32_t> col = MixedShapes(3 * kChunk, 67);
+  auto chunked = CompressChunkedAuto(AnyColumn(col), {kChunk});
+  ASSERT_OK(chunked.status());
+  const RangePredicate pred{0, 1u << 24};
+  const Column<uint32_t> all = OracleSelect({&col}, {{0, pred}}, col.size());
+  constexpr uint64_t kTake = 150;
+  ASSERT_GT(all.size(), kTake);
+
+  ScanSpec spec;
+  spec.Filter(pred)
+      .Aggregate(AggregateOp::kMin)
+      .Aggregate(AggregateOp::kMax)
+      .Aggregate(AggregateOp::kCount)
+      .Limit(kTake);
+  auto result = Scan(*chunked, spec);
+  ASSERT_OK(result.status());
+  uint64_t lo = ~uint64_t{0}, hi = 0;
+  for (uint64_t i = 0; i < kTake; ++i) {
+    lo = std::min<uint64_t>(lo, col[all[i]]);
+    hi = std::max<uint64_t>(hi, col[all[i]]);
+  }
+  EXPECT_EQ(result->rows_matched, all.size());
+  EXPECT_EQ(result->aggregates[0].value(), lo);
+  EXPECT_EQ(result->aggregates[1].value(), hi);
+  EXPECT_EQ(result->aggregates[2].value(), kTake);
+  for (int g = 0; g < 3; ++g) EXPECT_EQ(result->aggregates[g].rows, kTake);
+}
+
 }  // namespace
 }  // namespace recomp

@@ -5,10 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <future>
 
 #include "core/catalog.h"
 #include "core/serialize.h"
 #include "gen/generators.h"
+#include "store/recompress.h"
 #include "test_util.h"
 #include "util/random.h"
 
@@ -320,6 +322,89 @@ TEST(SerializeTest, ParallelDeserializeReportsSameErrorAsSequential) {
   ASSERT_FALSE(parallel.ok());
   EXPECT_EQ(parallel.status().code(), sequential.status().code());
   EXPECT_EQ(parallel.status().ToString(), sequential.status().ToString());
+}
+
+TEST(SerializeTest, V2RoundTripsMixedOriginalRecompressedAndStoredPlain) {
+  // A live column mid-recompression holds every chunk flavor at once:
+  // original pinned seals, chunks a recompression already reswapped,
+  // stored-plain backlog chunks whose seal job is wedged, and the
+  // stored-plain tail. The v2 wire format must round-trip that mix
+  // unchanged — chunk for chunk, descriptor for descriptor — sequentially
+  // and with the payload parses fanned out over a pool.
+  constexpr uint64_t kChunkRows = 512;
+  store::IngestOptions options;
+  options.chunk_rows = kChunkRows;
+  options.descriptor = Ns();
+  const Column<uint32_t> rows = gen::SortedRuns(4 * kChunkRows + 200, 25.0, 3, 43);
+
+  ThreadPool pool(1);
+  store::AppendableColumn column(TypeId::kUInt32, options,
+                                 ExecContext{&pool, 1});
+  // Phase 1: two chunks sealed normally (original pinned NS envelopes).
+  ASSERT_OK(column.AppendBatch(AnyColumn(Column<uint32_t>(
+      rows.begin(), rows.begin() + 2 * kChunkRows))));
+  ASSERT_OK(column.Flush());
+
+  // Phase 2: reswap only slot 0 (budget 1): one recompressed chunk.
+  store::RecompressionPolicy policy;
+  policy.recompress_pinned = true;
+  policy.min_gain = 1.0;
+  policy.max_chunks_per_tick = 1;
+  store::Recompressor recompressor(policy, ExecContext{});
+  auto tick = recompressor.Tick(column);
+  ASSERT_OK(tick.status());
+  ASSERT_EQ(tick->chunks_reswapped, 1u);
+
+  // Phase 3: wedge the pool and keep appending — two stored-plain backlog
+  // chunks plus a 200-row stored-plain tail. The blocker releases on every
+  // exit path (including a failing ASSERT) so the wedged worker never
+  // deadlocks the binary's teardown.
+  testutil::PoolBlocker blocker(pool, 1);
+  ASSERT_OK(column.AppendBatch(AnyColumn(Column<uint32_t>(
+      rows.begin() + 2 * kChunkRows, rows.end()))));
+
+  auto snap = column.Snapshot();
+  ASSERT_OK(snap.status());
+  ASSERT_EQ(snap->chunked().num_chunks(), 5u);
+  EXPECT_EQ(snap->sealed_chunks(), 2u);
+  EXPECT_EQ(snap->unsealed_chunks(), 3u);
+  EXPECT_NE(snap->chunked().chunk(0).column.Descriptor().kind, SchemeKind::kNs);
+  EXPECT_EQ(snap->chunked().chunk(1).column.Descriptor().kind, SchemeKind::kNs);
+  for (uint64_t i = 2; i < 5; ++i) {
+    EXPECT_TRUE(StoredPlainData(snap->chunked().chunk(i).column.root()) !=
+                nullptr)
+        << i;
+  }
+
+  auto buffer = Serialize(snap->chunked());
+  ASSERT_OK(buffer.status());
+  EXPECT_EQ(buffer->size(), SerializedSize(snap->chunked()));
+
+  auto sequential = DeserializeChunked(*buffer);
+  ASSERT_OK(sequential.status());
+  ThreadPool readers(3);
+  auto parallel = DeserializeChunked(*buffer, ExecContext{&readers, 1});
+  ASSERT_OK(parallel.status());
+  for (const auto* restored : {&*sequential, &*parallel}) {
+    ASSERT_EQ(restored->num_chunks(), snap->chunked().num_chunks());
+    for (uint64_t i = 0; i < restored->num_chunks(); ++i) {
+      const CompressedChunk& got = restored->chunk(i);
+      const CompressedChunk& want = snap->chunked().chunk(i);
+      EXPECT_EQ(got.zone.row_begin, want.zone.row_begin) << i;
+      EXPECT_EQ(got.zone.row_count, want.zone.row_count) << i;
+      EXPECT_EQ(got.zone.has_minmax, want.zone.has_minmax) << i;
+      EXPECT_EQ(got.zone.min, want.zone.min) << i;
+      EXPECT_EQ(got.zone.max, want.zone.max) << i;
+      EXPECT_EQ(got.column.Descriptor(), want.column.Descriptor()) << i;
+      EXPECT_EQ(got.column.PayloadBytes(), want.column.PayloadBytes()) << i;
+    }
+    auto back = DecompressChunked(*restored);
+    ASSERT_OK(back.status());
+    EXPECT_TRUE(*back == AnyColumn(rows));
+  }
+
+  blocker.Release();
+  ASSERT_OK(column.Flush());
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 
 #include "core/chunked.h"
@@ -107,6 +108,12 @@ TEST(StoreConcurrencyTest, SnapshotScansRaceAppendsAndSeals) {
     }
   }
   ASSERT_OK(column.Flush());
+  // On an oversubscribed machine the writer can finish before a reader
+  // thread is ever scheduled; keep the column live until every reader has
+  // observed at least one snapshot so the assertions below mean something.
+  for (int spin = 0; spin < 10000 && snapshots_taken.load() == 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   done.store(true, std::memory_order_release);
   for (std::thread& t : readers) t.join();
 
@@ -336,6 +343,11 @@ TEST(StoreConcurrencyTest, ScansRaceTableAppendsAndSeals) {
     }
   }
   ASSERT_OK(table->Flush());
+  // See SnapshotScansRaceAppendsAndSeals: let slow-starting readers catch
+  // the live table at least once.
+  for (int spin = 0; spin < 10000 && scans_run.load() == 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   done.store(true, std::memory_order_release);
   for (std::thread& t : readers) t.join();
   EXPECT_GT(scans_run.load(), 0u);

@@ -5,9 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <future>
+
 #include "columnar/any_column.h"
 #include "core/pipeline.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 #define EXPECT_OK(expr) EXPECT_TRUE((expr).ok()) << (expr).ToString()
 #define ASSERT_OK(expr) ASSERT_TRUE((expr).ok()) << (expr).ToString()
@@ -60,6 +63,31 @@ Column<T> UniformColumn(uint64_t n, uint64_t bound, uint64_t seed) {
   }
   return col;
 }
+
+/// Occupies `workers` workers of `pool` until Release() is called (idempotent,
+/// and called by the destructor so a failing ASSERT cannot leave the pool
+/// wedged): work submitted behind the blockers stays queued — e.g. seal jobs,
+/// which is exactly the stored-plain backlog the recompression tests need.
+/// Declare it AFTER any object whose destructor waits on the pool (such as an
+/// AppendableColumn), so the gate opens before that destructor runs.
+class PoolBlocker {
+ public:
+  PoolBlocker(ThreadPool& pool, uint64_t workers) {
+    std::shared_future<void> gate = release_.get_future().share();
+    for (uint64_t i = 0; i < workers; ++i) {
+      pool.Submit([gate] { gate.wait(); });
+    }
+  }
+  void Release() {
+    if (!released_) release_.set_value();
+    released_ = true;
+  }
+  ~PoolBlocker() { Release(); }
+
+ private:
+  std::promise<void> release_;
+  bool released_ = false;
+};
 
 }  // namespace recomp::testutil
 

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <numeric>
 #include <vector>
 
@@ -153,6 +154,50 @@ TEST(TaskGroupTest, ReusableAcrossWaits) {
     group.Wait();
     EXPECT_EQ(count.load(), 10u * (batch + 1));
   }
+}
+
+TEST(ThreadPoolTest, LowPriorityTasksRunAfterQueuedNormalWork) {
+  // With the single worker wedged, queue low-priority work first and normal
+  // work second: the worker must drain the normal queue before touching the
+  // low queue, regardless of submission order — the property that keeps the
+  // store's recompression jobs behind live seal jobs.
+  ThreadPool pool(1);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  pool.Submit([gate] { gate.wait(); });
+
+  std::mutex mu;
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    pool.Submit(
+        [&mu, &order, i] {
+          std::lock_guard<std::mutex> lock(mu);
+          order.push_back(100 + i);  // Low batch.
+        },
+        TaskPriority::kLow);
+  }
+  for (int i = 0; i < 3; ++i) {
+    pool.Submit([&mu, &order, i] {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(i);  // Normal batch, submitted later.
+    });
+  }
+
+  TaskGroup fence;
+  release.set_value();
+  fence.Run(ExecContext{&pool, 1}, [] {}, TaskPriority::kLow);
+  fence.Wait();  // Low-priority fence: everything above has drained.
+
+  std::lock_guard<std::mutex> lock(mu);
+  const std::vector<int> expected = {0, 1, 2, 100, 101, 102};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsRunsLowPriorityInline) {
+  ThreadPool pool(0);
+  bool ran = false;
+  pool.Submit([&ran] { ran = true; }, TaskPriority::kLow);
+  EXPECT_TRUE(ran);
 }
 
 }  // namespace
