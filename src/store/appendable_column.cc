@@ -70,17 +70,17 @@ AppendableColumn::AppendableColumn(TypeId type, IngestOptions options,
 AppendableColumn::~AppendableColumn() = default;  // TaskGroup waits.
 
 uint64_t AppendableColumn::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return tail_begin_ + tail_.size();
 }
 
 uint64_t AppendableColumn::num_chunks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return slots_.size();
 }
 
 uint64_t AppendableColumn::sealed_chunks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return sealed_count_;
 }
 
@@ -89,14 +89,14 @@ uint64_t AppendableColumn::pending_seals() const {
 }
 
 Status AppendableColumn::status() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return SlotAwareStatusLocked();
 }
 
 Status AppendableColumn::Append(uint64_t value) {
   // The per-row path stays allocation-free: one dispatch, one locked push.
   std::vector<SealJob> jobs;
-  const Status status =
+  Status status =
       internal::DispatchUnsignedTypeId(type_, [&](auto tag) -> Status {
         using T = typename decltype(tag)::type;
         if (static_cast<uint64_t>(static_cast<T>(value)) != value) {
@@ -105,7 +105,7 @@ Status AppendableColumn::Append(uint64_t value) {
                            static_cast<unsigned long long>(value),
                            TypeIdName(type_)));
         }
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         RECOMP_RETURN_NOT_OK(SlotAwareStatusLocked());
         tail_.As<T>().push_back(static_cast<T>(value));
         if (tail_.size() == options_.chunk_rows) {
@@ -127,11 +127,11 @@ Status AppendableColumn::AppendBatch(const AnyColumn& rows) {
                      TypeIdName(rows.type()), TypeIdName(type_)));
   }
   std::vector<SealJob> jobs;
-  const Status status =
+  Status status =
       internal::DispatchAnyTypeId(type_, [&](auto tag) -> Status {
         using T = typename decltype(tag)::type;
         const Column<T>& src = rows.As<T>();
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         RECOMP_RETURN_NOT_OK(SlotAwareStatusLocked());
         uint64_t i = 0;
         while (i < src.size()) {
@@ -156,7 +156,7 @@ Status AppendableColumn::Seal() {
   std::vector<SealJob> jobs;
   Status status;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     RECOMP_RETURN_NOT_OK(SlotAwareStatusLocked());
     if (tail_.size() > 0) status = RollTailLocked(&jobs);
   }
@@ -172,7 +172,7 @@ Status AppendableColumn::Flush() {
   const Status sealed = Seal();
   WaitForSeals();
   RECOMP_RETURN_NOT_OK(sealed);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return SlotAwareStatusLocked();
 }
 
@@ -185,7 +185,7 @@ Result<ColumnSnapshot> AppendableColumn::Snapshot() const {
     // The critical section is the row copy alone; the tail's zone map and
     // ID envelope are built after unlocking so appenders never wait behind
     // a reader's O(chunk_rows) work.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     RECOMP_RETURN_NOT_OK(SlotAwareStatusLocked());
     for (uint64_t i = 0; i < slots_.size(); ++i) {
       RECOMP_RETURN_NOT_OK(snap.view_.AppendChunk(slots_[i]));
@@ -239,7 +239,7 @@ Status AppendableColumn::RollTailLocked(std::vector<SealJob>* jobs) {
 
 std::vector<AppendableColumn::ChunkInfo> AppendableColumn::ChunkInfos() const {
   std::vector<ChunkInfo> infos;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   infos.reserve(slots_.size());
   for (uint64_t i = 0; i < slots_.size(); ++i) {
     ChunkInfo info;
@@ -257,7 +257,7 @@ std::vector<AppendableColumn::ChunkInfo> AppendableColumn::ChunkInfos() const {
 
 std::shared_ptr<const CompressedChunk> AppendableColumn::TryBeginRecompress(
     uint64_t slot, bool* sealed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (slot >= slots_.size() || slot_states_[slot].recompress_pending) {
     return nullptr;
   }
@@ -272,7 +272,7 @@ bool AppendableColumn::CompleteRecompress(
   // Built outside the lock: the swap itself is O(1) pointer work.
   auto chunk =
       std::make_shared<const CompressedChunk>(std::move(replacement));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   SlotState& state = slot_states_[slot];
   state.recompress_pending = false;
   bool swapped = false;
@@ -306,7 +306,7 @@ bool AppendableColumn::CompleteRecompress(
 }
 
 void AppendableColumn::AbortRecompress(uint64_t slot) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Any parked seal failure stays parked (the slot is still unsealed and
   // slot_failure_status_ already surfaces it); only the claim is released.
   slot_states_[slot].recompress_pending = false;
@@ -329,7 +329,7 @@ void AppendableColumn::ScheduleSealJobs(std::vector<SealJob> jobs) {
         }
         return Compress(rows, desc);
       }();
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (compressed.ok()) {
         if (slots_[job.slot] == job.source) {
           slots_[job.slot] = std::make_shared<const CompressedChunk>(

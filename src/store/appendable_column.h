@@ -30,13 +30,14 @@
 #define RECOMP_STORE_APPENDABLE_COLUMN_H_
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "core/analyzer.h"
 #include "core/chunked.h"
+#include "util/mutex.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace recomp::store {
@@ -221,12 +222,11 @@ class AppendableColumn {
 
   /// Rolls the non-empty tail into slot `slots_.size()` (served as an ID
   /// envelope until its seal job lands) and queues the job description.
-  /// Requires mu_ held.
-  Status RollTailLocked(std::vector<SealJob>* jobs);
+  Status RollTailLocked(std::vector<SealJob>* jobs) RECOMP_REQUIRES(mu_);
 
   /// Hands rolled chunks to the pool (or compresses inline without one).
   /// Must be called WITHOUT mu_ held: inline jobs lock it to land.
-  void ScheduleSealJobs(std::vector<SealJob> jobs);
+  void ScheduleSealJobs(std::vector<SealJob> jobs) RECOMP_EXCLUDES(mu_);
 
   const TypeId type_;
   const IngestOptions options_;
@@ -250,33 +250,38 @@ class AppendableColumn {
 
   /// First parked per-slot seal failure, in slot order, or OK. Kept in sync
   /// by the seal jobs (set) and CompleteRecompress (recomputed on heal) so
-  /// the hot ingest guard stays O(1). Guarded by mu_.
-  Status SlotAwareStatusLocked() const {
+  /// the hot ingest guard stays O(1).
+  Status SlotAwareStatusLocked() const RECOMP_REQUIRES(mu_) {
     return seal_status_.ok() ? slot_failure_status_ : seal_status_;
   }
 
-  mutable std::mutex mu_;
+  /// The one lock of the column: every mutable member below is guarded by
+  /// it. Held only for O(slots) pointer/bookkeeping work — never across
+  /// compression, decompression, or the analyzer (seal and recompression
+  /// jobs do the expensive part off-lock and re-lock to land).
+  mutable Mutex mu_;
   /// First construction/ingest failure; sticky — once set, appends and
   /// snapshots report it instead of silently diverging from the ingested
   /// data. Seal-job failures live per slot (SlotState::seal_failure, with
   /// slot_failure_status_ as the O(1) mirror) so recompression can heal
   /// them; this status is reserved for failures no re-seal can fix.
-  Status seal_status_;
+  Status seal_status_ RECOMP_GUARDED_BY(mu_);
   /// Mirror of the first parked SlotState::seal_failure, or OK.
-  Status slot_failure_status_;
+  Status slot_failure_status_ RECOMP_GUARDED_BY(mu_);
   /// All full chunks in row order; each slot holds the ID-encoded view
   /// until its seal job swaps in the compressed chunk. Slots are immutable
   /// objects replaced whole (by the seal job or a recompression), so
   /// snapshots share them safely.
-  std::vector<std::shared_ptr<const CompressedChunk>> slots_;
+  std::vector<std::shared_ptr<const CompressedChunk>> slots_
+      RECOMP_GUARDED_BY(mu_);
   /// Parallel to slots_. Mutable: Snapshot() is const but counts accesses.
-  mutable std::vector<SlotState> slot_states_;
-  uint64_t sealed_count_ = 0;
+  mutable std::vector<SlotState> slot_states_ RECOMP_GUARDED_BY(mu_);
+  uint64_t sealed_count_ RECOMP_GUARDED_BY(mu_) = 0;
   /// The mutable uncompressed tail: always a plain column of type_ with
   /// fewer than options_.chunk_rows rows.
-  AnyColumn tail_;
+  AnyColumn tail_ RECOMP_GUARDED_BY(mu_);
   /// Global row index where the tail starts.
-  uint64_t tail_begin_ = 0;
+  uint64_t tail_begin_ RECOMP_GUARDED_BY(mu_) = 0;
 
   /// Last member: its destructor waits for seal jobs that capture `this`.
   TaskGroup seal_jobs_;

@@ -164,7 +164,11 @@ class Recompressor {
  private:
   const RecompressionPolicy policy_;
   const ExecContext ctx_;
-  /// Fairness cursor over sealed candidates; see the class comment.
+  /// Fairness cursor over sealed candidates; see the class comment. The
+  /// only mutable member, and atomic rather than mutex-guarded on purpose:
+  /// concurrent Tick()s only need each pass's advance to land eventually
+  /// (relaxed ordering — the cursor is a rotation hint, not shared data),
+  /// so there is no lock here for the thread-safety analysis to track.
   std::atomic<uint64_t> cursor_{0};
 };
 

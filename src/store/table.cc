@@ -1,7 +1,6 @@
 #include "store/table.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <thread>
 #include <unordered_set>
 #include <utility>
@@ -16,25 +15,29 @@ namespace recomp::store {
 /// Table moves do not invalidate it. The column pointers are stable for the
 /// same reason (columns_ owns them by unique_ptr); StopMaintenance joins
 /// the thread before ~Table releases the columns.
+///
+/// Guarded state is only touched from methods of this struct, where the
+/// thread-safety analysis sees the mutexes as direct members.
 struct Table::Maintenance {
   RecompressionPolicy policy;
   std::chrono::milliseconds interval{100};
   ExecContext ctx;
   std::vector<std::pair<std::string, AppendableColumn*>> columns;
 
-  std::mutex mu;  ///< Guards stop (with cv).
-  std::condition_variable cv;
-  bool stop = false;
+  Mutex mu;  ///< Guards stop (with cv).
+  CondVar cv;
+  bool stop RECOMP_GUARDED_BY(mu) = false;
 
-  mutable std::mutex report_mu;  ///< Guards accumulated.
-  RecompressionReport accumulated;
+  mutable Mutex report_mu;
+  RecompressionReport accumulated RECOMP_GUARDED_BY(report_mu);
 
   /// True from StartMaintenance until Stop() has joined: the state a
   /// maintenance_running() reader may poll without touching the thread
   /// object (joinable() racing join() is UB).
   std::atomic<bool> running{false};
-  std::mutex stop_mu;  ///< Serializes concurrent Stop() calls.
-  std::thread thread;  ///< Last: joined before the rest goes away.
+  Mutex stop_mu;       ///< Serializes concurrent Stop() calls.
+  std::thread thread;  ///< Written once under the table mutex before the
+                       ///< state is visible to Stop(); joined under stop_mu.
 
   /// Signals the loop and joins; idempotent and safe to call from several
   /// threads. Called by StopMaintenance (outside the table mutex, so a
@@ -42,18 +45,36 @@ struct Table::Maintenance {
   /// the destructor, so a Maintenance can never be destroyed with its
   /// thread still running.
   void Stop() {
-    std::lock_guard<std::mutex> stop_lock(stop_mu);
+    MutexLock stop_lock(&stop_mu);
     if (!thread.joinable()) return;
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(&mu);
       stop = true;
     }
-    cv.notify_all();
+    cv.NotifyAll();
     thread.join();
     running.store(false, std::memory_order_release);
   }
 
   ~Maintenance() { Stop(); }
+
+  /// Accumulated report so far (live: callable while the loop runs).
+  RecompressionReport ReportCopy() const {
+    MutexLock lock(&report_mu);
+    return accumulated;
+  }
+
+  /// Folds one tick's report into the running total.
+  void MergeReport(const RecompressionReport& pass) {
+    MutexLock lock(&report_mu);
+    accumulated.MergeFrom(pass);
+  }
+
+  /// Seeds the total with a predecessor's history (before the thread runs).
+  void SeedReport(RecompressionReport history) {
+    MutexLock lock(&report_mu);
+    accumulated = std::move(history);
+  }
 
   void Loop() {
     Recompressor recompressor(policy, ctx);
@@ -71,17 +92,20 @@ struct Table::Maintenance {
           ++pass.chunks_failed;
         }
       }
-      {
-        std::lock_guard<std::mutex> lock(report_mu);
-        accumulated.MergeFrom(pass);
+      MergeReport(pass);
+      const auto deadline = std::chrono::steady_clock::now() + interval;
+      MutexLock lock(&mu);
+      // Inline wait loop (not a predicate lambda — see util/mutex.h):
+      // leave on stop, start the next tick when the deadline passes.
+      while (!stop) {
+        if (cv.WaitUntil(lock, deadline)) break;
       }
-      std::unique_lock<std::mutex> lock(mu);
-      if (cv.wait_for(lock, interval, [this] { return stop; })) return;
+      if (stop) return;
     }
   }
 };
 
-Table::Table() : mu_(std::make_unique<std::mutex>()) {}
+Table::Table() : state_(std::make_unique<LockedState>()) {}
 
 Table::Table(Table&&) noexcept = default;
 
@@ -90,21 +114,19 @@ Table& Table::operator=(Table&& other) noexcept {
   // Not defaulted: the member-wise default would free this table's columns
   // *before* destroying its Maintenance state, leaving a still-running
   // maintenance thread dereferencing freed columns. Stop it first.
-  if (mu_ != nullptr) StopMaintenance();
-  maintenance_.reset();
+  if (state_ != nullptr) StopMaintenance();
   names_ = std::move(other.names_);
   columns_ = std::move(other.columns_);
-  mu_ = std::move(other.mu_);
-  table_status_ = std::move(other.table_status_);
-  ctx_ = other.ctx_;
   // The incoming thread (if any) keeps running: its state and the columns
   // it points at are heap-pinned and just changed owners, not addresses.
-  maintenance_ = std::move(other.maintenance_);
+  // This table's old state (maintenance already stopped above) is released.
+  state_ = std::move(other.state_);
+  ctx_ = other.ctx_;
   return *this;
 }
 
 Table::~Table() {
-  if (mu_ != nullptr) StopMaintenance();  // Moved-from tables skip it.
+  if (state_ != nullptr) StopMaintenance();  // Moved-from tables skip it.
 }
 
 Result<uint64_t> TableSnapshot::column_index(const std::string& name) const {
@@ -179,14 +201,6 @@ Status Table::StartMaintenance(RecompressionPolicy policy,
   // Same validation Recompressor::Tick runs: the background loop's "ticks
   // cannot fail" invariant is anchored to one shared check.
   RECOMP_RETURN_NOT_OK(policy.Validate());
-  // mu_ guards the maintenance_ pointer itself: maintenance_report() is
-  // documented as readable while maintenance runs, so replacing the state
-  // here must not race a concurrent reader dereferencing it.
-  std::lock_guard<std::mutex> lock(*mu_);
-  if (maintenance_ != nullptr &&
-      maintenance_->running.load(std::memory_order_acquire)) {
-    return Status::InvalidArgument("maintenance is already running");
-  }
   auto state = std::make_shared<Maintenance>();
   state->policy = std::move(policy);
   state->interval = interval;
@@ -194,51 +208,65 @@ Status Table::StartMaintenance(RecompressionPolicy policy,
   for (size_t i = 0; i < columns_.size(); ++i) {
     state->columns.emplace_back(names_[i], columns_[i].get());
   }
-  if (maintenance_ != nullptr) {
+  // s.mu guards the maintenance pointer itself: maintenance_report() is
+  // documented as readable while maintenance runs, so replacing the state
+  // here must not race a concurrent reader dereferencing it.
+  LockedState& s = *state_;
+  MutexLock lock(&s.mu);
+  if (s.maintenance != nullptr &&
+      s.maintenance->running.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("maintenance is already running");
+  }
+  if (s.maintenance != nullptr) {
     // A restart keeps the history: fold the previous run's totals in (the
     // previous thread has been joined — running was false — so its
     // accumulated report is quiescent).
-    state->accumulated = maintenance_->accumulated;
+    state->SeedReport(s.maintenance->ReportCopy());
   }
-  maintenance_ = std::move(state);
-  maintenance_->running.store(true, std::memory_order_release);
-  maintenance_->thread = std::thread([m = maintenance_.get()] { m->Loop(); });
+  s.maintenance = std::move(state);
+  s.maintenance->running.store(true, std::memory_order_release);
+  s.maintenance->thread =
+      std::thread([m = s.maintenance.get()] { m->Loop(); });
   return Status::OK();
 }
 
 void Table::StopMaintenance() {
-  // Pin the state under mu_, but join OUTSIDE it: a join can wait out a
-  // whole in-flight tick, and appends/snapshots must not stall behind it.
-  std::shared_ptr<Maintenance> state;
+  // Pin the state under the table mutex, but join OUTSIDE it: a join can
+  // wait out a whole in-flight tick, and appends/snapshots must not stall
+  // behind it.
+  std::shared_ptr<Maintenance> pinned;
   {
-    std::lock_guard<std::mutex> lock(*mu_);
-    state = maintenance_;
+    LockedState& s = *state_;
+    MutexLock lock(&s.mu);
+    pinned = s.maintenance;
   }
-  if (state != nullptr) state->Stop();
+  if (pinned != nullptr) pinned->Stop();
 }
 
 bool Table::maintenance_running() const {
-  std::shared_ptr<Maintenance> state;
+  std::shared_ptr<Maintenance> pinned;
   {
-    std::lock_guard<std::mutex> lock(*mu_);
-    state = maintenance_;
+    LockedState& s = *state_;
+    MutexLock lock(&s.mu);
+    pinned = s.maintenance;
   }
-  return state != nullptr && state->running.load(std::memory_order_acquire);
+  return pinned != nullptr && pinned->running.load(std::memory_order_acquire);
 }
 
 RecompressionReport Table::maintenance_report() const {
-  std::shared_ptr<Maintenance> state;
+  std::shared_ptr<Maintenance> pinned;
   {
-    std::lock_guard<std::mutex> lock(*mu_);
-    state = maintenance_;
+    LockedState& s = *state_;
+    MutexLock lock(&s.mu);
+    pinned = s.maintenance;
   }
-  if (state == nullptr) return {};
-  std::lock_guard<std::mutex> report_lock(state->report_mu);
-  return state->accumulated;
+  if (pinned == nullptr) return {};
+  return pinned->ReportCopy();
 }
 
 uint64_t Table::num_rows() const {
-  std::lock_guard<std::mutex> lock(*mu_);
+  LockedState& s = *state_;
+  MutexLock lock(&s.mu);
   return columns_.empty() ? 0 : columns_[0]->size();
 }
 
@@ -249,8 +277,8 @@ Result<AppendableColumn*> Table::column(const std::string& name) {
   return Status::KeyError("no column named '" + name + "'");
 }
 
-Status Table::CheckColumnsHealthyLocked() {
-  RECOMP_RETURN_NOT_OK(table_status_);
+Status Table::CheckColumnsHealthyLocked(const LockedState& s) const {
+  RECOMP_RETURN_NOT_OK(s.table_status);
   // A column whose seal already failed would reject its append mid-row;
   // refusing the whole row up front keeps the columns aligned. (A seal job
   // failing *between* this check and the appends is caught below and
@@ -265,11 +293,12 @@ Status Table::CheckColumnsHealthyLocked() {
   return Status::OK();
 }
 
-Status Table::RecordMisalignmentLocked(Status append_status, size_t column) {
+Status Table::RecordMisalignmentLocked(LockedState& s, Status append_status,
+                                       size_t column) {
   if (append_status.ok() || column == 0) return append_status;
   // Earlier columns of this row already landed: alignment is broken for
   // good, so make every later operation say so instead of misreporting.
-  table_status_ = Status::Corruption(
+  s.table_status = Status::Corruption(
       "table columns are not row-aligned: appending to column '" +
       names_[column] + "' failed mid-row: " + append_status.ToString());
   return append_status;
@@ -296,11 +325,12 @@ Status Table::AppendRow(const std::vector<uint64_t>& values) {
           return Status::OK();
         }));
   }
-  std::lock_guard<std::mutex> lock(*mu_);
-  RECOMP_RETURN_NOT_OK(CheckColumnsHealthyLocked());
+  LockedState& s = *state_;
+  MutexLock lock(&s.mu);
+  RECOMP_RETURN_NOT_OK(CheckColumnsHealthyLocked(s));
   for (size_t i = 0; i < columns_.size(); ++i) {
     RECOMP_RETURN_NOT_OK(RecordMisalignmentLocked(
-        columns_[i]->Append(values[i]), i));
+        s, columns_[i]->Append(values[i]), i));
   }
   return Status::OK();
 }
@@ -321,11 +351,12 @@ Status Table::AppendBatch(const std::vector<AnyColumn>& columns) {
           "batch columns must all have the same length");
     }
   }
-  std::lock_guard<std::mutex> lock(*mu_);
-  RECOMP_RETURN_NOT_OK(CheckColumnsHealthyLocked());
+  LockedState& s = *state_;
+  MutexLock lock(&s.mu);
+  RECOMP_RETURN_NOT_OK(CheckColumnsHealthyLocked(s));
   for (size_t i = 0; i < columns.size(); ++i) {
     RECOMP_RETURN_NOT_OK(RecordMisalignmentLocked(
-        columns_[i]->AppendBatch(columns[i]), i));
+        s, columns_[i]->AppendBatch(columns[i]), i));
   }
   return Status::OK();
 }
@@ -348,8 +379,9 @@ Status Table::Flush() {
 }
 
 Result<TableSnapshot> Table::Snapshot() const {
-  std::lock_guard<std::mutex> lock(*mu_);
-  RECOMP_RETURN_NOT_OK(table_status_);
+  LockedState& s = *state_;
+  MutexLock lock(&s.mu);
+  RECOMP_RETURN_NOT_OK(s.table_status);
   TableSnapshot snap;
   snap.names_ = names_;
   for (uint64_t i = 0; i < names_.size(); ++i) {

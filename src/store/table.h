@@ -12,13 +12,14 @@
 
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "store/appendable_column.h"
 #include "store/recompress.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace recomp::store {
 
@@ -147,15 +148,6 @@ class Table {
  private:
   Table();  // Out of line: members need the complete Maintenance type.
 
-  /// Refuses ingest when the table is already misaligned or any column's
-  /// sticky status is failed. Requires mu_ held.
-  Status CheckColumnsHealthyLocked();
-
-  /// Passes `append_status` through; when it failed after column 0 already
-  /// landed the row, also records the broken alignment in table_status_.
-  /// Requires mu_ held.
-  Status RecordMisalignmentLocked(Status append_status, size_t column);
-
   /// Background maintenance state, heap-allocated so the thread's view
   /// stays stable while the Table object itself moves (the columns are
   /// stable too: columns_ holds unique_ptrs). Held by shared_ptr so
@@ -163,18 +155,37 @@ class Table {
   /// join must not block appends and snapshots for a whole tick.
   struct Maintenance;
 
+  /// The table mutex and everything it guards, heap-pinned behind a
+  /// unique_ptr so Table stays movable while the mutex (and the thread-
+  /// safety contracts naming it) keep a stable address. The mutex
+  /// serializes multi-column appends against snapshots so every snapshot
+  /// sees the same row count in every column.
+  struct LockedState {
+    Mutex mu;
+    /// Sticky: set when a mid-row append failure broke row alignment.
+    Status table_status RECOMP_GUARDED_BY(mu);
+    /// The guarded part is the *pointer* — replaced by StartMaintenance
+    /// while report readers pin it; the state behind it has its own locks.
+    std::shared_ptr<Maintenance> maintenance RECOMP_GUARDED_BY(mu);
+  };
+
+  /// Refuses ingest when the table is already misaligned or any column's
+  /// sticky status is failed.
+  Status CheckColumnsHealthyLocked(const LockedState& s) const
+      RECOMP_REQUIRES(s.mu);
+
+  /// Passes `append_status` through; when it failed after column 0 already
+  /// landed the row, also records the broken alignment in s.table_status.
+  Status RecordMisalignmentLocked(LockedState& s, Status append_status,
+                                  size_t column) RECOMP_REQUIRES(s.mu);
+
   std::vector<std::string> names_;
   std::vector<std::unique_ptr<AppendableColumn>> columns_;
-  /// Serializes multi-column appends against snapshots so every snapshot
-  /// sees the same row count in every column (unique_ptr: Table stays
-  /// movable while AppendableColumn holds its own mutex).
-  std::unique_ptr<std::mutex> mu_;
-  /// Sticky: set when a mid-row append failure broke row alignment.
-  Status table_status_;
+  /// Declared after columns_ (destroyed first), and ~Table stops the
+  /// maintenance thread before anything else goes away.
+  std::unique_ptr<LockedState> state_;
   /// The ExecContext handed to Create; recompression jobs run on its pool.
   ExecContext ctx_;
-  /// Guarded by mu_ (the pointer; the state has its own internal locks).
-  std::shared_ptr<Maintenance> maintenance_;
 };
 
 }  // namespace recomp::store

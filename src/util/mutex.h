@@ -1,0 +1,112 @@
+// Annotated mutex primitives: std::mutex/condition_variable wrapped so that
+// clang's -Wthread-safety analysis (util/thread_annotations.h) can see them.
+//
+// The analysis is annotation-driven: a raw std::mutex is invisible to it, so
+// every lock that protects RECOMP_GUARDED_BY state must be one of these
+// wrappers. The wrappers add no state and no behavior beyond the standard
+// primitives — on GCC the annotations expand to nothing and the whole header
+// is a zero-cost veneer; under TSan the underlying std primitives are
+// instrumented exactly as before.
+//
+//   Mutex      an exclusive capability; Lock/Unlock/TryLock.
+//   MutexLock  scoped acquisition (the only idiomatic way to lock; bare
+//              Lock/Unlock is for tests and special lifetimes).
+//   CondVar    condition variable waiting on a MutexLock. Waits are
+//              lock-neutral for the analysis (held before, held after),
+//              which matches std::condition_variable::wait semantics.
+//
+// Wait loops must be written inline in the locked function —
+//   while (!predicate_over_guarded_state) cv.Wait(lock);
+// — not as a predicate lambda: a lambda body is analyzed as a separate
+// function that does not hold the lock, so it would (correctly) fail the
+// guarded-state check even though the wait itself is safe.
+
+#ifndef RECOMP_UTIL_MUTEX_H_
+#define RECOMP_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace recomp {
+
+class CondVar;
+
+/// An exclusive mutex the thread-safety analysis can track. Same semantics
+/// (and same object, underneath) as std::mutex.
+class RECOMP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  /// Blocks until the mutex is acquired.
+  void Lock() RECOMP_ACQUIRE() { mu_.lock(); }
+
+  /// Releases the mutex; the caller must hold it.
+  void Unlock() RECOMP_RELEASE() { mu_.unlock(); }
+
+  /// Acquires the mutex iff it is free; returns whether it did.
+  bool TryLock() RECOMP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// Scoped lock over a Mutex: acquires in the constructor, releases in the
+/// destructor. The std::lock_guard/std::unique_lock of this codebase.
+class RECOMP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) RECOMP_ACQUIRE(mu) : lock_(mu->mu_) {}
+  ~MutexLock() RECOMP_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable over Mutex/MutexLock. Every Wait* takes the scoped
+/// lock, releases it while blocked, and holds it again on return — the
+/// analysis treats the capability as held across the call, which is exactly
+/// the caller-visible contract.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (or spuriously woken): always re-check the
+  /// predicate in a loop.
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  /// Blocks until notified or `deadline` passes; returns true on timeout.
+  template <typename Clock, typename Duration>
+  bool WaitUntil(MutexLock& lock,
+                 const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline) == std::cv_status::timeout;
+  }
+
+  /// Blocks until notified or `timeout` elapses; returns true on timeout.
+  template <typename Rep, typename Period>
+  bool WaitFor(MutexLock& lock,
+               const std::chrono::duration<Rep, Period>& timeout) {
+    return cv_.wait_for(lock.lock_, timeout) == std::cv_status::timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace recomp
+
+#endif  // RECOMP_UTIL_MUTEX_H_

@@ -1,0 +1,123 @@
+// Clang Thread Safety Analysis annotations: compile-time lock contracts.
+//
+// These macros attach capability annotations (mutexes, here) to types,
+// members, and functions so that clang's -Wthread-safety analysis can prove
+// at compile time that every access to a GUARDED_BY member happens with the
+// right mutex held, that ACQUIRE/RELEASE pairs balance on every path, and
+// that REQUIRES contracts hold at every call site. On compilers without the
+// attributes (GCC builds, including the ASan/TSan CI jobs) every macro
+// expands to nothing, so annotated code compiles identically everywhere.
+//
+// Conventions in this codebase:
+//   - Lock discipline lives in the type: members are RECOMP_GUARDED_BY the
+//     mutex that protects them, private *Locked() helpers are
+//     RECOMP_REQUIRES the mutex their caller must hold.
+//   - Use util/mutex.h's Mutex/MutexLock/CondVar (annotated wrappers) for
+//     anything the analysis should see; raw std::mutex is invisible to it.
+//   - The contracts are regression-tested: tests/compile_fail/ holds
+//     translation units that must FAIL to compile under clang
+//     -Wthread-safety -Werror (wired as ctest cases on clang builds), so a
+//     broken macro or wrapper cannot silently disable the analysis.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#ifndef RECOMP_UTIL_THREAD_ANNOTATIONS_H_
+#define RECOMP_UTIL_THREAD_ANNOTATIONS_H_
+
+// NOLINTBEGIN(bugprone-macro-parentheses): capability expressions (`mu_`,
+// `s.mu`, ...) must be spliced into the attribute verbatim — wrapping them
+// in parentheses is not valid in every attribute position and adds nothing,
+// since the expansion site is an attribute, never arithmetic.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define RECOMP_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef RECOMP_THREAD_ANNOTATION
+#define RECOMP_THREAD_ANNOTATION(x)  // no-op on GCC and MSVC
+#endif
+
+/// Marks a class as a capability (a lock): its Lock/Unlock methods carry
+/// ACQUIRE/RELEASE annotations and GUARDED_BY can name instances of it.
+#define RECOMP_CAPABILITY(x) \
+  RECOMP_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases a
+/// capability (e.g. MutexLock).
+#define RECOMP_SCOPED_CAPABILITY \
+  RECOMP_THREAD_ANNOTATION(scoped_lockable)
+
+/// Declares that the annotated member may only be read or written while
+/// holding the given capability.
+#define RECOMP_GUARDED_BY(x) \
+  RECOMP_THREAD_ANNOTATION(guarded_by(x))
+
+/// Declares that the *pointee* of the annotated pointer member may only be
+/// dereferenced while holding the given capability.
+#define RECOMP_PT_GUARDED_BY(x) \
+  RECOMP_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock prevention documentation the
+/// analysis checks when both locks are annotated).
+#define RECOMP_ACQUIRED_BEFORE(...) \
+  RECOMP_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define RECOMP_ACQUIRED_AFTER(...) \
+  RECOMP_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// The calling thread must hold the given capability(ies) exclusively when
+/// calling the annotated function, and still holds them afterwards.
+#define RECOMP_REQUIRES(...) \
+  RECOMP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Shared (reader) variant of RECOMP_REQUIRES.
+#define RECOMP_REQUIRES_SHARED(...) \
+  RECOMP_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The annotated function acquires the capability and holds it on return
+/// (on a member function with no argument, the capability is *this).
+#define RECOMP_ACQUIRE(...) \
+  RECOMP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RECOMP_ACQUIRE_SHARED(...) \
+  RECOMP_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// The annotated function releases the capability the caller held.
+#define RECOMP_RELEASE(...) \
+  RECOMP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RECOMP_RELEASE_SHARED(...) \
+  RECOMP_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define RECOMP_RELEASE_GENERIC(...) \
+  RECOMP_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// The annotated function acquires the capability iff it returns the given
+/// value (e.g. TRY_ACQUIRE(true) on a bool TryLock()).
+#define RECOMP_TRY_ACQUIRE(...) \
+  RECOMP_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define RECOMP_TRY_ACQUIRE_SHARED(...)    \
+  RECOMP_THREAD_ANNOTATION(  \
+      try_acquire_shared_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the given capability (the function acquires it
+/// itself, or hands work to something that does — calling with it held
+/// would self-deadlock).
+#define RECOMP_EXCLUDES(...) \
+  RECOMP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Informs the analysis that the capability is held (a runtime-checked
+/// assertion, e.g. for code reachable only with the lock held).
+#define RECOMP_ASSERT_CAPABILITY(x) \
+  RECOMP_THREAD_ANNOTATION(assert_capability(x))
+#define RECOMP_ASSERT_SHARED_CAPABILITY(x) \
+  RECOMP_THREAD_ANNOTATION(assert_shared_capability(x))
+
+/// The annotated function returns a reference to the given capability.
+#define RECOMP_RETURN_CAPABILITY(x) \
+  RECOMP_THREAD_ANNOTATION(lock_returned(x))
+
+/// Turns the analysis off for one function (last resort; say why inline).
+#define RECOMP_NO_THREAD_SAFETY_ANALYSIS \
+  RECOMP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// NOLINTEND(bugprone-macro-parentheses)
+
+#endif  // RECOMP_UTIL_THREAD_ANNOTATIONS_H_

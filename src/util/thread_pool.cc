@@ -18,10 +18,10 @@ uint64_t ThreadPool::DefaultThreadCount() {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -33,21 +33,21 @@ void ThreadPool::Submit(std::function<void()> task, TaskPriority priority) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     (priority == TaskPriority::kLow ? low_queue_ : queue_)
         .push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] {
-        return stop_ || !queue_.empty() || !low_queue_.empty();
-      });
+      MutexLock lock(&mu_);
+      // Inline wait loop, not a predicate lambda: the lambda body would be
+      // analyzed as a function that does not hold mu_ (see util/mutex.h).
+      while (!stop_ && queue_.empty() && low_queue_.empty()) cv_.Wait(lock);
       // Drain both queues even when stopping: destruction must not drop work
       // a ParallelFor or TaskGroup caller is still waiting on.
       std::deque<std::function<void()>>& source =
@@ -71,8 +71,8 @@ void ParallelFor(const ExecContext& ctx, uint64_t n,
   }
 
   // Completion latch: the caller owns all state, tasks only decrement.
-  std::mutex mu;
-  std::condition_variable done;
+  Mutex mu;
+  CondVar done;
   uint64_t pending = num_tasks - 1;
 
   for (uint64_t task = 1; task < num_tasks; ++task) {
@@ -80,15 +80,15 @@ void ParallelFor(const ExecContext& ctx, uint64_t n,
     const uint64_t end = std::min(n, begin + grain);
     ctx.pool->Submit([&, begin, end] {
       for (uint64_t i = begin; i < end; ++i) fn(i);
-      std::lock_guard<std::mutex> lock(mu);
-      if (--pending == 0) done.notify_one();
+      MutexLock lock(&mu);
+      if (--pending == 0) done.NotifyOne();
     });
   }
   // The calling thread takes the first range instead of idling.
   for (uint64_t i = 0; i < std::min(n, grain); ++i) fn(i);
 
-  std::unique_lock<std::mutex> lock(mu);
-  done.wait(lock, [&] { return pending == 0; });
+  MutexLock lock(&mu);
+  while (pending != 0) done.Wait(lock);
 }
 
 Status ParallelForOk(const ExecContext& ctx, uint64_t n,
@@ -108,26 +108,26 @@ void TaskGroup::Run(const ExecContext& ctx, std::function<void()> task,
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++pending_;
   }
   ctx.pool->Submit(
       [this, task = std::move(task)] {
         task();
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         --pending_;
-        cv_.notify_all();
+        cv_.NotifyAll();
       },
       priority);
 }
 
 void TaskGroup::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(&mu_);
+  while (pending_ != 0) cv_.Wait(lock);
 }
 
 uint64_t TaskGroup::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return pending_;
 }
 

@@ -14,15 +14,15 @@
 #ifndef RECOMP_UTIL_THREAD_POOL_H_
 #define RECOMP_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace recomp {
 
@@ -65,11 +65,15 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  std::deque<std::function<void()>> low_queue_;
-  bool stop_ = false;
+  /// Serializes queue state; workers block on cv_ while both queues are
+  /// empty. Never held while a task runs.
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ RECOMP_GUARDED_BY(mu_);
+  std::deque<std::function<void()>> low_queue_ RECOMP_GUARDED_BY(mu_);
+  bool stop_ RECOMP_GUARDED_BY(mu_) = false;
+  /// Written by the constructor, joined by the destructor; num_threads()
+  /// reads only the size, which is immutable in between. Not guarded.
   std::vector<std::thread> workers_;
 };
 
@@ -136,9 +140,9 @@ class TaskGroup {
   uint64_t pending() const;
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  uint64_t pending_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  uint64_t pending_ RECOMP_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace recomp

@@ -1,0 +1,41 @@
+// MUST COMPILE cleanly under clang -Wthread-safety -Werror.
+//
+// The positive control for the compile-fail harness: exercises the same
+// constructs the *_fail.cc cases break — guarded members, MutexLock scopes,
+// REQUIRES helpers, TryLock — but with every contract satisfied. If this
+// case starts failing, the harness is rejecting correct code and the
+// WILL_FAIL cases prove nothing.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  int IncrementLocked() RECOMP_REQUIRES(mu_) { return ++value_; }
+
+  int Increment() {
+    recomp::MutexLock lock(&mu_);
+    return IncrementLocked();
+  }
+
+  int IncrementIfFree() {
+    if (!mu_.TryLock()) return -1;
+    const int result = ++value_;
+    mu_.Unlock();
+    return result;
+  }
+
+ private:
+  recomp::Mutex mu_;
+  int value_ RECOMP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.IncrementIfFree() >= 0 ? 0 : 1;
+}

@@ -1,0 +1,28 @@
+// MUST NOT COMPILE under clang -Wthread-safety -Werror.
+//
+// Acquires a Mutex on one path and returns without releasing it: the
+// analysis requires every path out of a function to leave each capability
+// in the same state it was entered with (unless annotated otherwise).
+// Registered by CMake as a compile-fail ctest case (WILL_FAIL).
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+recomp::Mutex g_mu;
+int g_value RECOMP_GUARDED_BY(g_mu) = 0;
+
+int LockWithoutUnlock(bool touch) {
+  g_mu.Lock();
+  if (touch) {
+    const int seen = g_value;
+    g_mu.Unlock();
+    return seen;
+  }
+  return 0;  // error: g_mu still held when the function returns
+}
+
+}  // namespace
+
+int main() { return LockWithoutUnlock(false); }

@@ -1,0 +1,29 @@
+// MUST NOT COMPILE under clang -Wthread-safety -Werror.
+//
+// Calls a RECOMP_REQUIRES(mu) function without holding mu — the contract
+// the store's *Locked() helpers (e.g. AppendableColumn::RollTailLocked)
+// rely on. Registered by CMake as a compile-fail ctest case (WILL_FAIL).
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  int IncrementLocked() RECOMP_REQUIRES(mu_) { return ++value_; }
+
+  recomp::Mutex mu_;
+
+ private:
+  int value_ RECOMP_GUARDED_BY(mu_) = 0;
+};
+
+int CallLockedHelperUnlocked() {
+  Counter counter;
+  return counter.IncrementLocked();  // error: calling without holding mu_
+}
+
+}  // namespace
+
+int main() { return CallLockedHelperUnlocked(); }

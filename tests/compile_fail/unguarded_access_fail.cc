@@ -1,0 +1,26 @@
+// MUST NOT COMPILE under clang -Wthread-safety -Werror.
+//
+// Reads and writes a RECOMP_GUARDED_BY member without holding its mutex.
+// Registered by CMake as a compile-fail ctest case (WILL_FAIL): if this
+// translation unit ever compiles on a clang build, the annotation macros or
+// the Mutex wrapper have silently stopped enforcing the lock contracts.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+struct Account {
+  recomp::Mutex mu;
+  long balance RECOMP_GUARDED_BY(mu) = 0;
+};
+
+long UnguardedReadAndWrite() {
+  Account account;
+  account.balance += 1;  // error: writing without holding account.mu
+  return account.balance;  // error: reading without holding account.mu
+}
+
+}  // namespace
+
+int main() { return static_cast<int>(UnguardedReadAndWrite()); }

@@ -200,5 +200,26 @@ TEST(ThreadPoolTest, ZeroThreadsRunsLowPriorityInline) {
   EXPECT_TRUE(ran);
 }
 
+TEST(ThreadPoolTest, DestructorDrainsPendingLowPriorityWork) {
+  // Wedge the single worker, stack up low-priority work behind it, then
+  // destroy the pool while that work is still queued. The destructor's
+  // contract is drain-then-join — background recompression jobs already
+  // submitted must run, not vanish — so every task must have executed by
+  // the time the destructor returns.
+  std::atomic<int> ran{0};
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  {
+    ThreadPool pool(1);
+    pool.Submit([gate] { gate.wait(); });
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); }, TaskPriority::kLow);
+    }
+    release.set_value();
+    // ~ThreadPool runs here with (up to) 16 low-priority tasks pending.
+  }
+  EXPECT_EQ(ran.load(), 16);
+}
+
 }  // namespace
 }  // namespace recomp

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Apply (default) or check (--check, what CI runs) clang-format over every
+# first-party source file, using the repo's .clang-format.
+#
+# Usage: tools/run_format.sh [--check]
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+MODE="apply"
+if [[ "${1:-}" == "--check" ]]; then MODE="check"; fi
+
+FORMAT="${CLANG_FORMAT:-}"
+if [[ -z "${FORMAT}" ]]; then
+  for candidate in clang-format clang-format-19 clang-format-18 \
+                   clang-format-17 clang-format-16 clang-format-15 \
+                   clang-format-14; do
+    if command -v "${candidate}" > /dev/null 2>&1; then
+      FORMAT="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${FORMAT}" ]]; then
+  echo "error: clang-format not found on PATH (set CLANG_FORMAT to override)" >&2
+  exit 2
+fi
+
+mapfile -t SOURCES < <(find src tests bench examples \
+  \( -name '*.cc' -o -name '*.cpp' -o -name '*.h' \) | sort)
+
+if [[ "${MODE}" == "check" ]]; then
+  echo "clang-format --dry-run over ${#SOURCES[@]} files..."
+  "${FORMAT}" --dry-run -Werror "${SOURCES[@]}"
+  echo "clang-format: clean"
+else
+  "${FORMAT}" -i "${SOURCES[@]}"
+  echo "clang-format: formatted ${#SOURCES[@]} files"
+fi

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy) over every first-party translation
+# unit, using the compile database the build exports.
+#
+# Usage: tools/run_tidy.sh [build-dir] [-- extra clang-tidy args]
+#   build-dir defaults to ./build and must contain compile_commands.json
+#   (configure with cmake first; CMAKE_EXPORT_COMPILE_COMMANDS is always on).
+#
+# Exits non-zero on any diagnostic: .clang-tidy sets WarningsAsErrors '*',
+# so this script is the same hard gate CI runs.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+shift || true
+if [[ "${1:-}" == "--" ]]; then shift; fi
+
+TIDY="${CLANG_TIDY:-}"
+if [[ -z "${TIDY}" ]]; then
+  for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+                   clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "${candidate}" > /dev/null 2>&1; then
+      TIDY="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${TIDY}" ]]; then
+  echo "error: clang-tidy not found on PATH (set CLANG_TIDY to override)" >&2
+  exit 2
+fi
+
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "error: ${BUILD_DIR}/compile_commands.json not found." >&2
+  echo "  configure first:  cmake -B ${BUILD_DIR} -S ." >&2
+  exit 2
+fi
+
+# All first-party TUs. Headers are covered transitively via
+# HeaderFilterRegex in .clang-tidy.
+mapfile -t SOURCES < <(find src tests bench examples \
+  \( -name '*.cc' -o -name '*.cpp' \) -not -path 'tests/compile_fail/*' \
+  | sort)
+
+echo "clang-tidy (${TIDY}) over ${#SOURCES[@]} files..."
+"${TIDY}" -p "${BUILD_DIR}" --quiet "$@" "${SOURCES[@]}"
+echo "clang-tidy: clean"
