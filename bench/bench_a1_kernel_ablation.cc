@@ -57,7 +57,7 @@ BENCHMARK(BM_UnpackByWidth)
     ->Args({13, 0})
     ->Args({25, 1})
     ->Args({25, 0})
-    ->Args({31, 1})  // Beyond the AVX2 gather path: both rows are scalar.
+    ->Args({31, 1})  // Wide widths: covered since the width-generic unpacker.
     ->Args({31, 0})
     ->Unit(benchmark::kMillisecond);
 

@@ -12,6 +12,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <map>
 #include <string>
 
 #include "core/pipeline.h"
@@ -52,19 +54,86 @@ inline void SetThroughput(benchmark::State& state, uint64_t bytes) {
                           static_cast<int64_t>(bytes));
 }
 
+/// Flat metric sink for machine-readable bench output. Metrics set during
+/// the deterministic tables are written as one JSON object (string key →
+/// number) when the binary runs with `--json[=PATH]`; without the flag the
+/// report is a no-op.
+class JsonReport {
+ public:
+  static JsonReport& Instance() {
+    static JsonReport report;
+    return report;
+  }
+
+  void Enable(std::string path) {
+    enabled_ = true;
+    path_ = std::move(path);
+  }
+
+  void Set(const std::string& key, double value) { metrics_[key] = value; }
+
+  /// Writes the collected metrics; dies if the file cannot be written so CI
+  /// never mistakes a missing report for an empty one.
+  void Write() const {
+    if (!enabled_) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "FATAL cannot write %s\n", path_.c_str());
+      std::exit(1);
+    }
+    std::fprintf(f, "{");
+    bool first = true;
+    for (const auto& [key, value] : metrics_) {
+      std::fprintf(f, "%s\n  \"%s\": %.6f", first ? "" : ",", key.c_str(),
+                   value);
+      first = false;
+    }
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("JSON report: %s (%zu metrics)\n", path_.c_str(),
+                metrics_.size());
+  }
+
+ private:
+  bool enabled_ = false;
+  std::string path_;
+  std::map<std::string, double> metrics_;
+};
+
+/// Consumes `--json[=PATH]` from argv before google-benchmark sees it
+/// (benchmark::Initialize rejects flags it does not recognize). PATH
+/// defaults to `default_path`.
+inline void StripJsonFlag(int* argc, char** argv, const char* default_path) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      JsonReport::Instance().Enable(default_path);
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      JsonReport::Instance().Enable(argv[i] + 7);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
 }  // namespace recomp::bench
 
-/// Standard main: deterministic tables first, then timing.
-#define RECOMP_BENCH_MAIN(print_tables)                       \
-  int main(int argc, char** argv) {                           \
-    print_tables();                                           \
-    benchmark::Initialize(&argc, argv);                       \
-    if (benchmark::ReportUnrecognizedArguments(argc, argv)) { \
-      return 1;                                               \
-    }                                                         \
-    benchmark::RunSpecifiedBenchmarks();                      \
-    benchmark::Shutdown();                                    \
-    return 0;                                                 \
+/// Standard main: deterministic tables first, then timing. Accepts
+/// `--json[=PATH]` (default BENCH_A2.json) to dump metrics recorded via
+/// JsonReport during the tables.
+#define RECOMP_BENCH_MAIN(print_tables)                                \
+  int main(int argc, char** argv) {                                    \
+    recomp::bench::StripJsonFlag(&argc, argv, "BENCH_A2.json");        \
+    print_tables();                                                    \
+    recomp::bench::JsonReport::Instance().Write();                     \
+    benchmark::Initialize(&argc, argv);                                \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {          \
+      return 1;                                                        \
+    }                                                                  \
+    benchmark::RunSpecifiedBenchmarks();                               \
+    benchmark::Shutdown();                                             \
+    return 0;                                                          \
   }
 
 #endif  // RECOMP_BENCH_BENCH_COMMON_H_

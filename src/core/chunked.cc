@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/fused.h"
 #include "core/pipeline.h"
 #include "schemes/scheme_internal.h"
 #include "util/string_util.h"
@@ -194,7 +195,7 @@ Result<AnyColumn> DecompressChunked(const ChunkedCompressedColumn& chunked,
             ctx, chunked.num_chunks(), [&](uint64_t i) -> Status {
               const CompressedChunk& chunk = chunked.chunk(i);
               RECOMP_ASSIGN_OR_RETURN(AnyColumn part,
-                                      Decompress(chunk.column));
+                                      FusedDecompress(chunk.column));
               if (part.is_packed() || part.type() != chunked.type()) {
                 return Status::Corruption(
                     "chunk decompressed to an unexpected type");

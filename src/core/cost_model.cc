@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/fused.h"
+
 namespace recomp {
 
 double SchemeKindUnitCost(SchemeKind kind) {
@@ -28,6 +30,31 @@ double SchemeKindUnitCost(SchemeKind kind) {
       return 1.0;  // The final elementwise add (plus the model's own cost).
     case SchemeKind::kPatched:
       return 1.2;  // Copy plus a sparse scatter.
+  }
+  return 1.0;
+}
+
+double FusedShapeDiscount(FusedShape shape) {
+  switch (shape) {
+    case FusedShape::kNs:
+      return 0.6;  // Width-specialized vector unpack vs the unit's scalar.
+    case FusedShape::kFor:
+      return 0.4;  // Unpack+add fuses MODELED+STEP+NS into one pass.
+    case FusedShape::kDeltaZigZagNs:
+      return 0.5;  // Unpack+zigzag+prefix-sum in registers; one pass of three.
+    case FusedShape::kPfor:
+      return 0.5;  // FOR pass plus a sparse patch loop.
+    case FusedShape::kPatchedNs:
+      return 0.6;  // Vector unpack plus a sparse scatter.
+    case FusedShape::kDeltaZigZagPatchedNs:
+      return 0.55;  // Patched unpack, then in-place zigzag+prefix.
+    case FusedShape::kRle:
+    case FusedShape::kRleNs:
+      // Run expansion — the per-value work — stays scalar; only the per-run
+      // position reconstruction vectorizes, and that already amortizes.
+      return 1.0;
+    case FusedShape::kGeneric:
+      return 1.0;  // Reference recursion: full price.
   }
   return 1.0;
 }
@@ -70,7 +97,11 @@ double EstimateNode(const SchemeDescriptor& desc, const ColumnStats& stats,
 
 double EstimateDecompressionCost(const SchemeDescriptor& desc,
                                  const ColumnStats& stats) {
-  return EstimateNode(desc, stats, 1.0);
+  // The discount applies at the root only: a fused shape decodes in one
+  // pass end to end, while a fused sub-tree below a generic parent still
+  // pays the parent's materialization.
+  return EstimateNode(desc, stats, 1.0) *
+         FusedShapeDiscount(ClassifyFusedDescriptor(desc));
 }
 
 }  // namespace recomp

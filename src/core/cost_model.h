@@ -14,9 +14,18 @@
 
 namespace recomp {
 
+enum class FusedShape : int;
+
 /// Relative per-value cost of one application of `kind`'s decompression
-/// operator(s). Unitless; calibrated so NS == 1.
+/// operator(s). Unitless; calibrated so NS == 1, measured against the
+/// materializing per-scheme recursion.
 double SchemeKindUnitCost(SchemeKind kind);
+
+/// Multiplier (<= 1) applied to a composite's summed operator cost when its
+/// shape decodes through a fused single-pass kernel (core/fused.h): the
+/// cascade touches each output value once regardless of plan depth, so the
+/// per-operator charges overstate its real price.
+double FusedShapeDiscount(FusedShape shape);
 
 /// Estimated decompression cost per output value for the composite `desc`
 /// on a column with statistics `stats`.

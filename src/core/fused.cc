@@ -1,6 +1,10 @@
 #include "core/fused.h"
 
+#include <algorithm>
+
 #include "core/pipeline.h"
+#include "ops/dispatch.h"
+#include "ops/kernels_avx2.h"
 #include "ops/pack.h"
 #include "schemes/scheme_internal.h"
 #include "util/bits.h"
@@ -29,38 +33,123 @@ const CompressedNode* SubNode(const CompressedNode& node,
   return it->second.sub.get();
 }
 
+bool IsNsPackedNode(const CompressedNode* node) {
+  return node != nullptr && node->scheme.kind == SchemeKind::kNs &&
+         IsTerminalPacked(*node, "packed");
+}
+
+bool IsPatchedNsNode(const CompressedNode* node) {
+  return node != nullptr && node->scheme.kind == SchemeKind::kPatched &&
+         IsNsPackedNode(SubNode(*node, "base")) &&
+         IsTerminalPlain(*node, "patch_positions") &&
+         IsTerminalPlain(*node, "patch_values");
+}
+
+const SchemeDescriptor* Child(const SchemeDescriptor& desc,
+                              const std::string& part) {
+  auto it = desc.children.find(part);
+  return it == desc.children.end() ? nullptr : &it->second;
+}
+
+bool IsNsLeafDesc(const SchemeDescriptor* desc) {
+  return desc != nullptr && desc->kind == SchemeKind::kNs &&
+         desc->children.empty();
+}
+
+bool IsPatchedNsDesc(const SchemeDescriptor* desc) {
+  return desc != nullptr && desc->kind == SchemeKind::kPatched &&
+         IsNsLeafDesc(Child(*desc, "base")) &&
+         Child(*desc, "patch_positions") == nullptr &&
+         Child(*desc, "patch_values") == nullptr;
+}
+
 }  // namespace
 
 FusedShape ClassifyFusedShape(const CompressedNode& node) {
   if (!TypeIdIsUnsigned(node.out_type)) return FusedShape::kGeneric;
 
+  if (node.scheme.kind == SchemeKind::kNs &&
+      IsTerminalPacked(node, "packed")) {
+    return FusedShape::kNs;
+  }
+
   if (node.scheme.kind == SchemeKind::kRpe) {
     const CompressedNode* positions = SubNode(node, "positions");
-    if (positions != nullptr && positions->scheme.kind == SchemeKind::kDelta &&
-        IsTerminalPlain(*positions, "deltas") &&
-        IsTerminalPlain(node, "values")) {
-      return FusedShape::kRle;
+    if (positions != nullptr && positions->scheme.kind == SchemeKind::kDelta) {
+      if (IsTerminalPlain(*positions, "deltas") &&
+          IsTerminalPlain(node, "values")) {
+        return FusedShape::kRle;
+      }
+      // Packed lengths; the values part can be anything decodable — a plain
+      // terminal or a sub-tree the kernel recurses into (covering both
+      // RLE-NS and RLE-DELTA).
+      auto values = node.parts.find("values");
+      const bool values_decodable =
+          values != node.parts.end() &&
+          (values->second.sub != nullptr ||
+           (values->second.is_terminal() &&
+            !values->second.column->is_packed()));
+      if (IsNsPackedNode(SubNode(*positions, "deltas")) && values_decodable) {
+        return FusedShape::kRleNs;
+      }
     }
   }
 
-  if (node.scheme.kind == SchemeKind::kModeled && node.scheme.args.size() == 1 &&
+  if (node.scheme.kind == SchemeKind::kModeled &&
+      node.scheme.args.size() == 1 &&
       node.scheme.args[0].kind == SchemeKind::kStep &&
       IsTerminalPlain(node, "refs")) {
     const CompressedNode* residual = SubNode(node, "residual");
-    if (residual != nullptr && residual->scheme.kind == SchemeKind::kNs &&
-        IsTerminalPacked(*residual, "packed")) {
-      return FusedShape::kFor;
-    }
+    if (IsNsPackedNode(residual)) return FusedShape::kFor;
+    if (IsPatchedNsNode(residual)) return FusedShape::kPfor;
   }
+
+  if (IsPatchedNsNode(&node)) return FusedShape::kPatchedNs;
 
   if (node.scheme.kind == SchemeKind::kDelta) {
     const CompressedNode* zz = SubNode(node, "deltas");
     if (zz != nullptr && zz->scheme.kind == SchemeKind::kZigZag) {
-      const CompressedNode* ns = SubNode(*zz, "recoded");
-      if (ns != nullptr && ns->scheme.kind == SchemeKind::kNs &&
-          IsTerminalPacked(*ns, "packed")) {
-        return FusedShape::kDeltaZigZagNs;
+      const CompressedNode* recoded = SubNode(*zz, "recoded");
+      if (IsNsPackedNode(recoded)) return FusedShape::kDeltaZigZagNs;
+      if (IsPatchedNsNode(recoded)) return FusedShape::kDeltaZigZagPatchedNs;
+    }
+  }
+
+  return FusedShape::kGeneric;
+}
+
+FusedShape ClassifyFusedDescriptor(const SchemeDescriptor& desc) {
+  if (desc.kind == SchemeKind::kNs && desc.children.empty()) {
+    return FusedShape::kNs;
+  }
+
+  if (desc.kind == SchemeKind::kRpe) {
+    const SchemeDescriptor* positions = Child(desc, "positions");
+    if (positions != nullptr && positions->kind == SchemeKind::kDelta) {
+      const SchemeDescriptor* deltas = Child(*positions, "deltas");
+      if (deltas == nullptr && Child(desc, "values") == nullptr) {
+        return FusedShape::kRle;
       }
+      if (IsNsLeafDesc(deltas)) return FusedShape::kRleNs;
+    }
+  }
+
+  if (desc.kind == SchemeKind::kModeled && desc.args.size() == 1 &&
+      desc.args[0].kind == SchemeKind::kStep &&
+      Child(desc, "refs") == nullptr) {
+    const SchemeDescriptor* residual = Child(desc, "residual");
+    if (IsNsLeafDesc(residual)) return FusedShape::kFor;
+    if (IsPatchedNsDesc(residual)) return FusedShape::kPfor;
+  }
+
+  if (IsPatchedNsDesc(&desc)) return FusedShape::kPatchedNs;
+
+  if (desc.kind == SchemeKind::kDelta) {
+    const SchemeDescriptor* zz = Child(desc, "deltas");
+    if (zz != nullptr && zz->kind == SchemeKind::kZigZag) {
+      const SchemeDescriptor* recoded = Child(*zz, "recoded");
+      if (IsNsLeafDesc(recoded)) return FusedShape::kDeltaZigZagNs;
+      if (IsPatchedNsDesc(recoded)) return FusedShape::kDeltaZigZagPatchedNs;
     }
   }
 
@@ -69,61 +158,119 @@ FusedShape ClassifyFusedShape(const CompressedNode& node) {
 
 namespace {
 
+/// Validates an NS sub-node exactly the way the reference recursion would
+/// (envelope length, descriptor width, output type, payload size) and hands
+/// back its packed payload for direct kernel consumption.
 template <typename T>
-Result<AnyColumn> FusedRle(const CompressedNode& node) {
-  const Column<T>& values = node.parts.at("values").column->As<T>();
-  const CompressedNode& positions = *node.parts.at("positions").sub;
-  const AnyColumn& lengths_any = *positions.parts.at("deltas").column;
-  if (lengths_any.type() != TypeId::kUInt32) {
-    return Status::Corruption("fused RLE expects uint32 lengths");
+Result<const PackedColumn*> ValidatedNsPacked(const CompressedNode& ns,
+                                              uint64_t n) {
+  if (ns.out_type != TypeIdOf<T>()) {
+    return Status::Corruption("fused NS part has the wrong type");
   }
-  const Column<uint32_t>& lengths = lengths_any.As<uint32_t>();
-  if (lengths.size() != values.size()) {
-    return Status::Corruption("fused RLE arity mismatch");
+  const PackedColumn& packed = ns.parts.at("packed").column->packed();
+  if (ns.n != n || packed.n != n) {
+    return Status::Corruption("NS packed length differs from envelope");
   }
-  Column<T> out(node.n);
-  uint64_t pos = 0;
-  for (uint64_t r = 0; r < values.size(); ++r) {
-    const uint64_t end = pos + lengths[r];
-    if (end > node.n) return Status::Corruption("fused RLE overruns output");
-    std::fill(out.begin() + pos, out.begin() + end, values[r]);
-    pos = end;
+  if (packed.bit_width != ns.scheme.params.width) {
+    return Status::Corruption("NS packed width differs from descriptor");
   }
-  if (pos != node.n) return Status::Corruption("fused RLE underfills output");
-  return AnyColumn(std::move(out));
+  if (packed.bit_width > bits::TypeBits<T>()) {
+    return Status::InvalidArgument("cannot unpack width into narrower type");
+  }
+  if (packed.bytes.size() <
+      bits::PackedByteSize(packed.n, packed.bit_width)) {
+    return Status::Corruption("packed payload shorter than declared rows");
+  }
+  return &packed;
+}
+
+/// A terminal plain part, type-checked.
+template <typename T>
+Result<const Column<T>*> PlainPart(const CompressedNode& node,
+                                   const std::string& name) {
+  const AnyColumn& any = *node.parts.at(name).column;
+  if (any.is_packed() || any.type() != TypeIdOf<T>()) {
+    return Status::Corruption("fused part '" + name + "' has the wrong type");
+  }
+  return &any.As<T>();
 }
 
 template <typename T>
-Result<AnyColumn> FusedFor(const CompressedNode& node) {
-  const Column<T>& refs = node.parts.at("refs").column->As<T>();
-  const CompressedNode& residual = *node.parts.at("residual").sub;
-  const PackedColumn& packed = residual.parts.at("packed").column->packed();
-  const uint64_t ell = node.scheme.args[0].params.segment_length;
-  if (packed.n != node.n || ell == 0 ||
-      refs.size() != bits::CeilDiv(node.n, ell)) {
-    return Status::Corruption("fused FOR arity mismatch");
+struct PatchList {
+  const Column<uint32_t>* positions;
+  const Column<T>* values;
+};
+
+template <typename T>
+Result<PatchList<T>> GetPatchList(const CompressedNode& patched) {
+  RECOMP_ASSIGN_OR_RETURN(const Column<uint32_t>* positions,
+                          PlainPart<uint32_t>(patched, "patch_positions"));
+  RECOMP_ASSIGN_OR_RETURN(const Column<T>* values,
+                          PlainPart<T>(patched, "patch_values"));
+  if (positions->size() != values->size()) {
+    return Status::Corruption("PATCHED patch arity mismatch");
   }
-  // Unpack one segment at a time and add the segment's reference while the
-  // values are hot; no full-length intermediate exists.
+  return PatchList<T>{positions, values};
+}
+
+/// Segment-wise FOR reconstruction: out[i] = unpack(i) + refs[i / ell],
+/// register-to-register per segment on the vector path.
+template <typename T>
+Result<Column<T>> ForReconstruct(const PackedColumn& packed,
+                                 const Column<T>& refs, uint64_t ell,
+                                 uint64_t n) {
+  if constexpr (std::is_same_v<T, uint32_t> || std::is_same_v<T, uint64_t>) {
+    if (ops::HasAvx2()) {
+      Column<T> out(n);
+      for (uint64_t seg = 0; seg < refs.size(); ++seg) {
+        const uint64_t begin = seg * ell;
+        const uint64_t end = std::min<uint64_t>(begin + ell, n);
+        if constexpr (std::is_same_v<T, uint32_t>) {
+          ops::avx2::UnpackAddU32(packed.bytes.data(), packed.bytes.size(),
+                                  begin, end - begin, packed.bit_width,
+                                  refs[seg], out.data() + begin);
+        } else {
+          ops::avx2::UnpackAddU64(packed.bytes.data(), packed.bytes.size(),
+                                  begin, end - begin, packed.bit_width,
+                                  refs[seg], out.data() + begin);
+        }
+      }
+      return out;
+    }
+  }
   RECOMP_ASSIGN_OR_RETURN(Column<T> out, ops::Unpack<T>(packed));
   for (uint64_t seg = 0; seg < refs.size(); ++seg) {
     const uint64_t begin = seg * ell;
-    const uint64_t end = std::min<uint64_t>(begin + ell, node.n);
+    const uint64_t end = std::min<uint64_t>(begin + ell, n);
     const T ref = refs[seg];
     for (uint64_t i = begin; i < end; ++i) {
       out[i] = static_cast<T>(out[i] + ref);
     }
   }
-  return AnyColumn(std::move(out));
+  return out;
 }
 
+/// Fused DELTA←ZIGZAG decode of a packed column: unpack + zigzag + running
+/// prefix sum in one pass.
 template <typename T>
-Result<AnyColumn> FusedDeltaZigZagNs(const CompressedNode& node) {
-  const CompressedNode& zz = *node.parts.at("deltas").sub;
-  const CompressedNode& ns = *zz.parts.at("recoded").sub;
-  const PackedColumn& packed = ns.parts.at("packed").column->packed();
-  if (packed.n != node.n) {
-    return Status::Corruption("fused DELTA arity mismatch");
+Result<Column<T>> DeltaZigZagReconstruct(const PackedColumn& packed,
+                                         uint64_t n) {
+  if constexpr (std::is_same_v<T, uint32_t>) {
+    if (ops::HasAvx2()) {
+      Column<T> out(n);
+      ops::avx2::UnpackZigZagPrefixU32(packed.bytes.data(),
+                                       packed.bytes.size(), n,
+                                       packed.bit_width, out.data());
+      return out;
+    }
+  } else if constexpr (std::is_same_v<T, uint64_t>) {
+    if (ops::HasAvx2()) {
+      Column<T> out(n);
+      ops::avx2::UnpackZigZagPrefixU64(packed.bytes.data(),
+                                       packed.bytes.size(), n,
+                                       packed.bit_width, out.data());
+      return out;
+    }
   }
   RECOMP_ASSIGN_OR_RETURN(Column<T> out, ops::Unpack<T>(packed));
   T acc{0};
@@ -131,13 +278,252 @@ Result<AnyColumn> FusedDeltaZigZagNs(const CompressedNode& node) {
     acc = static_cast<T>(acc + static_cast<T>(zigzag::Decode(v)));
     v = acc;
   }
+  return out;
+}
+
+/// In-place zigzag decode + inclusive prefix sum over materialized codes
+/// (the tail half of the fused DELTA decode after a patch pass).
+template <typename T>
+void ZigZagPrefixInPlace(Column<T>* col) {
+  if constexpr (std::is_same_v<T, uint32_t>) {
+    if (ops::HasAvx2()) {
+      ops::avx2::ZigZagPrefixInPlaceU32(col->data(), col->size());
+      return;
+    }
+  } else if constexpr (std::is_same_v<T, uint64_t>) {
+    if (ops::HasAvx2()) {
+      ops::avx2::ZigZagPrefixInPlaceU64(col->data(), col->size());
+      return;
+    }
+  }
+  T acc{0};
+  for (auto& v : *col) {
+    acc = static_cast<T>(acc + static_cast<T>(zigzag::Decode(v)));
+    v = acc;
+  }
+}
+
+/// Validates patches against the base already in `out` (reference semantics:
+/// a patch only restores bits the pack width masked off). `base_of` maps an
+/// output slot back to the base value the reference recursion would have
+/// compared against.
+template <typename T, typename BaseOf>
+Status ValidatePatches(const PatchList<T>& patches, uint64_t mask, uint64_t n,
+                       BaseOf base_of) {
+  const Column<uint32_t>& positions = *patches.positions;
+  const Column<T>& values = *patches.values;
+  for (uint64_t p = 0; p < positions.size(); ++p) {
+    if (positions[p] >= n) {
+      return Status::Corruption("PATCHED position exceeds column");
+    }
+    if ((static_cast<uint64_t>(values[p]) & mask) !=
+        static_cast<uint64_t>(base_of(positions[p]))) {
+      return Status::Corruption("PATCHED patch disagrees with base");
+    }
+  }
+  return Status::OK();
+}
+
+/// Writes the (already validated) patch values into `out`.
+template <typename T>
+void ScatterPatches(const PatchList<T>& patches, Column<T>* out) {
+  const Column<uint32_t>& positions = *patches.positions;
+  const Column<T>& values = *patches.values;
+  if constexpr (std::is_same_v<T, uint32_t>) {
+    ops::avx2::ScatterU32(out->data(), positions.data(), values.data(),
+                          positions.size());
+  } else if constexpr (std::is_same_v<T, uint64_t>) {
+    ops::avx2::ScatterU64(out->data(), positions.data(), values.data(),
+                          positions.size());
+  } else {
+    for (uint64_t p = 0; p < positions.size(); ++p) {
+      (*out)[positions[p]] = values[p];
+    }
+  }
+}
+
+template <typename T>
+Result<AnyColumn> FusedNs(const CompressedNode& node) {
+  RECOMP_ASSIGN_OR_RETURN(const PackedColumn* packed,
+                          ValidatedNsPacked<T>(node, node.n));
+  RECOMP_ASSIGN_OR_RETURN(Column<T> out, ops::Unpack<T>(*packed));
   return AnyColumn(std::move(out));
+}
+
+/// Shared run-expansion tail of the RLE kernels. Reference parity: a zero
+/// length means the positions column was not strictly increasing, and a
+/// uint32 positions column cannot certify n >= 2^32.
+template <typename T>
+Result<AnyColumn> ExpandRuns(const Column<uint32_t>& lengths,
+                             const Column<T>& values, uint64_t n) {
+  if (lengths.size() != values.size()) {
+    return Status::Corruption("fused RLE arity mismatch");
+  }
+  if (n > uint64_t{0xFFFFFFFF}) {
+    return Status::Corruption("RPE last position differs from envelope n");
+  }
+  Column<T> out(n);
+  uint64_t pos = 0;
+  for (uint64_t r = 0; r < values.size(); ++r) {
+    if (lengths[r] == 0) {
+      return Status::Corruption("RPE positions are not strictly increasing");
+    }
+    const uint64_t end = pos + lengths[r];
+    if (end > n) return Status::Corruption("fused RLE overruns output");
+    std::fill(out.begin() + pos, out.begin() + end, values[r]);
+    pos = end;
+  }
+  if (pos != n) return Status::Corruption("fused RLE underfills output");
+  return AnyColumn(std::move(out));
+}
+
+template <typename T>
+Result<AnyColumn> FusedRle(const CompressedNode& node) {
+  const CompressedNode& positions = *node.parts.at("positions").sub;
+  if (positions.out_type != TypeId::kUInt32) {
+    return Status::Corruption("RPE 'positions' must be a uint32 column");
+  }
+  RECOMP_ASSIGN_OR_RETURN(const Column<uint32_t>* lengths,
+                          PlainPart<uint32_t>(positions, "deltas"));
+  if (lengths->size() != positions.n) {
+    return Status::Corruption("DELTA part length differs from envelope");
+  }
+  RECOMP_ASSIGN_OR_RETURN(const Column<T>* values,
+                          PlainPart<T>(node, "values"));
+  return ExpandRuns(*lengths, *values, node.n);
+}
+
+template <typename T>
+Result<AnyColumn> FusedRleNs(const CompressedNode& node) {
+  const CompressedNode& positions = *node.parts.at("positions").sub;
+  if (positions.out_type != TypeId::kUInt32) {
+    return Status::Corruption("RPE 'positions' must be a uint32 column");
+  }
+  const CompressedNode& deltas = *positions.parts.at("deltas").sub;
+  RECOMP_ASSIGN_OR_RETURN(const PackedColumn* packed,
+                          ValidatedNsPacked<uint32_t>(deltas, positions.n));
+  RECOMP_ASSIGN_OR_RETURN(Column<uint32_t> lengths,
+                          ops::Unpack<uint32_t>(*packed));
+
+  const CompressedPart& values_part = node.parts.at("values");
+  if (values_part.is_terminal()) {
+    RECOMP_ASSIGN_OR_RETURN(const Column<T>* values,
+                            PlainPart<T>(node, "values"));
+    return ExpandRuns(lengths, *values, node.n);
+  }
+  RECOMP_ASSIGN_OR_RETURN(AnyColumn values_any,
+                          FusedDecompressNode(*values_part.sub));
+  if (values_any.is_packed() || values_any.type() != TypeIdOf<T>()) {
+    return Status::Corruption("RPE 'values' part has the wrong type");
+  }
+  return ExpandRuns(lengths, values_any.As<T>(), node.n);
+}
+
+template <typename T>
+Result<AnyColumn> FusedFor(const CompressedNode& node) {
+  RECOMP_ASSIGN_OR_RETURN(const Column<T>* refs, PlainPart<T>(node, "refs"));
+  const CompressedNode& residual = *node.parts.at("residual").sub;
+  const uint64_t ell = node.scheme.args[0].params.segment_length;
+  if (ell == 0 || refs->size() != bits::CeilDiv(node.n, ell)) {
+    return Status::Corruption("fused FOR arity mismatch");
+  }
+  RECOMP_ASSIGN_OR_RETURN(const PackedColumn* packed,
+                          ValidatedNsPacked<T>(residual, node.n));
+  RECOMP_ASSIGN_OR_RETURN(Column<T> out,
+                          ForReconstruct(*packed, *refs, ell, node.n));
+  return AnyColumn(std::move(out));
+}
+
+template <typename T>
+Result<AnyColumn> FusedPfor(const CompressedNode& node) {
+  RECOMP_ASSIGN_OR_RETURN(const Column<T>* refs_ptr,
+                          PlainPart<T>(node, "refs"));
+  const Column<T>& refs = *refs_ptr;
+  const CompressedNode& patched = *node.parts.at("residual").sub;
+  const uint64_t ell = node.scheme.args[0].params.segment_length;
+  if (ell == 0 || refs.size() != bits::CeilDiv(node.n, ell)) {
+    return Status::Corruption("fused FOR arity mismatch");
+  }
+  if (patched.n != node.n) {
+    return Status::Corruption("MODELED residual length differs from envelope");
+  }
+  const CompressedNode& base = *patched.parts.at("base").sub;
+  RECOMP_ASSIGN_OR_RETURN(const PackedColumn* packed,
+                          ValidatedNsPacked<T>(base, node.n));
+  RECOMP_ASSIGN_OR_RETURN(Column<T> out,
+                          ForReconstruct(*packed, refs, ell, node.n));
+  // The patch list describes the *residual* (pre-reference) values: undo the
+  // segment reference when validating, re-add it when applying.
+  RECOMP_ASSIGN_OR_RETURN(PatchList<T> patches, GetPatchList<T>(patched));
+  const uint64_t mask = bits::LowMask64(patched.scheme.params.width);
+  Status patch_status = ValidatePatches(
+      patches, mask, node.n,
+      [&](uint32_t pos) { return static_cast<T>(out[pos] - refs[pos / ell]); });
+  if (!patch_status.ok()) return patch_status;
+  const Column<uint32_t>& positions = *patches.positions;
+  const Column<T>& values = *patches.values;
+  for (uint64_t p = 0; p < positions.size(); ++p) {
+    out[positions[p]] = static_cast<T>(refs[positions[p] / ell] + values[p]);
+  }
+  return AnyColumn(std::move(out));
+}
+
+template <typename T>
+Result<AnyColumn> FusedPatchedNs(const CompressedNode& node) {
+  const CompressedNode& base = *node.parts.at("base").sub;
+  RECOMP_ASSIGN_OR_RETURN(const PackedColumn* packed,
+                          ValidatedNsPacked<T>(base, node.n));
+  RECOMP_ASSIGN_OR_RETURN(Column<T> out, ops::Unpack<T>(*packed));
+  RECOMP_ASSIGN_OR_RETURN(PatchList<T> patches, GetPatchList<T>(node));
+  const uint64_t mask = bits::LowMask64(node.scheme.params.width);
+  Status patch_status = ValidatePatches(
+      patches, mask, node.n, [&](uint32_t pos) { return out[pos]; });
+  if (!patch_status.ok()) return patch_status;
+  ScatterPatches(patches, &out);
+  return AnyColumn(std::move(out));
+}
+
+template <typename T>
+Result<AnyColumn> FusedDeltaZigZagNs(const CompressedNode& node) {
+  const CompressedNode& zz = *node.parts.at("deltas").sub;
+  if (zz.n != node.n) {
+    return Status::Corruption("DELTA part length differs from envelope");
+  }
+  const CompressedNode& ns = *zz.parts.at("recoded").sub;
+  RECOMP_ASSIGN_OR_RETURN(const PackedColumn* packed,
+                          ValidatedNsPacked<T>(ns, node.n));
+  RECOMP_ASSIGN_OR_RETURN(Column<T> out,
+                          DeltaZigZagReconstruct<T>(*packed, node.n));
+  return AnyColumn(std::move(out));
+}
+
+template <typename T>
+Result<AnyColumn> FusedDeltaZigZagPatchedNs(const CompressedNode& node) {
+  const CompressedNode& zz = *node.parts.at("deltas").sub;
+  if (zz.n != node.n) {
+    return Status::Corruption("DELTA part length differs from envelope");
+  }
+  const CompressedNode& patched = *zz.parts.at("recoded").sub;
+  if (patched.out_type != TypeIdOf<T>() || patched.n != node.n) {
+    return Status::Corruption("ZIGZAG recoded part has the wrong type");
+  }
+  const CompressedNode& base = *patched.parts.at("base").sub;
+  RECOMP_ASSIGN_OR_RETURN(const PackedColumn* packed,
+                          ValidatedNsPacked<T>(base, node.n));
+  RECOMP_ASSIGN_OR_RETURN(Column<T> codes, ops::Unpack<T>(*packed));
+  RECOMP_ASSIGN_OR_RETURN(PatchList<T> patches, GetPatchList<T>(patched));
+  const uint64_t mask = bits::LowMask64(patched.scheme.params.width);
+  Status patch_status = ValidatePatches(
+      patches, mask, node.n, [&](uint32_t pos) { return codes[pos]; });
+  if (!patch_status.ok()) return patch_status;
+  ScatterPatches(patches, &codes);
+  ZigZagPrefixInPlace(&codes);
+  return AnyColumn(std::move(codes));
 }
 
 }  // namespace
 
-Result<AnyColumn> FusedDecompress(const CompressedColumn& compressed) {
-  const CompressedNode& node = compressed.root();
+Result<AnyColumn> FusedDecompressNode(const CompressedNode& node) {
   const FusedShape shape = ClassifyFusedShape(node);
   if (shape == FusedShape::kGeneric) {
     return DecompressNode(node);
@@ -152,11 +538,25 @@ Result<AnyColumn> FusedDecompress(const CompressedColumn& compressed) {
             return FusedFor<T>(node);
           case FusedShape::kDeltaZigZagNs:
             return FusedDeltaZigZagNs<T>(node);
+          case FusedShape::kNs:
+            return FusedNs<T>(node);
+          case FusedShape::kRleNs:
+            return FusedRleNs<T>(node);
+          case FusedShape::kPatchedNs:
+            return FusedPatchedNs<T>(node);
+          case FusedShape::kPfor:
+            return FusedPfor<T>(node);
+          case FusedShape::kDeltaZigZagPatchedNs:
+            return FusedDeltaZigZagPatchedNs<T>(node);
           case FusedShape::kGeneric:
             break;
         }
         return DecompressNode(node);
       });
+}
+
+Result<AnyColumn> FusedDecompress(const CompressedColumn& compressed) {
+  return FusedDecompressNode(compressed.root());
 }
 
 }  // namespace recomp

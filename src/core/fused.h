@@ -1,10 +1,13 @@
 // Fused decompression kernels.
 //
 // The operator-plan strategy (plan_executor.h) materializes every
-// intermediate column; these kernels decompress selected catalog shapes in
-// one pass with no intermediates — the conventional, "monolithic" coding of
-// a scheme the paper decomposes. Keeping both strategies lets the
-// benchmarks price the columnar formulation against hand fusion.
+// intermediate column; these kernels decompress the analyzer's common
+// cascades in one pass with no materialized intermediates — unpack, model
+// reconstruction, zigzag decode, and prefix sums happen register-to-register
+// (via ops/kernels_avx2.h when ops::HasAvx2()) or in one tight scalar loop.
+// Output and error behavior always match the per-scheme reference recursion
+// (core/pipeline.h); tests/fused_fuzz_test.cc enforces bit-identical
+// agreement across both dispatch paths.
 
 #ifndef RECOMP_CORE_FUSED_H_
 #define RECOMP_CORE_FUSED_H_
@@ -16,19 +19,34 @@ namespace recomp {
 
 /// Shapes with dedicated single-pass kernels.
 enum class FusedShape : int {
-  kRle = 0,         ///< RPE{positions: DELTA} with plain parts.
-  kFor = 1,         ///< MODELED(STEP){residual: NS} with packed residual.
-  kDeltaZigZagNs = 2,  ///< DELTA{deltas: ZIGZAG{recoded: NS}}.
-  kGeneric = 3,     ///< Anything else: per-scheme reference recursion.
+  kRle = 0,             ///< RPE{positions: DELTA} with plain parts.
+  kFor = 1,             ///< MODELED(STEP){residual: NS} with packed residual.
+  kDeltaZigZagNs = 2,   ///< DELTA{deltas: ZIGZAG{recoded: NS}}.
+  kNs = 3,              ///< Plain NS: one packed terminal.
+  kRleNs = 4,           ///< RPE{positions: DELTA{deltas: NS}}, any values.
+  kPatchedNs = 5,       ///< PATCHED{base: NS} with plain patch lists.
+  kPfor = 6,            ///< MODELED(STEP){residual: PATCHED{base: NS}}.
+  kDeltaZigZagPatchedNs = 7,  ///< DELTA{ZIGZAG{PATCHED{base: NS}}}.
+  kGeneric = 8,         ///< Anything else: per-scheme reference recursion.
 };
 
 /// Classifies which kernel FusedDecompress will use.
 FusedShape ClassifyFusedShape(const CompressedNode& node);
 
+/// Descriptor-tree analog of ClassifyFusedShape: predicts the kernel a
+/// column compressed with `desc` would decode through, before any data is
+/// compressed. The analyzer's cost model uses this to discount shapes that
+/// decode through the fused SIMD cascade.
+FusedShape ClassifyFusedDescriptor(const SchemeDescriptor& desc);
+
 /// Single-pass decompression where a specialized kernel exists; otherwise
 /// the per-scheme reference recursion (core/pipeline.h). Output always
 /// equals Decompress(compressed).
 Result<AnyColumn> FusedDecompress(const CompressedColumn& compressed);
+
+/// Node-level entry point (equals DecompressNode(node)); used by exec
+/// operators holding sub-trees and by the RLE kernels' values recursion.
+Result<AnyColumn> FusedDecompressNode(const CompressedNode& node);
 
 }  // namespace recomp
 

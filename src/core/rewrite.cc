@@ -1,5 +1,6 @@
 #include "core/rewrite.h"
 
+#include "core/fused.h"
 #include "core/pipeline.h"
 #include "util/string_util.h"
 
@@ -40,7 +41,7 @@ Result<CompressedColumn> PeelPart(const CompressedColumn& compressed,
     return Status::InvalidArgument(
         StringFormat("part '%s' is already terminal", path.c_str()));
   }
-  RECOMP_ASSIGN_OR_RETURN(AnyColumn column, DecompressNode(*part->sub));
+  RECOMP_ASSIGN_OR_RETURN(AnyColumn column, FusedDecompressNode(*part->sub));
   part->sub.reset();
   part->column = std::move(column);
   return out;
@@ -73,7 +74,7 @@ namespace {
 Status PeelAllInNode(CompressedNode* node) {
   for (auto& [name, part] : node->parts) {
     if (part.is_terminal()) continue;
-    RECOMP_ASSIGN_OR_RETURN(AnyColumn column, DecompressNode(*part.sub));
+    RECOMP_ASSIGN_OR_RETURN(AnyColumn column, FusedDecompressNode(*part.sub));
     part.sub.reset();
     part.column = std::move(column);
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/fused.h"
 #include "core/pipeline.h"
 #include "exec/node_access.h"
 #include "exec/scan.h"
@@ -23,7 +24,7 @@ Result<AnyColumn> MaterializePart(const CompressedNode& node,
     return Status::Corruption("envelope lacks part '" + part + "'");
   }
   if (it->second.is_terminal()) return *it->second.column;
-  return DecompressNode(*it->second.sub);
+  return FusedDecompressNode(*it->second.sub);
 }
 
 bool IsStepWithPackedResidual(const CompressedNode& node) {
@@ -76,7 +77,7 @@ Result<AggregateResult> AggregateValues(const AnyColumn& data, Kind kind,
 }
 
 Result<AggregateResult> ScanFallback(const CompressedNode& node, Kind kind) {
-  RECOMP_ASSIGN_OR_RETURN(AnyColumn column, DecompressNode(node));
+  RECOMP_ASSIGN_OR_RETURN(AnyColumn column, FusedDecompressNode(node));
   return AggregateValues(column, kind, Strategy::kDecompressScan);
 }
 

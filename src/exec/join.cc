@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/fused.h"
 #include "core/pipeline.h"
 #include "ops/pack.h"
 #include "schemes/scheme_internal.h"
@@ -30,7 +31,7 @@ Result<AnyColumn> MaterializePart(const CompressedNode& node,
     return Status::Corruption("envelope lacks part '" + part + "'");
   }
   if (it->second.is_terminal()) return *it->second.column;
-  return DecompressNode(*it->second.sub);
+  return FusedDecompressNode(*it->second.sub);
 }
 
 Result<SemiJoinResult> JoinRuns(const CompressedNode& node,
@@ -145,7 +146,7 @@ Result<SemiJoinResult> JoinStepPruned(const CompressedNode& node,
 
 Result<SemiJoinResult> JoinScan(const CompressedNode& node,
                                 const Column<uint64_t>& keys) {
-  RECOMP_ASSIGN_OR_RETURN(AnyColumn column, DecompressNode(node));
+  RECOMP_ASSIGN_OR_RETURN(AnyColumn column, FusedDecompressNode(node));
   return DispatchUnsignedTypeId(
       node.out_type, [&](auto tag) -> Result<SemiJoinResult> {
         using T = typename decltype(tag)::type;

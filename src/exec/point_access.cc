@@ -4,6 +4,7 @@
 #include <map>
 #include <optional>
 
+#include "core/fused.h"
 #include "core/pipeline.h"
 #include "exec/node_access.h"
 #include "ops/pack.h"
@@ -44,7 +45,7 @@ uint64_t PlainAt(const AnyColumn& column, uint64_t row) {
 }
 
 Result<PointResult> Fallback(const CompressedNode& node, uint64_t row) {
-  RECOMP_ASSIGN_OR_RETURN(AnyColumn column, DecompressNode(node));
+  RECOMP_ASSIGN_OR_RETURN(AnyColumn column, FusedDecompressNode(node));
   return DispatchUnsignedTypeId(
       node.out_type, [&](auto tag) -> Result<PointResult> {
         using T = typename decltype(tag)::type;
@@ -260,7 +261,7 @@ Result<std::vector<PointResult>> GetAtBatch(
 
         // No direct path: one decompress serves every requested row of the
         // chunk, each answered exactly as per-row GetAt's fallback would.
-        RECOMP_ASSIGN_OR_RETURN(AnyColumn plain, Decompress(chunk.column));
+        RECOMP_ASSIGN_OR_RETURN(AnyColumn plain, FusedDecompress(chunk.column));
         return DispatchUnsignedTypeId(
             chunk.column.type(), [&](auto tag) -> Status {
               using T = typename decltype(tag)::type;

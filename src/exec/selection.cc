@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/fused.h"
 #include "core/pipeline.h"
 #include "exec/node_access.h"
 #include "exec/scan.h"
@@ -23,7 +24,7 @@ Result<AnyColumn> MaterializePart(const CompressedNode& node,
     return Status::Corruption("envelope lacks part '" + part + "'");
   }
   if (it->second.is_terminal()) return *it->second.column;
-  return DecompressNode(*it->second.sub);
+  return FusedDecompressNode(*it->second.sub);
 }
 
 template <typename T>
@@ -182,7 +183,7 @@ Result<SelectionResult> ScanValues(const AnyColumn& data,
 /// Fallback: materialize everything and scan.
 Result<SelectionResult> SelectScan(const CompressedNode& node,
                                    const RangePredicate& pred) {
-  RECOMP_ASSIGN_OR_RETURN(AnyColumn column, DecompressNode(node));
+  RECOMP_ASSIGN_OR_RETURN(AnyColumn column, FusedDecompressNode(node));
   return ScanValues(column, pred, Strategy::kDecompressScan);
 }
 

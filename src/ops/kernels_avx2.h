@@ -1,6 +1,13 @@
 // AVX2 kernel entry points (definitions in kernels_avx2.cc, compiled with
 // -mavx2). Callers must check ops::HasAvx2() before calling; when the build
 // disables AVX2 these symbols still exist but delegate to scalar code.
+//
+// The unpack kernels are width-generic: one permute-based routine covers
+// every width 1..32 (u32) and 1..64 (u64) at any starting element, so range
+// unpacks, whole-column unpacks, and the fused cascade kernels all share the
+// same inner loop. The fused entry points (UnpackAdd*, UnpackZigZagPrefix*)
+// keep the unpacked lanes in registers through the reconstruction arithmetic
+// — no materialized intermediate column exists.
 
 #ifndef RECOMP_OPS_KERNELS_AVX2_H_
 #define RECOMP_OPS_KERNELS_AVX2_H_
@@ -9,26 +16,77 @@
 
 namespace recomp::ops::avx2 {
 
-/// Maximum bit width the AVX2 gather-based unpacker handles; wider values
-/// can straddle more than the 32 bits a lane can shift out of.
-inline constexpr int kMaxUnpackWidth = 25;
+/// Maximum bit width the permute-based u32 unpacker handles (all of them).
+inline constexpr int kMaxUnpackWidth = 32;
 
-/// Unpacks `n` `width`-bit values (1 <= width <= kMaxUnpackWidth) from `in`
-/// (with `in_bytes` readable bytes) into `out`. Handles the buffer tail by
-/// delegating the last values to scalar code.
-void UnpackU32(const uint8_t* in, uint64_t in_bytes, uint64_t n, int width,
-               uint32_t* out);
+/// Maximum bit width the permute-based u64 unpacker handles (all of them).
+inline constexpr int kMaxUnpackWidth64 = 64;
+
+/// Maximum bit width of the first-generation gather-based unpacker, kept as
+/// the measured baseline in bench_a2 (wider values can straddle more than
+/// the 32 bits a gather lane can shift out of).
+inline constexpr int kMaxGatherUnpackWidth = 25;
+
+/// Unpacks `n` `width`-bit values starting at element index `begin` from
+/// `in` (with `in_bytes` readable bytes) into `out[0..n)`. Any width in
+/// [0, 32]; groups whose 36-byte load window would cross the payload end are
+/// delegated to scalar code.
+void UnpackU32(const uint8_t* in, uint64_t in_bytes, uint64_t begin,
+               uint64_t n, int width, uint32_t* out);
+
+/// u64 variant: any width in [0, 64], four values per vector.
+void UnpackU64(const uint8_t* in, uint64_t in_bytes, uint64_t begin,
+               uint64_t n, int width, uint64_t* out);
+
+/// First-generation gather-based unpacker (widths 1..kMaxGatherUnpackWidth,
+/// begin fixed at 0). Retained as the "pre-cascade" baseline the A2 bench
+/// prices the permute kernels against; see ops::ForceBaselineUnpack().
+void UnpackU32Gather(const uint8_t* in, uint64_t in_bytes, uint64_t n,
+                     int width, uint32_t* out);
+
+/// Fused FOR reconstruction: out[i] = unpack(begin + i) + addend. One pass,
+/// register-to-register; powers segment-wise MODELED(STEP) decode.
+void UnpackAddU32(const uint8_t* in, uint64_t in_bytes, uint64_t begin,
+                  uint64_t n, int width, uint32_t addend, uint32_t* out);
+void UnpackAddU64(const uint8_t* in, uint64_t in_bytes, uint64_t begin,
+                  uint64_t n, int width, uint64_t addend, uint64_t* out);
+
+/// Fused DELTA←ZIGZAG←NS reconstruction: unpack the whole column, zigzag-
+/// decode each lane and running-prefix-sum, all in registers. Sums wrap mod
+/// 2^bits exactly like the scalar reference.
+void UnpackZigZagPrefixU32(const uint8_t* in, uint64_t in_bytes, uint64_t n,
+                           int width, uint32_t* out);
+void UnpackZigZagPrefixU64(const uint8_t* in, uint64_t in_bytes, uint64_t n,
+                           int width, uint64_t* out);
+
+/// In-place zigzag-decode + inclusive prefix sum (the tail half of the fused
+/// DELTA decode, for shapes whose codes were materialized by a patch pass).
+void ZigZagPrefixInPlaceU32(uint32_t* data, uint64_t n);
+void ZigZagPrefixInPlaceU64(uint64_t* data, uint64_t n);
 
 /// Inclusive prefix sum of uint32 values, 8 lanes at a time.
 void PrefixSumInclusiveU32(const uint32_t* in, uint64_t n, uint32_t* out);
 
+/// Inclusive prefix sum of uint64 values, 4 lanes at a time.
+void PrefixSumInclusiveU64(const uint64_t* in, uint64_t n, uint64_t* out);
+
 /// out[i] = in[i] + addend.
 void AddConstantU32(const uint32_t* in, uint64_t n, uint32_t addend,
                     uint32_t* out);
+void AddConstantU64(const uint64_t* in, uint64_t n, uint64_t addend,
+                    uint64_t* out);
 
 /// out[i] = values[indices[i]] via vpgatherdd.
 void GatherU32(const uint32_t* values, const uint32_t* indices, uint64_t n,
                uint32_t* out);
+
+/// Patched-exception scatter: data[positions[p]] = values[p]. AVX2 has no
+/// scatter instruction, so this is the (unrolled) scalar bound; callers
+/// validate positions/patch agreement first.
+void ScatterU32(uint32_t* data, const uint32_t* positions,
+                const uint32_t* values, uint64_t count);
+void ScatterU64(uint64_t* data, const uint32_t* positions,
+                const uint64_t* values, uint64_t count);
 
 }  // namespace recomp::ops::avx2
 

@@ -44,23 +44,29 @@ void PackScalar(const T* in, uint64_t n, int width, uint8_t* out) {
   }
 }
 
+/// Decodes the single `width`-bit value starting at bit `index * width`.
+/// Shared by UnpackOne, UnpackRange's scalar path, and the full unpack; reads
+/// past `in_bytes` decode as zero bits.
 template <typename T>
-void UnpackScalar(const uint8_t* in, uint64_t in_bytes, uint64_t n, int width,
-                  T* out) {
-  const uint64_t mask = bits::LowMask64(width);
-  const uint8_t* end = in + in_bytes;
-  uint64_t bitpos = 0;
+T UnpackOneScalar(const uint8_t* in, uint64_t in_bytes, uint64_t index,
+                  int width) {
+  const uint64_t bitpos = index * static_cast<uint64_t>(width);
+  const uint64_t byte = bitpos >> 3;
+  if (byte >= in_bytes) return T{0};
+  const int shift = static_cast<int>(bitpos & 7);
+  uint64_t v = LoadLE64Clamped(in + byte, in + in_bytes) >> shift;
+  if (shift + width > 64) {
+    // The value straddles 9 bytes (only possible for width > 56).
+    v |= static_cast<uint64_t>(in[byte + 8]) << (64 - shift);
+  }
+  return static_cast<T>(v & bits::LowMask64(width));
+}
+
+template <typename T>
+void UnpackScalar(const uint8_t* in, uint64_t in_bytes, uint64_t begin,
+                  uint64_t n, int width, T* out) {
   for (uint64_t i = 0; i < n; ++i) {
-    const uint64_t byte = bitpos >> 3;
-    const int shift = bitpos & 7;
-    uint64_t v = LoadLE64Clamped(in + byte, end) >> shift;
-    if (shift + width > 64) {
-      // The value straddles 9 bytes (only possible for width > 56).
-      const uint64_t hi = in[byte + 8];
-      v |= hi << (64 - shift);
-    }
-    out[i] = static_cast<T>(v & mask);
-    bitpos += width;
+    out[i] = UnpackOneScalar<T>(in, in_bytes, begin + i, width);
   }
 }
 
@@ -120,13 +126,29 @@ Result<Column<T>> Unpack(const PackedColumn& packed) {
     return out;
   }
   if constexpr (std::is_same_v<T, uint32_t>) {
-    if (HasAvx2() && packed.bit_width <= avx2::kMaxUnpackWidth) {
-      avx2::UnpackU32(packed.bytes.data(), packed.bytes.size(), packed.n,
+    if (HasAvx2()) {
+      if (BaselineUnpackForced()) {
+        // Pre-cascade decode for bench_a2: the gather kernel where it
+        // applied, scalar everywhere else.
+        if (packed.bit_width <= avx2::kMaxGatherUnpackWidth) {
+          avx2::UnpackU32Gather(packed.bytes.data(), packed.bytes.size(),
+                                packed.n, packed.bit_width, out.data());
+          return out;
+        }
+      } else {
+        avx2::UnpackU32(packed.bytes.data(), packed.bytes.size(), 0, packed.n,
+                        packed.bit_width, out.data());
+        return out;
+      }
+    }
+  } else if constexpr (std::is_same_v<T, uint64_t>) {
+    if (HasAvx2() && !BaselineUnpackForced()) {
+      avx2::UnpackU64(packed.bytes.data(), packed.bytes.size(), 0, packed.n,
                       packed.bit_width, out.data());
       return out;
     }
   }
-  UnpackScalar(packed.bytes.data(), packed.bytes.size(), packed.n,
+  UnpackScalar(packed.bytes.data(), packed.bytes.size(), 0, packed.n,
                packed.bit_width, out.data());
   return out;
 }
@@ -135,16 +157,8 @@ template <typename T>
 T UnpackOne(const PackedColumn& packed, uint64_t index) {
   RECOMP_DCHECK(index < packed.n, "UnpackOne index out of range");
   if (packed.bit_width == 0) return T{0};
-  const uint64_t bitpos = index * static_cast<uint64_t>(packed.bit_width);
-  const uint64_t byte = bitpos >> 3;
-  const int shift = bitpos & 7;
-  const uint8_t* begin = packed.bytes.data();
-  const uint8_t* end = begin + packed.bytes.size();
-  uint64_t v = LoadLE64Clamped(begin + byte, end) >> shift;
-  if (shift + packed.bit_width > 64) {
-    v |= static_cast<uint64_t>(begin[byte + 8]) << (64 - shift);
-  }
-  return static_cast<T>(v & bits::LowMask64(packed.bit_width));
+  return UnpackOneScalar<T>(packed.bytes.data(), packed.bytes.size(), index,
+                            packed.bit_width);
 }
 
 template <typename T>
@@ -160,21 +174,32 @@ Status UnpackRange(const PackedColumn& packed, uint64_t begin, uint64_t end,
     std::fill(out, out + (end - begin), T{0});
     return Status::OK();
   }
-  // Values are bit-contiguous, so row i starts at bit i * width; decode the
-  // requested rows directly without touching the rest of the payload.
-  const uint64_t mask = bits::LowMask64(packed.bit_width);
-  const uint8_t* base = packed.bytes.data();
-  const uint8_t* end_ptr = base + packed.bytes.size();
-  for (uint64_t i = begin; i < end; ++i) {
-    const uint64_t bitpos = i * static_cast<uint64_t>(packed.bit_width);
-    const uint64_t byte = bitpos >> 3;
-    const int shift = bitpos & 7;
-    uint64_t v = LoadLE64Clamped(base + byte, end_ptr) >> shift;
-    if (shift + packed.bit_width > 64) {
-      v |= static_cast<uint64_t>(base[byte + 8]) << (64 - shift);
-    }
-    out[i - begin] = static_cast<T>(v & mask);
+  const uint64_t needed = bits::PackedByteSize(packed.n, packed.bit_width);
+  if (packed.bytes.size() < needed) {
+    return Status::Corruption(StringFormat(
+        "packed payload holds %llu bytes, need %llu",
+        static_cast<unsigned long long>(packed.bytes.size()),
+        static_cast<unsigned long long>(needed)));
   }
+  // Values are bit-contiguous, so row i starts at bit i * width; decode the
+  // requested rows directly (same width-generic kernels as the full unpack)
+  // without touching the rest of the payload.
+  const uint64_t count = end - begin;
+  if constexpr (std::is_same_v<T, uint32_t>) {
+    if (HasAvx2() && !BaselineUnpackForced()) {
+      avx2::UnpackU32(packed.bytes.data(), packed.bytes.size(), begin, count,
+                      packed.bit_width, out);
+      return Status::OK();
+    }
+  } else if constexpr (std::is_same_v<T, uint64_t>) {
+    if (HasAvx2() && !BaselineUnpackForced()) {
+      avx2::UnpackU64(packed.bytes.data(), packed.bytes.size(), begin, count,
+                      packed.bit_width, out);
+      return Status::OK();
+    }
+  }
+  UnpackScalar(packed.bytes.data(), packed.bytes.size(), begin, count,
+               packed.bit_width, out);
   return Status::OK();
 }
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/chunked.h"
+#include "core/fused.h"
 #include "core/pipeline.h"
 #include "util/string_util.h"
 
@@ -85,7 +86,7 @@ JobOutcome RecompressOne(AppendableColumn& column, uint64_t slot,
   Result<AnyColumn> decompressed = AnyColumn();
   const AnyColumn* rows = StoredPlainData(current.root());
   if (rows == nullptr) {
-    decompressed = Decompress(current);
+    decompressed = FusedDecompress(current);
     if (!decompressed.ok()) return fail();
     rows = &*decompressed;
   }

@@ -112,6 +112,28 @@ TEST(AnalyzerTest, CostBudgetFiltersExpensiveSchemes) {
   }
 }
 
+TEST(AnalyzerTest, FusedDiscountAdmitsDeltaNsUnderTightBudget) {
+  // Sorted data with tiny deltas: DELTA-NS is the smallest candidate by
+  // bytes, but its operator-sum cost (2.5) used to blow a 1.5 budget and
+  // the analyzer settled for NS. The fused-cascade discount prices the
+  // single-pass decode under the same budget, flipping the winner.
+  Rng rng(40);
+  Column<uint32_t> col;
+  uint32_t v = 0;
+  for (int i = 0; i < 50000; ++i) {
+    v += 1 + static_cast<uint32_t>(rng.Below(3));
+    col.push_back(v);
+  }
+  AnalyzerOptions budget;
+  budget.max_cost_per_value = 1.5;
+  auto ranked = RankCandidates(AnyColumn(col), budget);
+  ASSERT_OK(ranked.status());
+  EXPECT_EQ(ranked->front().name, "DELTA-NS");
+  for (const auto& candidate : *ranked) {
+    EXPECT_LE(candidate.estimated_cost, 1.5) << candidate.name;
+  }
+}
+
 TEST(AnalyzerTest, ImpossibleBudgetErrors) {
   Column<uint32_t> col{1, 2, 3};
   AnalyzerOptions impossible;

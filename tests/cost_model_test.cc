@@ -54,6 +54,26 @@ TEST(CostModelTest, ModelRefsAmortizeBySegmentLength) {
             EstimateDecompressionCost(large, stats));
 }
 
+TEST(CostModelTest, FusedCascadeDiscountsBelowOperatorSum) {
+  // DELTA{ZIGZAG{NS}} decodes through one fused register-to-register pass,
+  // so it prices below the sum of its operators — specifically below the
+  // 1.5 "NS plus a little" budget that used to exclude it (the old price
+  // was exactly the operator sum, 2.5).
+  ColumnStats stats = StatsFor(gen::Uniform(1000, 1000, 1));
+  const double operator_sum = SchemeKindUnitCost(SchemeKind::kDelta) +
+                              SchemeKindUnitCost(SchemeKind::kZigZag) +
+                              SchemeKindUnitCost(SchemeKind::kNs);
+  EXPECT_GT(operator_sum, 1.5);
+  EXPECT_LT(EstimateDecompressionCost(MakeDeltaNs(), stats), 1.5);
+  // NS itself is discounted but stays the relative unit's neighborhood.
+  EXPECT_LT(EstimateDecompressionCost(Ns(), stats), 1.0);
+  // A shape with no fused kernel still pays full price.
+  EXPECT_DOUBLE_EQ(EstimateDecompressionCost(MakeDeltaVByte(), stats),
+                   SchemeKindUnitCost(SchemeKind::kDelta) +
+                       SchemeKindUnitCost(SchemeKind::kZigZag) +
+                       SchemeKindUnitCost(SchemeKind::kVByte));
+}
+
 TEST(CostModelTest, RpeCheaperThanRleOnPlanDepth) {
   // RPE (positions stored) prices below RLE (positions DELTA-compressed):
   // the §II-A trade in cost-model terms.

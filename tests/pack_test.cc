@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "columnar/stats.h"
+#include "ops/dispatch.h"
 #include "ops/pack.h"
 #include "util/bits.h"
 #include "util/random.h"
@@ -200,6 +201,79 @@ TEST(UnpackRangeTest, SweepsAllWidths) {
     }
   }
 }
+
+/// Regression for the width-generic kernels: every width, non-byte-aligned
+/// begins, both dispatch paths — UnpackRange and UnpackOne must match the
+/// full unpack element for element.
+class UnpackRangeSweep32 : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnpackRangeSweep32, AllBeginsBothPaths) {
+  const int width = GetParam();
+  Rng rng(3000 + width);
+  const uint32_t mask = bits::LowMask32(width);
+  Column<uint32_t> col;
+  for (int i = 0; i < 1000; ++i) {
+    col.push_back(static_cast<uint32_t>(rng.Next()) & mask);
+  }
+  auto packed = ops::Pack(col, width);
+  ASSERT_TRUE(packed.ok());
+  Column<uint32_t> buffer(col.size());
+  for (const bool scalar : {false, true}) {
+    ops::ForceScalar(scalar);
+    for (auto [begin, end] : std::vector<std::pair<uint64_t, uint64_t>>{
+             {0, 1000}, {0, 1}, {1, 2}, {3, 11}, {7, 1000}, {641, 642},
+             {333, 999}, {999, 1000}, {500, 500}}) {
+      ASSERT_TRUE(ops::UnpackRange(*packed, begin, end, buffer.data()).ok());
+      for (uint64_t i = begin; i < end; ++i) {
+        ASSERT_EQ(buffer[i - begin], col[i])
+            << "width=" << width << " scalar=" << scalar << " ["
+            << begin << "," << end << ")@" << i;
+      }
+    }
+    for (uint64_t i : {uint64_t{0}, uint64_t{1}, uint64_t{511},
+                       uint64_t{999}}) {
+      ASSERT_EQ(ops::UnpackOne<uint32_t>(*packed, i), col[i])
+          << "width=" << width << " scalar=" << scalar << " i=" << i;
+    }
+  }
+  ops::ForceScalar(false);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, UnpackRangeSweep32,
+                         ::testing::Range(0, 33));
+
+class UnpackRangeSweep64 : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnpackRangeSweep64, AllBeginsBothPaths) {
+  const int width = GetParam();
+  Rng rng(4000 + width);
+  const uint64_t mask = bits::LowMask64(width);
+  Column<uint64_t> col;
+  for (int i = 0; i < 500; ++i) col.push_back(rng.Next() & mask);
+  auto packed = ops::Pack(col, width);
+  ASSERT_TRUE(packed.ok());
+  Column<uint64_t> buffer(col.size());
+  for (const bool scalar : {false, true}) {
+    ops::ForceScalar(scalar);
+    for (auto [begin, end] : std::vector<std::pair<uint64_t, uint64_t>>{
+             {0, 500}, {0, 1}, {1, 6}, {17, 283}, {499, 500}, {250, 250}}) {
+      ASSERT_TRUE(ops::UnpackRange(*packed, begin, end, buffer.data()).ok());
+      for (uint64_t i = begin; i < end; ++i) {
+        ASSERT_EQ(buffer[i - begin], col[i])
+            << "width=" << width << " scalar=" << scalar << " ["
+            << begin << "," << end << ")@" << i;
+      }
+    }
+    for (uint64_t i : {uint64_t{0}, uint64_t{63}, uint64_t{499}}) {
+      ASSERT_EQ(ops::UnpackOne<uint64_t>(*packed, i), col[i])
+          << "width=" << width << " scalar=" << scalar << " i=" << i;
+    }
+  }
+  ops::ForceScalar(false);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, UnpackRangeSweep64,
+                         ::testing::Range(0, 65));
 
 TEST(UnpackRangeTest, BoundsValidated) {
   Column<uint32_t> col{1, 2, 3};

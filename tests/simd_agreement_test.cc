@@ -8,10 +8,12 @@
 #include "ops/dispatch.h"
 #include "ops/elementwise.h"
 #include "ops/gather.h"
+#include "ops/kernels_avx2.h"
 #include "ops/pack.h"
 #include "ops/prefix_sum.h"
 #include "util/bits.h"
 #include "util/random.h"
+#include "util/zigzag.h"
 
 namespace recomp {
 namespace {
@@ -51,6 +53,166 @@ TEST_P(UnpackAgreement, Agrees) {
 
 INSTANTIATE_TEST_SUITE_P(AllWidths, UnpackAgreement, ::testing::Range(0, 33));
 
+class UnpackAgreement64 : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnpackAgreement64, Agrees) {
+  const int width = GetParam();
+  Rng rng(700 + width);
+  for (uint64_t n : {1u, 3u, 4u, 5u, 64u, 100u, 4096u, 4100u}) {
+    Column<uint64_t> col;
+    const uint64_t mask = bits::LowMask64(width);
+    for (uint64_t i = 0; i < n; ++i) col.push_back(rng.Next() & mask);
+    auto packed = ops::Pack(col, width);
+    ASSERT_TRUE(packed.ok());
+    auto [simd, scalar] = BothPaths([&] {
+      auto out = ops::Unpack<uint64_t>(*packed);
+      return out.ok() ? *std::move(out) : Column<uint64_t>{};
+    });
+    EXPECT_EQ(simd, scalar) << "width=" << width << " n=" << n;
+    EXPECT_EQ(simd, col);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, UnpackAgreement64,
+                         ::testing::Range(0, 65));
+
+// The fused kernels are exercised directly against references computed in
+// the test: when the build lacks AVX2 they compile to scalar forwarders and
+// the comparisons still hold.
+
+TEST(FusedKernelAgreement, UnpackAddMatchesUnpackPlusAdd) {
+  Rng rng(45);
+  for (int width : {0, 1, 5, 13, 27, 32}) {
+    const uint32_t mask = bits::LowMask32(width);
+    Column<uint32_t> col;
+    for (int i = 0; i < 3000; ++i) {
+      col.push_back(static_cast<uint32_t>(rng.Next()) & mask);
+    }
+    auto packed = ops::Pack(col, width);
+    ASSERT_TRUE(packed.ok());
+    const uint32_t addend = static_cast<uint32_t>(rng.Next());
+    for (uint64_t begin : {0u, 3u, 17u, 2999u}) {
+      const uint64_t n = col.size() - begin;
+      Column<uint32_t> out(n);
+      ops::avx2::UnpackAddU32(packed->bytes.data(), packed->bytes.size(),
+                              begin, n, width, addend, out.data());
+      for (uint64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(out[i], static_cast<uint32_t>(col[begin + i] + addend))
+            << "width=" << width << " begin=" << begin << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(FusedKernelAgreement, UnpackAddMatchesUnpackPlusAdd64) {
+  Rng rng(46);
+  for (int width : {0, 1, 7, 33, 51, 64}) {
+    const uint64_t mask = bits::LowMask64(width);
+    Column<uint64_t> col;
+    for (int i = 0; i < 1000; ++i) col.push_back(rng.Next() & mask);
+    auto packed = ops::Pack(col, width);
+    ASSERT_TRUE(packed.ok());
+    const uint64_t addend = rng.Next();
+    for (uint64_t begin : {0u, 3u, 17u, 999u}) {
+      const uint64_t n = col.size() - begin;
+      Column<uint64_t> out(n);
+      ops::avx2::UnpackAddU64(packed->bytes.data(), packed->bytes.size(),
+                              begin, n, width, addend, out.data());
+      for (uint64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(out[i], col[begin + i] + addend)
+            << "width=" << width << " begin=" << begin << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(FusedKernelAgreement, UnpackZigZagPrefixDecodesDeltaCascade) {
+  Rng rng(47);
+  for (int width : {1, 4, 11, 23, 32}) {
+    // Original values whose zigzag deltas fit `width` bits.
+    Column<uint32_t> original;
+    Column<uint32_t> codes;
+    uint32_t prev = 0;
+    const uint32_t half = bits::LowMask32(width - 1);
+    for (int i = 0; i < 3000; ++i) {
+      const int64_t delta =
+          static_cast<int64_t>(rng.Below(2 * uint64_t{half} + 1)) - half;
+      const uint32_t v = prev + static_cast<uint32_t>(delta);
+      codes.push_back(zigzag::EncodeDiff<uint32_t>(v, prev));
+      original.push_back(v);
+      prev = v;
+    }
+    auto packed = ops::Pack(codes, width);
+    ASSERT_TRUE(packed.ok());
+    Column<uint32_t> out(original.size());
+    ops::avx2::UnpackZigZagPrefixU32(packed->bytes.data(),
+                                     packed->bytes.size(), out.size(), width,
+                                     out.data());
+    EXPECT_EQ(out, original) << "width=" << width;
+
+    // The in-place tail half must agree given materialized codes.
+    Column<uint32_t> in_place = codes;
+    ops::avx2::ZigZagPrefixInPlaceU32(in_place.data(), in_place.size());
+    EXPECT_EQ(in_place, original) << "width=" << width;
+  }
+}
+
+TEST(FusedKernelAgreement, UnpackZigZagPrefixDecodesDeltaCascade64) {
+  Rng rng(48);
+  for (int width : {1, 9, 33, 47, 64}) {
+    Column<uint64_t> original;
+    Column<uint64_t> codes;
+    uint64_t prev = 0;
+    const uint64_t mask = bits::LowMask64(width);
+    for (int i = 0; i < 1000; ++i) {
+      // Any code below 2^width zigzag-decodes to a valid (wrapping) delta.
+      const uint64_t code = rng.Next() & mask;
+      codes.push_back(code);
+      const uint64_t delta =
+          static_cast<uint64_t>(zigzag::Decode<uint64_t>(code));
+      const uint64_t v = prev + delta;
+      original.push_back(v);
+      prev = v;
+    }
+    auto packed = ops::Pack(codes, width);
+    ASSERT_TRUE(packed.ok());
+    Column<uint64_t> out(original.size());
+    ops::avx2::UnpackZigZagPrefixU64(packed->bytes.data(),
+                                     packed->bytes.size(), out.size(), width,
+                                     out.data());
+    EXPECT_EQ(out, original) << "width=" << width;
+
+    Column<uint64_t> in_place = codes;
+    ops::avx2::ZigZagPrefixInPlaceU64(in_place.data(), in_place.size());
+    EXPECT_EQ(in_place, original) << "width=" << width;
+  }
+}
+
+TEST(FusedKernelAgreement, ScatterAppliesPatches) {
+  Rng rng(49);
+  Column<uint32_t> data32(500, 7);
+  Column<uint64_t> data64(500, 9);
+  Column<uint32_t> expect32 = data32;
+  Column<uint64_t> expect64 = data64;
+  Column<uint32_t> positions;
+  Column<uint32_t> values32;
+  Column<uint64_t> values64;
+  for (int p = 0; p < 60; ++p) {
+    const uint32_t pos = static_cast<uint32_t>(rng.Below(500));
+    positions.push_back(pos);
+    values32.push_back(static_cast<uint32_t>(rng.Next()));
+    values64.push_back(rng.Next());
+    expect32[pos] = values32.back();
+    expect64[pos] = values64.back();
+  }
+  ops::avx2::ScatterU32(data32.data(), positions.data(), values32.data(),
+                        positions.size());
+  ops::avx2::ScatterU64(data64.data(), positions.data(), values64.data(),
+                        positions.size());
+  EXPECT_EQ(data32, expect32);
+  EXPECT_EQ(data64, expect64);
+}
+
 TEST(PrefixSumAgreement, RandomLengths) {
   Rng rng(42);
   for (uint64_t n : {0u, 1u, 7u, 8u, 9u, 15u, 16u, 17u, 1000u, 100000u}) {
@@ -58,6 +220,17 @@ TEST(PrefixSumAgreement, RandomLengths) {
     for (uint64_t i = 0; i < n; ++i) {
       col.push_back(static_cast<uint32_t>(rng.Next()));
     }
+    auto [simd, scalar] =
+        BothPaths([&] { return ops::PrefixSumInclusive(col); });
+    EXPECT_EQ(simd, scalar) << "n=" << n;
+  }
+}
+
+TEST(PrefixSumAgreement, RandomLengths64) {
+  Rng rng(52);
+  for (uint64_t n : {0u, 1u, 3u, 4u, 5u, 15u, 16u, 17u, 1000u, 100000u}) {
+    Column<uint64_t> col;
+    for (uint64_t i = 0; i < n; ++i) col.push_back(rng.Next());
     auto [simd, scalar] =
         BothPaths([&] { return ops::PrefixSumInclusive(col); });
     EXPECT_EQ(simd, scalar) << "n=" << n;
