@@ -70,6 +70,8 @@ class JsonReport {
     path_ = std::move(path);
   }
 
+  bool enabled() const { return enabled_; }
+
   void Set(const std::string& key, double value) { metrics_[key] = value; }
 
   /// Writes the collected metrics; dies if the file cannot be written so CI

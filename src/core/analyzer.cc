@@ -1,11 +1,14 @@
 #include "core/analyzer.h"
 
 #include <algorithm>
+#include <array>
 
 #include "columnar/stats.h"
 #include "core/catalog.h"
 #include "core/cost_model.h"
+#include "core/fused.h"
 #include "core/pipeline.h"
+#include "obs/metrics.h"
 #include "schemes/scheme_internal.h"
 #include "util/bits.h"
 #include "util/zigzag.h"
@@ -184,6 +187,32 @@ Result<SchemeDescriptor> ChooseScheme(const AnyColumn& input,
                                       const AnalyzerOptions& options) {
   RECOMP_ASSIGN_OR_RETURN(std::vector<CandidateEvaluation> ranked,
                           RankCandidates(input, options));
+  if (obs::Enabled()) {
+    // Per-choice rollup: how wide each search was, what shape won, and the
+    // bytes the cost model promised. analyzer.estimated_bytes pairs with
+    // analyzer.actual_bytes (counted where the choice is compressed) to
+    // expose cost-model drift in one snapshot.
+    obs::Registry& registry = obs::Registry::Get();
+    static obs::Counter& choices = registry.GetCounter("analyzer.choices");
+    static obs::Counter& considered =
+        registry.GetCounter("analyzer.candidates_considered");
+    static obs::Counter& estimated =
+        registry.GetCounter("analyzer.estimated_bytes");
+    static const std::array<obs::Counter*, kNumFusedShapes> chosen = [&] {
+      std::array<obs::Counter*, kNumFusedShapes> by_shape{};
+      for (int s = 0; s < kNumFusedShapes; ++s) {
+        by_shape[static_cast<size_t>(s)] = &registry.GetCounter(
+            std::string("analyzer.chosen.") +
+            FusedShapeName(static_cast<FusedShape>(s)));
+      }
+      return by_shape;
+    }();
+    choices.Increment();
+    considered.Add(ranked.size());
+    estimated.Add(ranked.front().estimated_bytes);
+    const FusedShape shape = ClassifyFusedDescriptor(ranked.front().descriptor);
+    chosen[static_cast<size_t>(static_cast<int>(shape))]->Increment();
+  }
   return ranked.front().descriptor;
 }
 

@@ -4,6 +4,7 @@
 
 #include "core/fused.h"
 #include "core/pipeline.h"
+#include "obs/metrics.h"
 #include "schemes/scheme_internal.h"
 #include "util/string_util.h"
 
@@ -176,11 +177,19 @@ Result<ChunkedCompressedColumn> CompressChunkedAuto(
   // Slice each chunk once and both analyze and compress it, instead of
   // going through ChooseSchemesChunked (which would slice everything a
   // second time just to return descriptors).
-  return CompressChunkedImpl(
+  Result<ChunkedCompressedColumn> out = CompressChunkedImpl(
       input, options, ctx,
       [&](const AnyColumn& slice) -> Result<SchemeDescriptor> {
         return ChooseScheme(slice, analyzer_options);
       });
+  if (out.ok() && obs::Enabled()) {
+    // The realized counterpart of analyzer.estimated_bytes (ChooseScheme):
+    // the two drifting apart is the cost model lying.
+    static obs::Counter& actual =
+        obs::Registry::Get().GetCounter("analyzer.actual_bytes");
+    actual.Add(out->PayloadBytes());
+  }
+  return out;
 }
 
 Result<AnyColumn> DecompressChunked(const ChunkedCompressedColumn& chunked,

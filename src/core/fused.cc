@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/pipeline.h"
+#include "obs/metrics.h"
 #include "ops/dispatch.h"
 #include "ops/kernels_avx2.h"
 #include "ops/pack.h"
@@ -63,7 +64,74 @@ bool IsPatchedNsDesc(const SchemeDescriptor* desc) {
          Child(*desc, "patch_values") == nullptr;
 }
 
+/// Decode counters by FusedShape × dispatch path, resolved once: a fused
+/// decode costs two sharded relaxed adds, nothing more. The counters exist
+/// even before the first decode (GetCounter creates on lookup), so a
+/// snapshot showing `fused.decode.ns.avx2 == 0` while scalar counts grow is
+/// the PR-7 dead-kernel regression, now visible instead of silent.
+struct DecodeCounters {
+  obs::Counter* count[kNumFusedShapes][2];
+  obs::Counter* bytes[kNumFusedShapes][2];
+  obs::Gauge* avx2_live;
+
+  static const DecodeCounters& Get() {
+    static const DecodeCounters counters = [] {
+      DecodeCounters c;
+      obs::Registry& registry = obs::Registry::Get();
+      for (int s = 0; s < kNumFusedShapes; ++s) {
+        const std::string shape = FusedShapeName(static_cast<FusedShape>(s));
+        c.count[s][0] =
+            &registry.GetCounter("fused.decode." + shape + ".scalar");
+        c.count[s][1] =
+            &registry.GetCounter("fused.decode." + shape + ".avx2");
+        c.bytes[s][0] =
+            &registry.GetCounter("fused.decoded_bytes." + shape + ".scalar");
+        c.bytes[s][1] =
+            &registry.GetCounter("fused.decoded_bytes." + shape + ".avx2");
+      }
+      c.avx2_live = &registry.GetGauge("dispatch.avx2_live");
+      return c;
+    }();
+    return counters;
+  }
+};
+
+/// Counts one successful node decode under the dispatch mode that served it.
+void CountDecode(FusedShape shape, const CompressedNode& node) {
+  const DecodeCounters& counters = DecodeCounters::Get();
+  const int path = ops::HasAvx2() ? 1 : 0;
+  const int s = static_cast<int>(shape);
+  counters.count[s][path]->Increment();
+  counters.bytes[s][path]->Add(
+      node.n * static_cast<uint64_t>(TypeIdByteWidth(node.out_type)));
+  counters.avx2_live->Set(path);
+}
+
 }  // namespace
+
+const char* FusedShapeName(FusedShape shape) {
+  switch (shape) {
+    case FusedShape::kRle:
+      return "rle";
+    case FusedShape::kFor:
+      return "for";
+    case FusedShape::kDeltaZigZagNs:
+      return "delta-zz-ns";
+    case FusedShape::kNs:
+      return "ns";
+    case FusedShape::kRleNs:
+      return "rle-ns";
+    case FusedShape::kPatchedNs:
+      return "patched-ns";
+    case FusedShape::kPfor:
+      return "pfor";
+    case FusedShape::kDeltaZigZagPatchedNs:
+      return "delta-zz-patched-ns";
+    case FusedShape::kGeneric:
+      return "generic";
+  }
+  return "unknown";
+}
 
 FusedShape ClassifyFusedShape(const CompressedNode& node) {
   if (!TypeIdIsUnsigned(node.out_type)) return FusedShape::kGeneric;
@@ -526,9 +594,11 @@ Result<AnyColumn> FusedDeltaZigZagPatchedNs(const CompressedNode& node) {
 Result<AnyColumn> FusedDecompressNode(const CompressedNode& node) {
   const FusedShape shape = ClassifyFusedShape(node);
   if (shape == FusedShape::kGeneric) {
-    return DecompressNode(node);
+    Result<AnyColumn> decoded = DecompressNode(node);
+    if (decoded.ok() && obs::Enabled()) CountDecode(shape, node);
+    return decoded;
   }
-  return internal::DispatchUnsignedTypeId(
+  Result<AnyColumn> decoded = internal::DispatchUnsignedTypeId(
       node.out_type, [&](auto tag) -> Result<AnyColumn> {
         using T = typename decltype(tag)::type;
         switch (shape) {
@@ -553,6 +623,8 @@ Result<AnyColumn> FusedDecompressNode(const CompressedNode& node) {
         }
         return DecompressNode(node);
       });
+  if (decoded.ok() && obs::Enabled()) CountDecode(shape, node);
+  return decoded;
 }
 
 Result<AnyColumn> FusedDecompress(const CompressedColumn& compressed) {

@@ -30,6 +30,13 @@ enum class FusedShape : int {
   kGeneric = 8,         ///< Anything else: per-scheme reference recursion.
 };
 
+/// Number of FusedShape enumerators (kGeneric included).
+inline constexpr int kNumFusedShapes = 9;
+
+/// Stable lowercase name, e.g. "delta-zz-ns"; used as a metric label
+/// (obs/metrics.h), so cardinality stays bounded by the enum.
+const char* FusedShapeName(FusedShape shape);
+
 /// Classifies which kernel FusedDecompress will use.
 FusedShape ClassifyFusedShape(const CompressedNode& node);
 

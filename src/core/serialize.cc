@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "schemes/scheme_internal.h"
 #include "util/string_util.h"
 
@@ -10,6 +11,20 @@ namespace recomp {
 namespace {
 
 constexpr char kMagic[4] = {'R', 'C', 'M', 'P'};
+
+/// Envelope traffic counters; `chunks` counts only the chunked format's
+/// directory entries (a whole-column buffer is one envelope, zero entries).
+void CountSerialized(const char* direction, uint64_t bytes, uint64_t chunks) {
+  if (!obs::Enabled()) return;
+  obs::Registry& registry = obs::Registry::Get();
+  registry.GetCounter(std::string("serialize.bytes_") + direction).Add(bytes);
+  registry.GetCounter(std::string("serialize.envelopes_") + direction)
+      .Increment();
+  if (chunks > 0) {
+    registry.GetCounter(std::string("serialize.chunks_") + direction)
+        .Add(chunks);
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Writing
@@ -250,6 +265,7 @@ Result<std::vector<uint8_t>> Serialize(const CompressedColumn& compressed) {
   w.Raw(kMagic, 4);
   w.U16(kSerializedVersion);
   WriteNode(w, compressed.root());
+  CountSerialized("written", out.size(), 0);
   return out;
 }
 
@@ -278,6 +294,7 @@ Result<std::vector<uint8_t>> Serialize(const ChunkedCompressedColumn& chunked) {
   for (const auto& chunk : chunked.chunks()) {
     WriteNode(w, chunk->column.root());
   }
+  CountSerialized("written", out.size(), chunked.num_chunks());
   return out;
 }
 
@@ -297,6 +314,7 @@ Result<CompressedColumn> Deserialize(const std::vector<uint8_t>& buffer) {
   if (!r.AtEnd()) {
     return Status::Corruption("trailing bytes after envelope");
   }
+  CountSerialized("read", buffer.size(), 0);
   return CompressedColumn(std::move(root));
 }
 
@@ -315,6 +333,7 @@ Result<ChunkedCompressedColumn> DeserializeChunked(
     if (!r.AtEnd()) {
       return Status::Corruption("trailing bytes after envelope");
     }
+    CountSerialized("read", buffer.size(), 0);
     return ChunkedCompressedColumn::FromSingle(
         CompressedColumn(std::move(root)));
   }
@@ -419,6 +438,7 @@ Result<ChunkedCompressedColumn> DeserializeChunked(
   if (out.size() != total_rows) {
     return Status::Corruption("total row count disagrees with the header");
   }
+  CountSerialized("read", buffer.size(), chunk_count);
   return out;
 }
 

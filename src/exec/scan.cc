@@ -7,10 +7,30 @@
 #include <utility>
 
 #include "exec/point_access.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "schemes/scheme_internal.h"
 #include "store/table.h"
+#include "util/string_util.h"
 
 namespace recomp::exec {
+
+std::string GatherStats::ToString() const {
+  std::string out =
+      StringFormat("rows=%llu chunks_touched=%llu",
+                   static_cast<unsigned long long>(rows),
+                   static_cast<unsigned long long>(chunks_touched));
+  bool any = false;
+  for (int s = 0; s < kNumStrategies; ++s) {
+    if (strategy_rows[s] == 0) continue;
+    out += StringFormat("%s%s=%llu", any ? " " : " [",
+                        StrategyName(static_cast<Strategy>(s)),
+                        static_cast<unsigned long long>(strategy_rows[s]));
+    any = true;
+  }
+  if (any) out += "]";
+  return out;
+}
 
 const char* AggregateOpName(AggregateOp op) {
   switch (op) {
@@ -44,6 +64,51 @@ enum class ChunkAction : uint8_t {
   kPruned,      ///< Zone map disjoint from the predicate: never touched.
   kFull,        ///< Zone map contained in the predicate: no decode.
   kExecute,     ///< Needs the per-chunk pushdown strategy, exactly once.
+};
+
+/// Scan metrics, resolved once. Per-strategy counters are split by unit:
+/// scan.strategy.* counts filter *chunks* served per pushdown path,
+/// gather.strategy.* counts materialized *rows* per point-access path.
+struct ScanMetrics {
+  obs::Counter* queries;
+  obs::Counter* rows_scanned;
+  obs::Counter* rows_matched;
+  obs::Counter* chunks_pruned;
+  obs::Counter* chunks_full;
+  obs::Counter* chunks_executed;
+  obs::Counter* values_decoded;
+  obs::Counter* filter_strategy[kNumStrategies];
+  obs::Counter* gather_rows;
+  obs::Counter* gather_chunks;
+  obs::Counter* gather_strategy[kNumStrategies];
+  obs::Histogram* selectivity_permille;
+
+  static const ScanMetrics& Get() {
+    static const ScanMetrics metrics = [] {
+      ScanMetrics m;
+      obs::Registry& registry = obs::Registry::Get();
+      m.queries = &registry.GetCounter("scan.queries");
+      m.rows_scanned = &registry.GetCounter("scan.rows_scanned");
+      m.rows_matched = &registry.GetCounter("scan.rows_matched");
+      m.chunks_pruned = &registry.GetCounter("scan.chunks_pruned");
+      m.chunks_full = &registry.GetCounter("scan.chunks_full");
+      m.chunks_executed = &registry.GetCounter("scan.chunks_executed");
+      m.values_decoded = &registry.GetCounter("scan.values_decoded");
+      m.gather_rows = &registry.GetCounter("gather.rows");
+      m.gather_chunks = &registry.GetCounter("gather.chunks_touched");
+      for (int s = 0; s < kNumStrategies; ++s) {
+        const char* name = StrategyName(static_cast<Strategy>(s));
+        m.filter_strategy[s] =
+            &registry.GetCounter(std::string("scan.strategy.") + name);
+        m.gather_strategy[s] =
+            &registry.GetCounter(std::string("gather.strategy.") + name);
+      }
+      m.selectivity_permille =
+          &registry.GetHistogram("scan.selectivity_permille");
+      return m;
+    }();
+    return metrics;
+  }
 };
 
 Column<uint32_t> IntersectSorted(const Column<uint32_t>& a,
@@ -213,6 +278,7 @@ Result<ScanResult> ScanColumns(
   result.rows_scanned = rows;
 
   if (!filters.empty()) {
+    const obs::Span filter_span("scan.filter");
     // Row-range partition: the finest refinement of every filter column's
     // chunk boundaries. Each range lies inside exactly one chunk of every
     // filter column, so a chunk zone map speaks for the whole range; with
@@ -408,7 +474,9 @@ Result<ScanResult> ScanColumns(
   }
 
   // Late materialization, one gather per distinct column even when it is
-  // both projected and aggregated.
+  // both projected and aggregated. The span closes at function exit, so the
+  // materialize phase covers projections, aggregates, and the metric fold.
+  const obs::Span materialize_span("scan.materialize");
   std::unordered_map<uint64_t, Gather> gathers;
   auto gather_for = [&](uint64_t col) -> Result<const Gather*> {
     auto it = gathers.find(col);
@@ -476,6 +544,54 @@ Result<ScanResult> ScanColumns(
       // whole-column min/max of an empty column, which keeps failing).
     }
     result.aggregates.push_back(std::move(out));
+  }
+
+  // Fold this query's counters into the process-wide registry — and, when
+  // the calling thread carries a ScanProfile, into that profile. Gather
+  // stats are folded from the dedup map, not the result entries, so a
+  // column both projected and aggregated counts once.
+  if (obs::Enabled()) {
+    const ScanMetrics& metrics = ScanMetrics::Get();
+    metrics.queries->Increment();
+    metrics.rows_scanned->Add(result.rows_scanned);
+    metrics.rows_matched->Add(result.rows_matched);
+    uint64_t chunks_pruned = 0;
+    uint64_t chunks_executed = 0;
+    uint64_t values_decoded = 0;
+    for (const ScanFilterStats& f : result.filters) {
+      chunks_pruned += f.stats.chunks_pruned;
+      chunks_executed += f.stats.chunks_executed;
+      values_decoded += f.stats.values_decoded;
+      metrics.chunks_full->Add(f.stats.chunks_full);
+      for (int s = 0; s < kNumStrategies; ++s) {
+        metrics.filter_strategy[s]->Add(f.stats.strategy_chunks[s]);
+      }
+    }
+    metrics.chunks_pruned->Add(chunks_pruned);
+    metrics.chunks_executed->Add(chunks_executed);
+    metrics.values_decoded->Add(values_decoded);
+    uint64_t gather_rows = 0;
+    for (const auto& entry : gathers) {
+      const GatherStats& gather_stats = entry.second.stats;
+      gather_rows += gather_stats.rows;
+      metrics.gather_chunks->Add(gather_stats.chunks_touched);
+      for (int s = 0; s < kNumStrategies; ++s) {
+        metrics.gather_strategy[s]->Add(gather_stats.strategy_rows[s]);
+      }
+    }
+    metrics.gather_rows->Add(gather_rows);
+    if (!result.filters.empty() && result.rows_scanned > 0) {
+      metrics.selectivity_permille->Record(result.rows_matched * 1000 /
+                                           result.rows_scanned);
+    }
+    if (obs::ScanProfile* profile = obs::CurrentProfile()) {
+      profile->AddCounter("rows_scanned", result.rows_scanned);
+      profile->AddCounter("rows_matched", result.rows_matched);
+      profile->AddCounter("chunks_pruned", chunks_pruned);
+      profile->AddCounter("chunks_executed", chunks_executed);
+      profile->AddCounter("values_decoded", values_decoded);
+      profile->AddCounter("gather_rows", gather_rows);
+    }
   }
 
   return result;

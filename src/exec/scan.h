@@ -138,6 +138,11 @@ struct GatherStats {
   uint64_t chunks_touched = 0;
   /// Rows served per point-access path, indexed by Strategy.
   uint64_t strategy_rows[kNumStrategies] = {};
+
+  /// One-line human-readable rendering, e.g.
+  /// "rows=1000 chunks_touched=3 [ns-direct=800 decompress-scan=200]"
+  /// (strategies that served zero rows are omitted).
+  std::string ToString() const;
 };
 
 /// One projected column: the selected rows' values in row order, in the

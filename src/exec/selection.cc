@@ -9,8 +9,30 @@
 #include "ops/pack.h"
 #include "schemes/scheme_internal.h"
 #include "util/bits.h"
+#include "util/string_util.h"
 
 namespace recomp::exec {
+
+std::string ChunkedSelectionStats::ToString() const {
+  std::string out = StringFormat(
+      "chunks total=%llu pruned=%llu full=%llu executed=%llu "
+      "values_decoded=%llu",
+      static_cast<unsigned long long>(chunks_total),
+      static_cast<unsigned long long>(chunks_pruned),
+      static_cast<unsigned long long>(chunks_full),
+      static_cast<unsigned long long>(chunks_executed),
+      static_cast<unsigned long long>(values_decoded));
+  bool any = false;
+  for (int s = 0; s < kNumStrategies; ++s) {
+    if (strategy_chunks[s] == 0) continue;
+    out += StringFormat("%s%s=%llu", any ? " " : " [",
+                        StrategyName(static_cast<Strategy>(s)),
+                        static_cast<unsigned long long>(strategy_chunks[s]));
+    any = true;
+  }
+  if (any) out += "]";
+  return out;
+}
 
 namespace {
 

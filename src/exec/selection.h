@@ -11,6 +11,7 @@
 #define RECOMP_EXEC_SELECTION_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/chunked.h"
@@ -68,6 +69,11 @@ struct ChunkedSelectionStats {
   uint64_t values_decoded = 0;
   /// Full stats of each executed chunk, in chunk order.
   std::vector<ChunkSelectionStats> per_chunk;
+
+  /// One-line human-readable rendering, e.g.
+  /// "chunks total=8 pruned=5 full=1 executed=2 values_decoded=4096
+  ///  [step-pruned=2]" (strategies with zero chunks are omitted).
+  std::string ToString() const;
 };
 
 /// The matching global positions plus chunk-level execution statistics.

@@ -1,0 +1,71 @@
+#include "obs/trace.h"
+
+#include "obs/metrics.h"
+#include "util/string_util.h"
+
+namespace recomp::obs {
+
+namespace {
+thread_local ScanProfile* t_current_profile = nullptr;
+}  // namespace
+
+void ScanProfile::AddCounter(const std::string& name, uint64_t delta) {
+  for (auto& [existing, value] : counters_) {
+    if (existing == name) {
+      value += delta;
+      return;
+    }
+  }
+  counters_.emplace_back(name, delta);
+}
+
+uint64_t ScanProfile::counter(const std::string& name) const {
+  for (const auto& [existing, value] : counters_) {
+    if (existing == name) return value;
+  }
+  return 0;
+}
+
+std::string ScanProfile::ToString() const {
+  std::string out = StringFormat("scan profile: total %.3f ms\n",
+                                 static_cast<double>(total_ns_) / 1e6);
+  for (const Phase& phase : phases_) {
+    out += StringFormat("  phase   %-32s %10.3f ms\n", phase.name.c_str(),
+                        static_cast<double>(phase.ns) / 1e6);
+  }
+  for (const auto& [name, value] : counters_) {
+    out += StringFormat("  counter %-32s %10llu\n", name.c_str(),
+                        static_cast<unsigned long long>(value));
+  }
+  return out;
+}
+
+ScanProfile* CurrentProfile() { return t_current_profile; }
+
+ProfileScope::ProfileScope(ScanProfile* profile)
+    : previous_(t_current_profile) {
+  t_current_profile = profile;
+}
+
+ProfileScope::~ProfileScope() { t_current_profile = previous_; }
+
+Span::Span(const char* name)
+    : name_(name),
+      start_ns_(MonotonicNanos()),
+      profile_(t_current_profile) {
+  if (profile_ != nullptr) ++profile_->open_spans_;
+}
+
+Span::~Span() {
+  const uint64_t ns = MonotonicNanos() - start_ns_;
+  Registry::Get()
+      .GetHistogram(std::string("span.") + name_)
+      .Record(ns);
+  if (profile_ != nullptr) {
+    --profile_->open_spans_;
+    if (profile_->open_spans_ == 0) profile_->total_ns_ += ns;
+    profile_->AddPhase(name_, ns);
+  }
+}
+
+}  // namespace recomp::obs

@@ -1,0 +1,112 @@
+// Lightweight scoped tracing: spans with thread-local context that roll up
+// into a per-query ScanProfile.
+//
+// A Span times one scoped section and records the elapsed nanoseconds into
+// the registry histogram "span.<name>" (obs/metrics.h). When the calling
+// thread has an active ScanProfile (installed with ProfileScope), the span
+// additionally lands in that profile, so one query's phases — filter,
+// gather, aggregate — read as one record instead of being smeared across
+// process-wide histograms:
+//
+//   obs::ScanProfile profile;
+//   {
+//     obs::ProfileScope scope(&profile);
+//     auto result = exec::Scan(snapshot, spec, ctx);
+//   }
+//   std::puts(profile.ToString().c_str());
+//
+// The context is thread-local and does not propagate to pool workers: spans
+// opened inside ParallelFor bodies still hit the global histograms, but only
+// spans on the installing thread join the profile. Phase timings of the
+// chunk-parallel operators therefore measure the fan-out-and-wait from the
+// caller's perspective — which is the latency a query actually observes.
+
+#ifndef RECOMP_OBS_TRACE_H_
+#define RECOMP_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace recomp::obs {
+
+/// One query's rollup: named phase durations plus named counters (rows,
+/// chunks pruned, bytes decoded — whatever the instrumented path reports).
+/// Not thread-safe; owned by the querying thread.
+class ScanProfile {
+ public:
+  struct Phase {
+    std::string name;
+    uint64_t ns = 0;
+  };
+
+  /// Appends a timed phase (spans call this on destruction).
+  void AddPhase(std::string name, uint64_t ns) {
+    phases_.push_back({std::move(name), ns});
+  }
+
+  /// Accumulates `delta` under `name` (repeated names add up).
+  void AddCounter(const std::string& name, uint64_t delta);
+
+  const std::vector<Phase>& phases() const { return phases_; }
+  const std::vector<std::pair<std::string, uint64_t>>& counters() const {
+    return counters_;
+  }
+  uint64_t counter(const std::string& name) const;
+
+  /// Total nanoseconds of the outermost recorded phases (nested spans are
+  /// included in their parents' time, so summing everything double-counts;
+  /// this sums only phases recorded while no other span was open).
+  uint64_t total_ns() const { return total_ns_; }
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+
+ private:
+  friend class Span;
+  std::vector<Phase> phases_;
+  std::vector<std::pair<std::string, uint64_t>> counters_;
+  uint64_t total_ns_ = 0;
+  /// Open spans on the profile's thread (depth counter; outermost spans
+  /// contribute to total_ns_).
+  uint64_t open_spans_ = 0;
+};
+
+/// The calling thread's active profile, or nullptr.
+ScanProfile* CurrentProfile();
+
+/// Installs `profile` as the calling thread's active profile for the scope's
+/// lifetime (restores the previous one on destruction; scopes nest).
+class ProfileScope {
+ public:
+  explicit ProfileScope(ScanProfile* profile);
+  ~ProfileScope();
+
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  ScanProfile* previous_;
+};
+
+/// Times a scope. On destruction records the elapsed nanoseconds into the
+/// registry histogram "span.<name>" and into the thread's active profile
+/// (if any). `name` must outlive the span (string literals do).
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  uint64_t start_ns_;
+  ScanProfile* profile_;  ///< Captured at construction.
+};
+
+}  // namespace recomp::obs
+
+#endif  // RECOMP_OBS_TRACE_H_

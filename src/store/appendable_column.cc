@@ -5,12 +5,42 @@
 
 #include "core/pipeline.h"
 #include "core/serialize.h"
+#include "obs/metrics.h"
 #include "schemes/scheme_internal.h"
 #include "util/string_util.h"
 
 namespace recomp::store {
 
 namespace {
+
+/// Seal-path metrics, resolved once. The backlog gauge counts slots still
+/// serving their stored-plain form: +1 when a tail rolls, -1 when either a
+/// seal job or a recompression seals the slot.
+struct StoreMetrics {
+  obs::Histogram* seal_ns;
+  obs::Counter* seal_completed;
+  obs::Counter* seal_cas_lost;
+  obs::Counter* seal_failed;
+  obs::Gauge* stored_plain_backlog;
+  obs::Counter* analyzer_actual_bytes;
+
+  static const StoreMetrics& Get() {
+    static const StoreMetrics metrics = [] {
+      StoreMetrics m;
+      obs::Registry& registry = obs::Registry::Get();
+      m.seal_ns = &registry.GetHistogram("store.seal_ns");
+      m.seal_completed = &registry.GetCounter("store.seal.completed");
+      m.seal_cas_lost = &registry.GetCounter("store.seal.cas_lost");
+      m.seal_failed = &registry.GetCounter("store.seal.failed");
+      m.stored_plain_backlog =
+          &registry.GetGauge("store.stored_plain_backlog");
+      m.analyzer_actual_bytes =
+          &registry.GetCounter("analyzer.actual_bytes");
+      return m;
+    }();
+    return metrics;
+  }
+};
 
 Result<AnyColumn> EmptyColumnOfType(TypeId type) {
   return internal::DispatchAnyTypeId(type, [](auto tag) -> Result<AnyColumn> {
@@ -233,6 +263,7 @@ Status AppendableColumn::RollTailLocked(std::vector<SealJob>* jobs) {
   tail_begin_ += job.zone.row_count;
   slots_.push_back(job.source);
   slot_states_.emplace_back();
+  StoreMetrics::Get().stored_plain_backlog->Add(1);
   jobs->push_back(std::move(job));
   return Status::OK();
 }
@@ -284,6 +315,7 @@ bool AppendableColumn::CompleteRecompress(
       // changed and drop its result).
       state.sealed = true;
       ++sealed_count_;
+      StoreMetrics::Get().stored_plain_backlog->Subtract(1);
     }
     ++state.recompress_count;
     swapped = true;
@@ -315,6 +347,8 @@ void AppendableColumn::AbortRecompress(uint64_t slot) {
 void AppendableColumn::ScheduleSealJobs(std::vector<SealJob> jobs) {
   for (SealJob& job : jobs) {
     seal_jobs_.Run(ctx_, [this, job = std::move(job)]() mutable {
+      const StoreMetrics& metrics = StoreMetrics::Get();
+      const uint64_t start_ns = obs::MonotonicNanos();
       // The expensive part — scheme search + compression — runs without the
       // lock; only the slot swap takes it.
       Result<CompressedColumn> compressed = [&]() -> Result<CompressedColumn> {
@@ -329,6 +363,11 @@ void AppendableColumn::ScheduleSealJobs(std::vector<SealJob> jobs) {
         }
         return Compress(rows, desc);
       }();
+      if (compressed.ok() && !options_.descriptor.has_value()) {
+        // The realized size of an analyzer choice (see ChooseScheme).
+        metrics.analyzer_actual_bytes->Add(compressed->PayloadBytes());
+      }
+      metrics.seal_ns->Record(obs::MonotonicNanos() - start_ns);
       MutexLock lock(&mu_);
       if (compressed.ok()) {
         if (slots_[job.slot] == job.source) {
@@ -336,11 +375,16 @@ void AppendableColumn::ScheduleSealJobs(std::vector<SealJob> jobs) {
               CompressedChunk{job.zone, std::move(*compressed)});
           slot_states_[job.slot].sealed = true;
           ++sealed_count_;
+          metrics.stored_plain_backlog->Subtract(1);
+          metrics.seal_completed->Increment();
+        } else {
+          // A recompression drained this slot while the job was queued or
+          // running; the slot is already sealed with an equivalent (or
+          // better) envelope, so the late result is dropped.
+          metrics.seal_cas_lost->Increment();
         }
-        // Else: a recompression drained this slot while the job was queued
-        // or running; the slot is already sealed with an equivalent (or
-        // better) envelope, so the late result is dropped.
       } else {
+        metrics.seal_failed->Increment();
         SlotState& state = slot_states_[job.slot];
         if (!state.sealed) {
           // The slot keeps serving the stored-plain form (still correct);

@@ -6,6 +6,7 @@
 #include "core/chunked.h"
 #include "core/fused.h"
 #include "core/pipeline.h"
+#include "obs/metrics.h"
 #include "util/string_util.h"
 
 namespace recomp::store {
@@ -64,6 +65,33 @@ struct JobOutcome {
   ChunkRecompression swap;  ///< Filled for kSwapped.
 };
 
+/// Recompression-job metrics, resolved once. cas_lost counts jobs whose
+/// replacement was ready but whose slot changed under them (the original
+/// seal job landed first); kept counts chunks priced and left alone.
+struct RecompressMetrics {
+  obs::Histogram* job_ns;
+  obs::Counter* swapped;
+  obs::Counter* kept;
+  obs::Counter* failed;
+  obs::Counter* cas_lost;
+  obs::Counter* bytes_saved;
+
+  static const RecompressMetrics& Get() {
+    static const RecompressMetrics metrics = [] {
+      RecompressMetrics m;
+      obs::Registry& registry = obs::Registry::Get();
+      m.job_ns = &registry.GetHistogram("store.recompress_ns");
+      m.swapped = &registry.GetCounter("store.recompress.swapped");
+      m.kept = &registry.GetCounter("store.recompress.kept");
+      m.failed = &registry.GetCounter("store.recompress.failed");
+      m.cas_lost = &registry.GetCounter("store.recompress.cas_lost");
+      m.bytes_saved = &registry.GetCounter("store.recompress.bytes_saved");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
 /// One recompression attempt over an already-claimed slot. Runs entirely
 /// without the column lock: rows come from the claimed (immutable) chunk,
 /// the swap at the end is the only locked step.
@@ -72,10 +100,14 @@ JobOutcome RecompressOne(AppendableColumn& column, uint64_t slot,
                          bool claimed_sealed,
                          const RecompressionPolicy& policy,
                          const std::string& column_name) {
+  const RecompressMetrics& metrics = RecompressMetrics::Get();
+  const uint64_t start_ns = obs::MonotonicNanos();
   JobOutcome outcome;
   const auto fail = [&]() {
     column.AbortRecompress(slot);
     outcome.kind = JobOutcome::Kind::kFailed;
+    metrics.failed->Increment();
+    metrics.job_ns->Record(obs::MonotonicNanos() - start_ns);
     return outcome;
   };
 
@@ -122,6 +154,8 @@ JobOutcome RecompressOne(AppendableColumn& column, uint64_t slot,
   if (!take) {
     column.AbortRecompress(slot);
     outcome.kind = JobOutcome::Kind::kKept;
+    metrics.kept->Increment();
+    metrics.job_ns->Record(obs::MonotonicNanos() - start_ns);
     return outcome;
   }
 
@@ -141,6 +175,15 @@ JobOutcome RecompressOne(AppendableColumn& column, uint64_t slot,
       slot, claimed, CompressedChunk{zone, std::move(*next)});
   outcome.kind =
       swapped ? JobOutcome::Kind::kSwapped : JobOutcome::Kind::kKept;
+  if (swapped) {
+    metrics.swapped->Increment();
+    if (bytes_before > bytes_after) {
+      metrics.bytes_saved->Add(bytes_before - bytes_after);
+    }
+  } else {
+    metrics.cas_lost->Increment();
+  }
+  metrics.job_ns->Record(obs::MonotonicNanos() - start_ns);
   return outcome;
 }
 

@@ -270,6 +270,27 @@ uint64_t Table::num_rows() const {
   return columns_.empty() ? 0 : columns_[0]->size();
 }
 
+obs::MetricsSnapshot Table::MetricsSnapshot() {
+  return obs::Registry::Get().Snapshot();
+}
+
+std::string Table::DebugString() const {
+  std::string out =
+      StringFormat("table: %zu columns, %llu rows\n", columns_.size(),
+                   static_cast<unsigned long long>(num_rows()));
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const AppendableColumn& column = *columns_[i];
+    out += StringFormat(
+        "  column %-24s %-8s chunks=%llu sealed=%llu pending_seals=%llu\n",
+        names_[i].c_str(), TypeIdName(column.type()),
+        static_cast<unsigned long long>(column.num_chunks()),
+        static_cast<unsigned long long>(column.sealed_chunks()),
+        static_cast<unsigned long long>(column.pending_seals()));
+  }
+  out += MetricsSnapshot().ToText();
+  return out;
+}
+
 Result<AppendableColumn*> Table::column(const std::string& name) {
   for (size_t i = 0; i < names_.size(); ++i) {
     if (names_[i] == name) return columns_[i].get();

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "store/appendable_column.h"
 #include "store/recompress.h"
 #include "util/mutex.h"
@@ -144,6 +145,18 @@ class Table {
   /// while maintenance runs). Manual MaintenanceTick/RecompressAll calls
   /// return their own reports and are not folded in here.
   RecompressionReport maintenance_report() const;
+
+  // --- Observability (src/obs/) ------------------------------------------
+
+  /// Point-in-time capture of the process-wide metric registry — every
+  /// subsystem's counters (ingest seals, recompression, scans, fused
+  /// decode, pool), not just this table's. Static because the registry is
+  /// process-wide; lives here so store users need not reach into obs::.
+  static obs::MetricsSnapshot MetricsSnapshot();
+
+  /// Human-readable state dump: per-column shape (rows, chunks, sealed
+  /// count, pending seals) followed by the registry's text exposition.
+  std::string DebugString() const;
 
  private:
   Table();  // Out of line: members need the complete Maintenance type.

@@ -3,7 +3,42 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace recomp {
+
+namespace {
+
+/// Pool metrics, resolved once. Indexed [priority] where it applies
+/// (0 = normal, 1 = low, matching TaskPriority's enumerator values).
+struct PoolMetrics {
+  obs::Counter* tasks[2];
+  obs::Counter* tasks_inline;
+  obs::Histogram* wait_ns[2];
+  obs::Histogram* run_ns;
+  obs::Counter* busy_ns;
+  obs::Gauge* depth[2];
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics metrics = [] {
+      PoolMetrics m;
+      obs::Registry& registry = obs::Registry::Get();
+      m.tasks[0] = &registry.GetCounter("pool.tasks.normal");
+      m.tasks[1] = &registry.GetCounter("pool.tasks.low");
+      m.tasks_inline = &registry.GetCounter("pool.tasks.inline");
+      m.wait_ns[0] = &registry.GetHistogram("pool.wait_ns.normal");
+      m.wait_ns[1] = &registry.GetHistogram("pool.wait_ns.low");
+      m.run_ns = &registry.GetHistogram("pool.run_ns");
+      m.busy_ns = &registry.GetCounter("pool.busy_ns");
+      m.depth[0] = &registry.GetGauge("pool.queue_depth.normal");
+      m.depth[1] = &registry.GetGauge("pool.queue_depth.low");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(uint64_t num_threads) {
   workers_.reserve(num_threads);
@@ -26,23 +61,36 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task, TaskPriority priority) {
+  const PoolMetrics& metrics = PoolMetrics::Get();
   if (workers_.empty()) {
     // No worker will ever drain the queue: run inline so a zero-thread pool
     // behaves exactly like the sequential path.
+    metrics.tasks_inline->Increment();
     task();
     return;
   }
+  const int pri = priority == TaskPriority::kLow ? 1 : 0;
+  metrics.tasks[pri]->Increment();
   {
     MutexLock lock(&mu_);
-    (priority == TaskPriority::kLow ? low_queue_ : queue_)
-        .push_back(std::move(task));
+    std::deque<QueuedTask>& target =
+        priority == TaskPriority::kLow ? low_queue_ : queue_;
+    target.push_back({std::move(task), obs::MonotonicNanos()});
+    metrics.depth[pri]->Set(static_cast<int64_t>(target.size()));
   }
   cv_.NotifyOne();
 }
 
+uint64_t ThreadPool::queue_depth(TaskPriority priority) const {
+  MutexLock lock(&mu_);
+  return priority == TaskPriority::kLow ? low_queue_.size() : queue_.size();
+}
+
 void ThreadPool::WorkerLoop() {
+  const PoolMetrics& metrics = PoolMetrics::Get();
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
+    int pri = 0;
     {
       MutexLock lock(&mu_);
       // Inline wait loop, not a predicate lambda: the lambda body would be
@@ -50,13 +98,23 @@ void ThreadPool::WorkerLoop() {
       while (!stop_ && queue_.empty() && low_queue_.empty()) cv_.Wait(lock);
       // Drain both queues even when stopping: destruction must not drop work
       // a ParallelFor or TaskGroup caller is still waiting on.
-      std::deque<std::function<void()>>& source =
-          !queue_.empty() ? queue_ : low_queue_;
+      pri = !queue_.empty() ? 0 : 1;
+      std::deque<QueuedTask>& source = pri == 0 ? queue_ : low_queue_;
       if (source.empty()) return;
       task = std::move(source.front());
       source.pop_front();
+      metrics.depth[pri]->Set(static_cast<int64_t>(source.size()));
     }
-    task();
+    const uint64_t start_ns = obs::MonotonicNanos();
+    if (task.enqueue_ns != 0 && start_ns > task.enqueue_ns) {
+      metrics.wait_ns[pri]->Record(start_ns - task.enqueue_ns);
+    }
+    active_workers_.fetch_add(1, std::memory_order_relaxed);
+    task.fn();
+    active_workers_.fetch_sub(1, std::memory_order_relaxed);
+    const uint64_t run_ns = obs::MonotonicNanos() - start_ns;
+    metrics.run_ns->Record(run_ns);
+    metrics.busy_ns->Add(run_ns);
   }
 }
 

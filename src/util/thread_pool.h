@@ -14,6 +14,7 @@
 #ifndef RECOMP_UTIL_THREAD_POOL_H_
 #define RECOMP_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -62,16 +63,36 @@ class ThreadPool {
   void Submit(std::function<void()> task,
               TaskPriority priority = TaskPriority::kNormal);
 
+  /// Number of tasks currently queued at `priority` (not yet picked up by a
+  /// worker). A point-in-time reading: the depth can change before the
+  /// caller acts on it.
+  uint64_t queue_depth(TaskPriority priority) const;
+
+  /// Number of workers currently running a task (as opposed to blocked on
+  /// the queues). Point-in-time, like queue_depth().
+  uint64_t active_workers() const {
+    return active_workers_.load(std::memory_order_relaxed);
+  }
+
  private:
+  /// One queued task plus its enqueue time, so workers can report how long
+  /// it sat behind other work (pool.wait_ns.* histograms).
+  struct QueuedTask {
+    std::function<void()> fn;
+    uint64_t enqueue_ns = 0;
+  };
+
   void WorkerLoop();
 
   /// Serializes queue state; workers block on cv_ while both queues are
   /// empty. Never held while a task runs.
-  Mutex mu_;
+  mutable Mutex mu_;
   CondVar cv_;
-  std::deque<std::function<void()>> queue_ RECOMP_GUARDED_BY(mu_);
-  std::deque<std::function<void()>> low_queue_ RECOMP_GUARDED_BY(mu_);
+  std::deque<QueuedTask> queue_ RECOMP_GUARDED_BY(mu_);
+  std::deque<QueuedTask> low_queue_ RECOMP_GUARDED_BY(mu_);
   bool stop_ RECOMP_GUARDED_BY(mu_) = false;
+  /// Workers running a task right now; relaxed — a count, not a lock.
+  std::atomic<uint64_t> active_workers_{0};
   /// Written by the constructor, joined by the destructor; num_threads()
   /// reads only the size, which is immutable in between. Not guarded.
   std::vector<std::thread> workers_;

@@ -200,6 +200,44 @@ TEST(ThreadPoolTest, ZeroThreadsRunsLowPriorityInline) {
   EXPECT_TRUE(ran);
 }
 
+TEST(ThreadPoolTest, IntrospectionReportsQueueDepthsAndActiveWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.queue_depth(TaskPriority::kNormal), 0u);
+  EXPECT_EQ(pool.queue_depth(TaskPriority::kLow), 0u);
+
+  // Wedge the single worker: everything submitted behind it stays queued,
+  // so the depths are deterministic while the gate is closed.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::promise<void> entered;
+  pool.Submit([gate, &entered] {
+    entered.set_value();
+    gate.wait();
+  });
+  entered.get_future().wait();  // The worker is now *running* the blocker.
+  EXPECT_EQ(pool.active_workers(), 1u);
+
+  for (int i = 0; i < 3; ++i) pool.Submit([] {});
+  for (int i = 0; i < 2; ++i) pool.Submit([] {}, TaskPriority::kLow);
+  EXPECT_EQ(pool.queue_depth(TaskPriority::kNormal), 3u);
+  EXPECT_EQ(pool.queue_depth(TaskPriority::kLow), 2u);
+
+  release.set_value();
+  TaskGroup fence;
+  fence.Run(ExecContext{&pool, 1}, [] {}, TaskPriority::kLow);
+  fence.Wait();  // Low-priority fence: both queues have drained.
+  EXPECT_EQ(pool.queue_depth(TaskPriority::kNormal), 0u);
+  EXPECT_EQ(pool.queue_depth(TaskPriority::kLow), 0u);
+}
+
+TEST(ThreadPoolTest, ZeroThreadPoolReportsEmptyIntrospection) {
+  ThreadPool pool(0);
+  pool.Submit([] {});  // Runs inline; nothing ever queues.
+  EXPECT_EQ(pool.queue_depth(TaskPriority::kNormal), 0u);
+  EXPECT_EQ(pool.queue_depth(TaskPriority::kLow), 0u);
+  EXPECT_EQ(pool.active_workers(), 0u);
+}
+
 TEST(ThreadPoolTest, DestructorDrainsPendingLowPriorityWork) {
   // Wedge the single worker, stack up low-priority work behind it, then
   // destroy the pool while that work is still queued. The destructor's

@@ -27,7 +27,7 @@ if [[ -z "${FORMAT}" ]]; then
   exit 2
 fi
 
-mapfile -t SOURCES < <(find src tests bench examples \
+mapfile -t SOURCES < <(find src tests bench examples tools \
   \( -name '*.cc' -o -name '*.cpp' -o -name '*.h' \) | sort)
 
 if [[ "${MODE}" == "check" ]]; then

@@ -40,7 +40,7 @@ fi
 
 # All first-party TUs. Headers are covered transitively via
 # HeaderFilterRegex in .clang-tidy.
-mapfile -t SOURCES < <(find src tests bench examples \
+mapfile -t SOURCES < <(find src tests bench examples tools \
   \( -name '*.cc' -o -name '*.cpp' \) -not -path 'tests/compile_fail/*' \
   | sort)
 
