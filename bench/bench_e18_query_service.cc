@@ -1,0 +1,302 @@
+// E18 — Query service: shared-scan batch execution for concurrent clients.
+//
+// Claim (ROADMAP "Query service layer"; cf. "Main Memory Scan Sharing For
+// Multi-Core CPUs" and the shared-scan literature): when many concurrent
+// queries target the same table version, executing each one solo repeats
+// the dominant cost — fused-decoding every surviving chunk — once per
+// query. Batching the queries of a short admission window into ONE
+// chunk-parallel pass decodes each chunk once and evaluates every query
+// against the shared decoded buffer, with selection vectors recycled
+// across identical predicates. Throughput then scales with the sharing
+// ratio (chunk evaluations per physical decode) instead of degrading
+// linearly with client count.
+//
+// Tables: a 64-concurrent-query HOT mix (8 distinct dashboard predicates,
+// 8 clients each) and a COLD mix (64 unique predicates) against the same
+// sealed two-column table; each mix runs naive-sequential (solo exec::Scan
+// per query, what a non-batching server does) and batched through the
+// QueryService. Every batched result is checked bit-identical to its solo
+// run (exec::ScanOutputsEqual) before any number is reported, and the
+// sharing ratio comes out of the process metrics snapshot
+// (service.chunk_evaluations / service.chunks_decoded).
+//
+// Acceptance gate: batched QPS must be >= 2x naive QPS on the hot mix —
+// the binary exits non-zero otherwise, so the CI bench smoke IS the check.
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "exec/scan.h"
+#include "gen/generators.h"
+#include "obs/metrics.h"
+#include "service/query_service.h"
+#include "store/table.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace recomp;
+using bench::ValueOrDie;
+using exec::AggregateOp;
+using exec::ScanSpec;
+using service::QueryService;
+using service::ServiceOptions;
+using store::Table;
+
+constexpr uint64_t kRows = 1u << 19;  // 512Ki rows x 2 columns.
+constexpr uint64_t kChunkRows = 16 * 1024;
+constexpr uint64_t kValueBound = 1u << 20;
+constexpr uint64_t kQueries = 64;  // >= 32-concurrent acceptance floor.
+
+double SecondsSince(const std::chrono::steady_clock::time_point& start) {
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+double PercentileSeconds(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const size_t index = static_cast<size_t>(
+      q * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[index];
+}
+
+/// The sealed shared table: "k" (filter column) and "v" (aggregate column),
+/// both uniform — every chunk straddles any interior predicate band, so
+/// nothing is zone-pruned or zone-contained and selection must decode.
+const Table& SharedTable() {
+  static const Table* table = [] {
+    auto created = ValueOrDie(
+        Table::Create({{"k", TypeId::kUInt32, {kChunkRows}, ""},
+                       {"v", TypeId::kUInt32, {kChunkRows}, ""}}),
+        "create");
+    bench::CheckOk(
+        created.AppendBatch(
+            {AnyColumn(gen::Uniform(kRows, kValueBound, 181)),
+             AnyColumn(gen::Uniform(kRows, kValueBound, 182))}),
+        "append");
+    bench::CheckOk(created.Seal(), "seal");
+    bench::CheckOk(created.Flush(), "flush");
+    return new Table(std::move(created));
+  }();
+  return *table;
+}
+
+/// HOT mix: 8 distinct dashboard predicates (~5% selectivity bands), each
+/// issued by 8 clients — the repeated-predicate shape selection-vector
+/// reuse exists for.
+std::vector<ScanSpec> HotSpecs() {
+  std::vector<ScanSpec> specs;
+  specs.reserve(kQueries);
+  for (uint64_t q = 0; q < kQueries; ++q) {
+    const uint64_t band = q % 8;
+    const uint64_t lo = kValueBound / 10 + band * (kValueBound / 12);
+    const uint64_t hi = lo + kValueBound / 20;
+    ScanSpec spec;
+    spec.Filter("k", {lo, hi}).Aggregate("v", AggregateOp::kSum);
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+/// COLD mix: 64 unique predicates — no selection vector is ever reused, so
+/// any win must come from decode sharing alone.
+std::vector<ScanSpec> ColdSpecs() {
+  Rng rng(183);
+  std::vector<ScanSpec> specs;
+  specs.reserve(kQueries);
+  for (uint64_t q = 0; q < kQueries; ++q) {
+    const uint64_t lo = 1 + rng.Below(kValueBound / 2);
+    const uint64_t hi = lo + 1 + rng.Below(kValueBound / 4);
+    ScanSpec spec;
+    spec.Filter("k", {lo, hi}).Aggregate("v", AggregateOp::kSum);
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+struct MixResult {
+  double naive_seconds = 0;
+  double batched_seconds = 0;
+  double naive_p50 = 0, naive_p99 = 0;
+  double batched_p50 = 0, batched_p99 = 0;
+  double sharing_ratio = 0;
+
+  double naive_qps() const { return kQueries / naive_seconds; }
+  double batched_qps() const { return kQueries / batched_seconds; }
+  double speedup() const { return batched_qps() / naive_qps(); }
+};
+
+/// Runs one mix both ways, asserting bit-identity per query.
+MixResult RunMix(const std::vector<ScanSpec>& specs) {
+  const Table& table = SharedTable();
+  const auto snapshot = ValueOrDie(table.Snapshot(), "snapshot");
+  MixResult result;
+
+  // Naive sequential: what a server answering each client solo pays.
+  std::vector<exec::ScanResult> solo;
+  solo.reserve(specs.size());
+  std::vector<double> naive_latency;
+  const auto naive_start = std::chrono::steady_clock::now();
+  for (const ScanSpec& spec : specs) {
+    const auto query_start = std::chrono::steady_clock::now();
+    solo.push_back(ValueOrDie(exec::Scan(snapshot, spec), "solo scan"));
+    naive_latency.push_back(SecondsSince(query_start));
+  }
+  result.naive_seconds = SecondsSince(naive_start);
+  result.naive_p50 = PercentileSeconds(naive_latency, 0.5);
+  result.naive_p99 = PercentileSeconds(naive_latency, 0.99);
+
+  // Batched: all queries land inside one admission window. The measured
+  // time includes the window itself — the real latency a client pays.
+  ServiceOptions options;
+  options.batch_window = std::chrono::microseconds(5000);
+  options.max_in_flight_per_client = kQueries;
+  auto service = ValueOrDie(QueryService::Create(&table, options), "service");
+  const obs::MetricsSnapshot before = Table::MetricsSnapshot();
+
+  std::vector<uint64_t> clients;
+  for (uint64_t c = 0; c < 8; ++c) clients.push_back(service->RegisterClient());
+  std::vector<QueryService::ResultFuture> futures;
+  futures.reserve(specs.size());
+  const auto batched_start = std::chrono::steady_clock::now();
+  for (size_t q = 0; q < specs.size(); ++q) {
+    futures.push_back(ValueOrDie(
+        service->Submit(clients[q % clients.size()], specs[q]), "submit"));
+  }
+  std::vector<exec::ScanResult> batched;
+  batched.reserve(futures.size());
+  std::vector<double> batched_latency;
+  for (auto& future : futures) {
+    batched.push_back(ValueOrDie(future.get(), "batched scan"));
+    // Slight overestimate for queries whose future settled before this
+    // loop reached them; honest for the drain-everything client pattern.
+    batched_latency.push_back(SecondsSince(batched_start));
+  }
+  result.batched_seconds = SecondsSince(batched_start);
+  result.batched_p50 = PercentileSeconds(batched_latency, 0.5);
+  result.batched_p99 = PercentileSeconds(batched_latency, 0.99);
+
+  // Bit-identity: batching must never change an answer.
+  for (size_t q = 0; q < specs.size(); ++q) {
+    if (!exec::ScanOutputsEqual(batched[q], solo[q])) {
+      std::fprintf(stderr, "FATAL query %zu: batched != solo\n", q);
+      std::exit(1);
+    }
+  }
+
+  // Sharing ratio out of the process metrics snapshot.
+  const obs::MetricsSnapshot after = Table::MetricsSnapshot();
+  const uint64_t decoded = after.counter("service.chunks_decoded") -
+                           before.counter("service.chunks_decoded");
+  const uint64_t evaluated = after.counter("service.chunk_evaluations") -
+                             before.counter("service.chunk_evaluations");
+  result.sharing_ratio =
+      decoded == 0 ? 0.0
+                   : static_cast<double>(evaluated) /
+                         static_cast<double>(decoded);
+  service->Stop();
+  return result;
+}
+
+void PrintMixRow(const char* name, const MixResult& mix) {
+  std::printf("%-10s %9.0f %9.0f %7.2fx %7.2f %8.2f %8.2f %8.2f %8.2f\n",
+              name, mix.naive_qps(), mix.batched_qps(), mix.speedup(),
+              mix.sharing_ratio, mix.naive_p50 * 1e3, mix.naive_p99 * 1e3,
+              mix.batched_p50 * 1e3, mix.batched_p99 * 1e3);
+}
+
+void PrintTables() {
+  bench::Section(
+      "E18: shared-scan service, 64 concurrent queries, naive vs batched");
+  std::printf("rows=%llu chunks=%llu window=5ms queries=%llu\n",
+              static_cast<unsigned long long>(kRows),
+              static_cast<unsigned long long>(kRows / kChunkRows),
+              static_cast<unsigned long long>(kQueries));
+  std::printf("%-10s %9s %9s %8s %7s %8s %8s %8s %8s\n", "mix",
+              "naiveQPS", "batchQPS", "speedup", "share", "n_p50ms",
+              "n_p99ms", "b_p50ms", "b_p99ms");
+
+  const MixResult hot = RunMix(HotSpecs());
+  PrintMixRow("hot", hot);
+  const MixResult cold = RunMix(ColdSpecs());
+  PrintMixRow("cold", cold);
+
+  auto& report = bench::JsonReport::Instance();
+  report.Set("e18.hot.naive_qps", hot.naive_qps());
+  report.Set("e18.hot.batched_qps", hot.batched_qps());
+  report.Set("e18.hot.speedup", hot.speedup());
+  report.Set("e18.hot.sharing_ratio", hot.sharing_ratio);
+  report.Set("e18.hot.naive_p99_ms", hot.naive_p99 * 1e3);
+  report.Set("e18.hot.batched_p99_ms", hot.batched_p99 * 1e3);
+  report.Set("e18.cold.naive_qps", cold.naive_qps());
+  report.Set("e18.cold.batched_qps", cold.batched_qps());
+  report.Set("e18.cold.speedup", cold.speedup());
+  report.Set("e18.cold.sharing_ratio", cold.sharing_ratio);
+
+  // The acceptance gate: >= 2x on the hot mix, with sharing actually
+  // materializing (more evaluations than physical decodes).
+  if (hot.speedup() < 2.0) {
+    std::fprintf(stderr, "FATAL hot-mix speedup %.2fx < 2.0x gate\n",
+                 hot.speedup());
+    std::exit(1);
+  }
+  if (hot.sharing_ratio <= 1.0) {
+    std::fprintf(stderr, "FATAL hot-mix sharing ratio %.2f <= 1\n",
+                 hot.sharing_ratio);
+    std::exit(1);
+  }
+}
+
+void BM_NaiveSequentialHotMix(benchmark::State& state) {
+  const auto snapshot = ValueOrDie(SharedTable().Snapshot(), "snapshot");
+  const std::vector<ScanSpec> specs = HotSpecs();
+  for (auto _ : state) {
+    uint64_t total = 0;
+    for (const ScanSpec& spec : specs) {
+      const auto result = ValueOrDie(exec::Scan(snapshot, spec), "scan");
+      total += result.aggregates[0].value();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kQueries));
+}
+BENCHMARK(BM_NaiveSequentialHotMix);
+
+void BM_BatchedHotMix(benchmark::State& state) {
+  const Table& table = SharedTable();
+  ServiceOptions options;
+  // No window hold: every iteration submits its burst back to back and the
+  // dispatcher groups whatever is queued, the steady-state server shape.
+  options.batch_window = std::chrono::microseconds(0);
+  options.max_in_flight_per_client = kQueries;
+  auto service = ValueOrDie(QueryService::Create(&table, options), "service");
+  const uint64_t client = service->RegisterClient();
+  const std::vector<ScanSpec> specs = HotSpecs();
+  for (auto _ : state) {
+    std::vector<QueryService::ResultFuture> futures;
+    futures.reserve(specs.size());
+    for (const ScanSpec& spec : specs) {
+      futures.push_back(
+          ValueOrDie(service->Submit(client, spec), "submit"));
+    }
+    uint64_t total = 0;
+    for (auto& future : futures) {
+      total += ValueOrDie(future.get(), "result").aggregates[0].value();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kQueries));
+  service->Stop();
+}
+BENCHMARK(BM_BatchedHotMix);
+
+}  // namespace
+
+RECOMP_BENCH_MAIN(PrintTables)

@@ -205,67 +205,108 @@ Result<ChunkedAggregateResult> AggregateWholeColumn(
   return result;
 }
 
-/// One late-materialization pass over a column: the selected rows' values
-/// (via chunk-grouped batch point access — one decompress per touched
-/// chunk) plus the access-path counts.
-struct Gather {
-  std::vector<PointResult> points;
-  GatherStats stats;
+/// The default per-chunk execution: the same pushdown strategies the
+/// per-operator free functions run. SelectChunk dispatches the chunk's
+/// compressed payload; GatherRows is chunk-grouped batch point access — one
+/// decompress per touched chunk.
+class DefaultChunkPipeline final : public ChunkPipeline {
+ public:
+  explicit DefaultChunkPipeline(
+      const std::vector<const ChunkedCompressedColumn*>& columns)
+      : columns_(columns) {}
+
+  Result<SelectionResult> SelectChunk(uint64_t column, uint64_t chunk,
+                                      const RangePredicate& predicate) override {
+    return SelectCompressed(columns_[column]->chunk(chunk).column, predicate);
+  }
+
+  Result<GatherResult> GatherRows(uint64_t column,
+                                  const std::vector<uint64_t>& rows,
+                                  const ExecContext& ctx) override {
+    GatherResult gather;
+    RECOMP_ASSIGN_OR_RETURN(
+        gather.points,
+        GetAtBatch(*columns_[column], rows, ctx, &gather.stats.chunks_touched));
+    gather.stats.rows = rows.size();
+    for (const PointResult& point : gather.points) {
+      ++gather.stats.strategy_rows[static_cast<int>(point.strategy)];
+    }
+    return gather;
+  }
+
+ private:
+  const std::vector<const ChunkedCompressedColumn*>& columns_;
 };
 
-Result<Gather> GatherColumn(const ChunkedCompressedColumn& column,
-                            const std::vector<uint64_t>& sel,
-                            const ExecContext& ctx) {
-  Gather gather;
-  RECOMP_ASSIGN_OR_RETURN(
-      gather.points,
-      GetAtBatch(column, sel, ctx, &gather.stats.chunks_touched));
-  gather.stats.rows = sel.size();
-  for (const PointResult& point : gather.points) {
-    ++gather.stats.strategy_rows[static_cast<int>(point.strategy)];
-  }
-  return gather;
+/// Prefixes an error with "<role> column '<name>': " so a multi-column spec
+/// reports *which* reference failed and in what role. Empty names — the
+/// single-column API — pass through untouched, keeping the per-operator
+/// wrappers' messages byte-identical to the historical ones.
+Status NameColumnError(const char* role, const std::string& name,
+                       Status status) {
+  if (status.ok() || name.empty()) return status;
+  return Status(status.code(), std::string(role) + " column '" + name +
+                                   "': " + status.message());
 }
 
 /// The scan driver over an already-bound column list. `rows` is the shared
-/// row count (every bound column has exactly this many rows).
+/// row count (every bound column has exactly this many rows). Per-chunk
+/// filtering and materialization route through `pipeline`.
 Result<ScanResult> ScanColumns(
     const std::vector<const ChunkedCompressedColumn*>& columns,
     const Lookup& lookup, uint64_t rows, const ScanSpec& spec,
-    const ExecContext& ctx) {
+    const ExecContext& ctx, ChunkPipeline& pipeline) {
   if (spec.filters().empty() && spec.projections().empty() &&
       spec.aggregates().empty()) {
     return Status::InvalidArgument(
         "empty scan spec: add a filter, projection, or aggregate");
   }
 
-  // Resolve every referenced column up front; the type/size error messages
-  // match the per-operator free functions so the thin wrappers over Scan
-  // report exactly what they used to.
+  // Resolve every referenced column up front, naming the role and column in
+  // every error so a failing multi-column spec says which reference broke;
+  // for the empty-name single-column API the messages stay exactly what the
+  // per-operator free functions historically reported.
   std::vector<ResolvedFilter> filters;
   for (const ScanSpec::FilterSpec& f : spec.filters()) {
-    RECOMP_ASSIGN_OR_RETURN(const uint64_t idx, lookup(f.column));
+    Result<uint64_t> resolved = lookup(f.column);
+    if (!resolved.ok()) {
+      return NameColumnError("filter", f.column, resolved.status());
+    }
+    const uint64_t idx = *resolved;
     if (!TypeIdIsUnsigned(columns[idx]->type())) {
-      return Status::InvalidArgument(
-          "range selection over compressed data requires an unsigned column");
+      return NameColumnError(
+          "filter", f.column,
+          Status::InvalidArgument("range selection over compressed data "
+                                  "requires an unsigned column"));
     }
     filters.push_back({idx, f.predicate});
   }
   std::vector<uint64_t> projections;
   for (const std::string& name : spec.projections()) {
-    RECOMP_ASSIGN_OR_RETURN(const uint64_t idx, lookup(name));
+    Result<uint64_t> resolved = lookup(name);
+    if (!resolved.ok()) {
+      return NameColumnError("projection", name, resolved.status());
+    }
+    const uint64_t idx = *resolved;
     if (!TypeIdIsUnsigned(columns[idx]->type())) {
-      return Status::InvalidArgument(
-          "point access requires an unsigned column");
+      return NameColumnError(
+          "projection", name,
+          Status::InvalidArgument("point access requires an unsigned column"));
     }
     projections.push_back(idx);
   }
   std::vector<std::pair<uint64_t, AggregateOp>> aggregates;
   for (const ScanSpec::AggregateSpec& a : spec.aggregates()) {
-    RECOMP_ASSIGN_OR_RETURN(const uint64_t idx, lookup(a.column));
+    Result<uint64_t> resolved = lookup(a.column);
+    if (!resolved.ok()) {
+      return NameColumnError("aggregate", a.column, resolved.status());
+    }
+    const uint64_t idx = *resolved;
     if (!TypeIdIsUnsigned(columns[idx]->type())) {
-      return Status::InvalidArgument(
-          "compressed aggregation requires an unsigned column");
+      return NameColumnError(
+          "aggregate", a.column,
+          Status::InvalidArgument(
+              "compressed aggregation requires an unsigned column"));
     }
     aggregates.push_back({idx, a.op});
   }
@@ -369,8 +410,8 @@ Result<ScanResult> ScanColumns(
         ctx, static_cast<uint64_t>(exec_pairs.size()), &slots,
         [&](uint64_t p) -> Result<SelectionResult> {
           const auto [f, c] = exec_pairs[p];
-          return SelectCompressed(columns[filters[f].column]->chunk(c).column,
-                                  filters[f].predicate);
+          return pipeline.SelectChunk(filters[f].column, c,
+                                      filters[f].predicate);
         }));
 
     // Stats, per filter in chunk order — each chunk counted once, so
@@ -477,19 +518,19 @@ Result<ScanResult> ScanColumns(
   // both projected and aggregated. The span closes at function exit, so the
   // materialize phase covers projections, aggregates, and the metric fold.
   const obs::Span materialize_span("scan.materialize");
-  std::unordered_map<uint64_t, Gather> gathers;
-  auto gather_for = [&](uint64_t col) -> Result<const Gather*> {
+  std::unordered_map<uint64_t, GatherResult> gathers;
+  auto gather_for = [&](uint64_t col) -> Result<const GatherResult*> {
     auto it = gathers.find(col);
     if (it != gathers.end()) return &it->second;
-    RECOMP_ASSIGN_OR_RETURN(Gather gather,
-                            GatherColumn(*columns[col], sel, ctx));
+    RECOMP_ASSIGN_OR_RETURN(GatherResult gather,
+                            pipeline.GatherRows(col, sel, ctx));
     return &gathers.emplace(col, std::move(gather)).first->second;
   };
 
   for (size_t p = 0; p < projections.size(); ++p) {
     ScanProjection out;
     out.column = spec.projections()[p];
-    RECOMP_ASSIGN_OR_RETURN(const Gather* gather, gather_for(projections[p]));
+    RECOMP_ASSIGN_OR_RETURN(const GatherResult* gather, gather_for(projections[p]));
     out.gather = gather->stats;
     RECOMP_ASSIGN_OR_RETURN(
         out.values,
@@ -519,7 +560,7 @@ Result<ScanResult> ScanColumns(
       if (op == AggregateOp::kCount) {
         out.agg.value = sel.size();
       } else if (!sel.empty()) {
-        RECOMP_ASSIGN_OR_RETURN(const Gather* gather, gather_for(col));
+        RECOMP_ASSIGN_OR_RETURN(const GatherResult* gather, gather_for(col));
         out.gather = gather->stats;
         uint64_t acc = op == AggregateOp::kMin ? ~uint64_t{0} : 0;
         for (const PointResult& point : gather->points) {
@@ -609,7 +650,8 @@ Result<ScanResult> Scan(const store::TableSnapshot& snapshot,
   const Lookup lookup = [&](const std::string& name) -> Result<uint64_t> {
     return snapshot.column_index(name);
   };
-  return ScanColumns(columns, lookup, snapshot.rows(), spec, ctx);
+  DefaultChunkPipeline pipeline(columns);
+  return ScanColumns(columns, lookup, snapshot.rows(), spec, ctx, pipeline);
 }
 
 Result<ScanResult> Scan(const ChunkedCompressedColumn& column,
@@ -621,7 +663,48 @@ Result<ScanResult> Scan(const ChunkedCompressedColumn& column,
                             "': a single-column scan addresses its column "
                             "with the empty name");
   };
-  return ScanColumns(columns, lookup, column.size(), spec, ctx);
+  DefaultChunkPipeline pipeline(columns);
+  return ScanColumns(columns, lookup, column.size(), spec, ctx, pipeline);
+}
+
+Result<ScanResult> ScanWithPipeline(const store::TableSnapshot& snapshot,
+                                    const ScanSpec& spec,
+                                    const ExecContext& ctx,
+                                    ChunkPipeline& pipeline) {
+  std::vector<const ChunkedCompressedColumn*> columns;
+  columns.reserve(snapshot.num_columns());
+  for (uint64_t i = 0; i < snapshot.num_columns(); ++i) {
+    columns.push_back(&snapshot.column(i).chunked());
+  }
+  const Lookup lookup = [&](const std::string& name) -> Result<uint64_t> {
+    return snapshot.column_index(name);
+  };
+  return ScanColumns(columns, lookup, snapshot.rows(), spec, ctx, pipeline);
+}
+
+bool ScanOutputsEqual(const ScanResult& a, const ScanResult& b) {
+  if (a.rows_scanned != b.rows_scanned || a.rows_matched != b.rows_matched ||
+      a.positions != b.positions) {
+    return false;
+  }
+  if (a.projections.size() != b.projections.size() ||
+      a.aggregates.size() != b.aggregates.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.projections.size(); ++i) {
+    const ScanProjection& pa = a.projections[i];
+    const ScanProjection& pb = b.projections[i];
+    if (pa.column != pb.column || !(pa.values == pb.values)) return false;
+  }
+  for (size_t i = 0; i < a.aggregates.size(); ++i) {
+    const ScanAggregate& aa = a.aggregates[i];
+    const ScanAggregate& ab = b.aggregates[i];
+    if (aa.column != ab.column || aa.op != ab.op || aa.rows != ab.rows ||
+        aa.agg.value != ab.agg.value) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace recomp::exec

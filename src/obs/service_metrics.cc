@@ -1,0 +1,38 @@
+#include "obs/service_metrics.h"
+
+namespace recomp::obs {
+
+const ServiceMetrics& ServiceMetrics::Get() {
+  static const ServiceMetrics metrics = [] {
+    ServiceMetrics m;
+    Registry& registry = Registry::Get();
+    m.admitted = &registry.GetCounter("service.queries.admitted");
+    m.rejected_queue_full =
+        &registry.GetCounter("service.queries.rejected_queue_full");
+    m.rejected_client_limit =
+        &registry.GetCounter("service.queries.rejected_client_limit");
+    m.deadline_expired =
+        &registry.GetCounter("service.queries.deadline_expired");
+    m.succeeded = &registry.GetCounter("service.queries.succeeded");
+    m.failed = &registry.GetCounter("service.queries.failed");
+    m.batches = &registry.GetCounter("service.batches");
+    m.batch_size = &registry.GetHistogram("service.batch_size");
+    m.chunks_decoded = &registry.GetCounter("service.chunks_decoded");
+    m.chunk_evaluations = &registry.GetCounter("service.chunk_evaluations");
+    m.selection_cache_hits =
+        &registry.GetCounter("service.selection_cache.hits");
+    m.selection_cache_misses =
+        &registry.GetCounter("service.selection_cache.misses");
+    m.selection_cache_invalidations =
+        &registry.GetCounter("service.selection_cache.invalidations");
+    m.snapshot_cache_hits = &registry.GetCounter("service.snapshot_cache.hits");
+    m.snapshot_cache_misses =
+        &registry.GetCounter("service.snapshot_cache.misses");
+    m.queue_wait_ns = &registry.GetHistogram("service.queue_wait_ns");
+    m.e2e_ns = &registry.GetHistogram("service.e2e_ns");
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace recomp::obs

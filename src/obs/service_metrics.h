@@ -1,0 +1,54 @@
+// Query-service metrics: the shared bundle behind src/service/.
+//
+// Lives in obs/ (not service/) because it is pure registry plumbing — the
+// same function-local-static bundle pattern as the scan and pool metrics —
+// and because two service translation units (the admission/dispatch layer
+// and the batch executor) record into the same counters.
+//
+// The headline derived quantity is the *sharing ratio*:
+//   service.chunk_evaluations / service.chunks_decoded
+// — how many per-query chunk evaluations each physical decode served. A
+// solo scan pins it at 1; a batch of N queries hitting the same chunks
+// drives it toward N. bench_e18 reads both counters from a registry
+// snapshot to report it.
+
+#ifndef RECOMP_OBS_SERVICE_METRICS_H_
+#define RECOMP_OBS_SERVICE_METRICS_H_
+
+#include "obs/metrics.h"
+
+namespace recomp::obs {
+
+/// Service metrics, resolved once (see Get()).
+struct ServiceMetrics {
+  // Admission control (service.queries.*).
+  Counter* admitted;              ///< Accepted into the queue.
+  Counter* rejected_queue_full;   ///< Refused: global queue at capacity.
+  Counter* rejected_client_limit; ///< Refused: client at max in-flight.
+  Counter* deadline_expired;      ///< Deadline passed before execution.
+  Counter* succeeded;             ///< Executed and returned a result.
+  Counter* failed;                ///< Executed and returned an error.
+
+  // Batch formation.
+  Counter* batches;        ///< Batches dispatched (service.batches).
+  Histogram* batch_size;   ///< Queries per batch (service.batch_size).
+
+  // Shared-scan work accounting.
+  Counter* chunks_decoded;     ///< Physical chunk decodes (once per chunk).
+  Counter* chunk_evaluations;  ///< Per-query chunk filter evaluations.
+  Counter* selection_cache_hits;
+  Counter* selection_cache_misses;
+  Counter* selection_cache_invalidations;
+  Counter* snapshot_cache_hits;
+  Counter* snapshot_cache_misses;
+
+  // Latency (nanoseconds).
+  Histogram* queue_wait_ns;  ///< Submit → batch pickup.
+  Histogram* e2e_ns;         ///< Submit → promise fulfilled.
+
+  static const ServiceMetrics& Get();
+};
+
+}  // namespace recomp::obs
+
+#endif  // RECOMP_OBS_SERVICE_METRICS_H_

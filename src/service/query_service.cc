@@ -1,0 +1,261 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "obs/service_metrics.h"
+
+namespace recomp::service {
+
+namespace {
+
+uint64_t ElapsedNanos(std::chrono::steady_clock::time_point from,
+                      std::chrono::steady_clock::time_point to) {
+  if (to <= from) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
+}
+
+}  // namespace
+
+Status ServiceOptions::Validate() const {
+  if (max_in_flight_per_client == 0) {
+    return Status::InvalidArgument(
+        "max_in_flight_per_client must be positive");
+  }
+  if (max_queue_depth == 0) {
+    return Status::InvalidArgument("max_queue_depth must be positive");
+  }
+  if (max_batch_queries == 0) {
+    return Status::InvalidArgument("max_batch_queries must be positive");
+  }
+  if (batch_window.count() < 0) {
+    return Status::InvalidArgument("batch_window must be non-negative");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<QueryService>> QueryService::Create(
+    const store::Table* table, ServiceOptions options, ExecContext ctx) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("query service needs a table");
+  }
+  RECOMP_RETURN_NOT_OK(options.Validate());
+  // unique_ptr, not value: the dispatcher thread holds `this`, so the
+  // service must never move. new because the constructor is private.
+  std::unique_ptr<QueryService> service(
+      new QueryService(table, options, ctx));
+  service->dispatcher_ = std::thread([s = service.get()] {
+    s->DispatcherLoop();
+  });
+  return service;
+}
+
+QueryService::QueryService(const store::Table* table, ServiceOptions options,
+                           ExecContext ctx)
+    : table_(table), options_(options), ctx_(ctx) {
+  ctx_.priority = TaskPriority::kHigh;
+  if (options_.reuse_selection_vectors) {
+    selection_cache_ = std::make_unique<SelectionVectorCache>(
+        options_.selection_cache_capacity);
+  }
+  decoded_cache_ =
+      std::make_unique<DecodedChunkCache>(options_.decoded_cache_bytes);
+}
+
+QueryService::~QueryService() { Stop(); }
+
+uint64_t QueryService::RegisterClient() {
+  MutexLock lock(&mu_);
+  const uint64_t id = next_client_++;
+  in_flight_.emplace(id, 0);
+  return id;
+}
+
+Result<QueryService::ResultFuture> QueryService::Submit(
+    uint64_t client, exec::ScanSpec spec,
+    std::optional<std::chrono::nanoseconds> deadline) {
+  const obs::ServiceMetrics& metrics = obs::ServiceMetrics::Get();
+  const auto now = std::chrono::steady_clock::now();
+  ResultFuture future;
+  {
+    MutexLock lock(&mu_);
+    if (stop_) {
+      return Status::InvalidArgument("query service is stopped");
+    }
+    const auto it = in_flight_.find(client);
+    if (it == in_flight_.end()) {
+      return Status::KeyError("no client registered with id " +
+                              std::to_string(client));
+    }
+    if (it->second >= options_.max_in_flight_per_client) {
+      metrics.rejected_client_limit->Increment();
+      return Status::ResourceExhausted(
+          "client " + std::to_string(client) + " already has " +
+          std::to_string(it->second) + " queries in flight");
+    }
+    if (queue_.size() >= options_.max_queue_depth) {
+      metrics.rejected_queue_full->Increment();
+      return Status::ResourceExhausted("query queue is full");
+    }
+    ++it->second;
+    Pending pending;
+    pending.client = client;
+    pending.spec = std::move(spec);
+    pending.enqueued = now;
+    if (deadline.has_value()) {
+      pending.has_deadline = true;
+      pending.deadline = now + *deadline;
+    }
+    future = pending.promise.get_future();
+    queue_.push_back(std::move(pending));
+  }
+  metrics.admitted->Increment();
+  cv_.NotifyOne();
+  return future;
+}
+
+void QueryService::Flush() {
+  MutexLock lock(&mu_);
+  while (!queue_.empty() || executing_) idle_cv_.Wait(lock);
+}
+
+void QueryService::Stop() {
+  {
+    MutexLock lock(&mu_);
+    stop_ = true;
+  }
+  cv_.NotifyAll();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+uint64_t QueryService::queue_depth() const {
+  MutexLock lock(&mu_);
+  return queue_.size();
+}
+
+ServiceStats QueryService::stats() const {
+  MutexLock lock(&mu_);
+  return totals_;
+}
+
+void QueryService::DispatcherLoop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      MutexLock lock(&mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(lock);
+      if (queue_.empty()) return;  // Stopped with nothing left to drain.
+      // Hold the window open for companion queries — unless stopping, the
+      // batch is full, or the window (anchored at the oldest queued query)
+      // has already closed.
+      const auto window_deadline =
+          queue_.front().enqueued + options_.batch_window;
+      while (!stop_ && queue_.size() < options_.max_batch_queries &&
+             std::chrono::steady_clock::now() < window_deadline) {
+        cv_.WaitUntil(lock, window_deadline);
+      }
+      const uint64_t take = std::min<uint64_t>(
+          queue_.size(), options_.max_batch_queries);
+      batch.reserve(take);
+      for (uint64_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      executing_ = true;
+    }
+    ExecuteWindow(&batch);
+    {
+      MutexLock lock(&mu_);
+      executing_ = false;
+    }
+    idle_cv_.NotifyAll();
+  }
+}
+
+void QueryService::ExecuteWindow(std::vector<Pending>* batch) {
+  const obs::ServiceMetrics& metrics = obs::ServiceMetrics::Get();
+  const auto picked_up = std::chrono::steady_clock::now();
+
+  // Expired deadlines are answered without executing; the rest run.
+  std::vector<Pending*> live;
+  live.reserve(batch->size());
+  for (Pending& pending : *batch) {
+    metrics.queue_wait_ns->Record(ElapsedNanos(pending.enqueued, picked_up));
+    if (pending.has_deadline && picked_up > pending.deadline) {
+      metrics.deadline_expired->Increment();
+      Finish(&pending, Status::DeadlineExceeded(
+                           "deadline passed while the query was queued"));
+      continue;
+    }
+    live.push_back(&pending);
+  }
+  if (live.empty()) return;
+
+  // Snapshot cache: cutting a snapshot is O(columns × chunks) pointer work,
+  // so reuse the cached one while the table's data version stands. The
+  // version is stamped under the table mutex in the same critical section
+  // that cuts the columns (store/table.h), so a cached snapshot whose
+  // version matches is exactly the snapshot a fresh cut would produce.
+  if (!snapshot_.has_value() || snapshot_->version() != table_->version()) {
+    Result<store::TableSnapshot> snap = table_->Snapshot();
+    if (!snap.ok()) {
+      const Status status = snap.status();
+      for (Pending* pending : live) {
+        metrics.failed->Increment();
+        Finish(pending, status);
+      }
+      return;
+    }
+    snapshot_.emplace(std::move(snap).ValueUnsafe());
+    metrics.snapshot_cache_misses->Increment();
+  } else {
+    metrics.snapshot_cache_hits->Increment();
+  }
+
+  metrics.batches->Increment();
+  metrics.batch_size->Record(live.size());
+
+  std::vector<const exec::ScanSpec*> specs;
+  specs.reserve(live.size());
+  for (const Pending* pending : live) specs.push_back(&pending->spec);
+  BatchStats stats;
+  std::vector<Result<exec::ScanResult>> results =
+      ExecuteBatch(*snapshot_, specs, ctx_, selection_cache_.get(),
+                   decoded_cache_.get(), &stats);
+
+  // Fold the accounting BEFORE fulfilling any promise: a client that
+  // observes its future ready must see its query in stats().
+  {
+    MutexLock lock(&mu_);
+    ++totals_.batches;
+    totals_.queries_executed += stats.queries;
+    totals_.chunks_decoded += stats.chunks_decoded;
+    totals_.chunk_evaluations += stats.chunk_evaluations;
+    totals_.selection_cache_hits += stats.selection_cache_hits;
+  }
+
+  for (size_t i = 0; i < live.size(); ++i) {
+    (results[i].ok() ? metrics.succeeded : metrics.failed)->Increment();
+    Finish(live[i], std::move(results[i]));
+  }
+
+  // Shrink the warm decoded working set back to budget between batches.
+  decoded_cache_->EvictToBudget();
+}
+
+void QueryService::Finish(Pending* pending, Result<exec::ScanResult> result) {
+  // Release the in-flight slot BEFORE fulfilling the promise: a client that
+  // observes its future ready must be able to submit again immediately.
+  {
+    MutexLock lock(&mu_);
+    const auto it = in_flight_.find(pending->client);
+    if (it != in_flight_.end() && it->second > 0) --it->second;
+  }
+  pending->promise.set_value(std::move(result));
+  obs::ServiceMetrics::Get().e2e_ns->Record(
+      ElapsedNanos(pending->enqueued, std::chrono::steady_clock::now()));
+}
+
+}  // namespace recomp::service

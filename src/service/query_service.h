@@ -1,0 +1,192 @@
+// QueryService: the front door for thousands of concurrent scan clients.
+//
+// Clients register, then submit ScanSpecs; each submit returns a future.
+// Admission control keeps an overload from queueing unbounded work: a
+// client over its in-flight limit or a full queue is refused immediately
+// with ResourceExhausted (fail fast beats queueing forever), and a query
+// whose deadline passes while queued is answered DeadlineExceeded without
+// executing. Admitted queries wait out a short batching window, then every
+// query of the window executes as ONE shared-scan batch over one table
+// snapshot (service/shared_scan.h): surviving chunks are fused-decoded once
+// and every query's predicate evaluates against the shared buffer, with
+// selection vectors recycled across queries and windows.
+//
+// The batching window is the classic shared-scan latency/throughput knob: a
+// longer window groups more queries per pass (higher sharing ratio, higher
+// throughput) at the cost of adding up to one window to each query's
+// latency. Batches run at TaskPriority::kHigh on the shared pool, so
+// interactive queries jump ahead of queued seal and recompression jobs.
+//
+// Results are bit-identical to running each spec through solo exec::Scan
+// against the same snapshot (exec::ScanOutputsEqual) — batching is purely
+// an execution strategy, never a semantic change.
+
+#ifndef RECOMP_SERVICE_QUERY_SERVICE_H_
+#define RECOMP_SERVICE_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "service/shared_scan.h"
+#include "store/table.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace recomp::service {
+
+/// Tuning knobs of a QueryService.
+struct ServiceOptions {
+  /// Max queries one client may have queued or executing; the next submit
+  /// is refused with ResourceExhausted.
+  uint64_t max_in_flight_per_client = 64;
+  /// Max queries queued across all clients; further submits are refused
+  /// with ResourceExhausted until the dispatcher drains.
+  uint64_t max_queue_depth = 4096;
+  /// How long the dispatcher holds the first query of a window open for
+  /// companions before executing the batch. 0 dispatches immediately
+  /// (batching still groups whatever queued while the previous batch ran).
+  std::chrono::microseconds batch_window{200};
+  /// Max queries per batch; a longer queue dispatches in successive batches.
+  uint64_t max_batch_queries = 1024;
+  /// Recycle per-chunk selection vectors across queries and windows.
+  bool reuse_selection_vectors = true;
+  /// Entry capacity of the selection-vector cache.
+  uint64_t selection_cache_capacity = 1u << 16;
+  /// Byte budget of decoded chunks kept warm across windows.
+  uint64_t decoded_cache_bytes = uint64_t{256} << 20;
+
+  Status Validate() const;
+};
+
+/// Aggregated work accounting since the service started (see BatchStats for
+/// the per-batch meaning of each field).
+struct ServiceStats {
+  uint64_t batches = 0;
+  uint64_t queries_executed = 0;
+  uint64_t chunks_decoded = 0;
+  uint64_t chunk_evaluations = 0;
+  uint64_t selection_cache_hits = 0;
+
+  /// chunk_evaluations per physical decode; the shared-scan win.
+  double sharing_ratio() const {
+    return chunks_decoded == 0
+               ? 0.0
+               : static_cast<double>(chunk_evaluations) /
+                     static_cast<double>(chunks_decoded);
+  }
+};
+
+/// The concurrent-client scan service over one Table. The table and the
+/// ExecContext's pool must outlive the service. All public methods are
+/// thread-safe except Stop(), which only the owning thread should call.
+class QueryService {
+ public:
+  /// A submitted query's eventual outcome.
+  using ResultFuture = std::future<Result<exec::ScanResult>>;
+
+  /// Validates `options` and starts the dispatcher thread. `ctx` is the
+  /// pool batches fan out over; its priority is raised to kHigh so batch
+  /// scans jump ahead of queued seal jobs (util/thread_pool.h).
+  static Result<std::unique_ptr<QueryService>> Create(const store::Table* table,
+                                                      ServiceOptions options = {},
+                                                      ExecContext ctx = {});
+
+  /// Stops the service (draining queued queries) and joins the dispatcher.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Registers a client and returns its id (admission is per client).
+  uint64_t RegisterClient();
+
+  /// Submits `spec` for client `client`. On admission, returns the future
+  /// delivering the scan result (or its per-query error); the optional
+  /// `deadline` is relative to now — a query still queued when it passes is
+  /// answered DeadlineExceeded instead of executing. Refusals:
+  ///   InvalidArgument    the service is stopped,
+  ///   KeyError           unknown client id,
+  ///   ResourceExhausted  client at max in-flight, or queue full.
+  Result<ResultFuture> Submit(
+      uint64_t client, exec::ScanSpec spec,
+      std::optional<std::chrono::nanoseconds> deadline = std::nullopt);
+
+  /// Blocks until every query admitted so far has been answered.
+  void Flush();
+
+  /// Drains queued queries, then stops and joins the dispatcher. Submits
+  /// arriving after Stop are refused. Idempotent; not safe to race with
+  /// itself (the destructor calls it).
+  void Stop();
+
+  /// Queries queued but not yet picked up by the dispatcher.
+  uint64_t queue_depth() const;
+
+  /// Aggregated execution accounting (point-in-time copy).
+  ServiceStats stats() const;
+
+ private:
+  /// One admitted query waiting for its window.
+  struct Pending {
+    uint64_t client = 0;
+    exec::ScanSpec spec;
+    std::promise<Result<exec::ScanResult>> promise;
+    std::chrono::steady_clock::time_point enqueued;
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  QueryService(const store::Table* table, ServiceOptions options,
+               ExecContext ctx);
+
+  void DispatcherLoop();
+
+  /// Executes one popped window: answers expired deadlines, resolves the
+  /// snapshot (cached while the table version stands), runs the shared-scan
+  /// batch, fulfills every promise. Runs on the dispatcher thread only.
+  void ExecuteWindow(std::vector<Pending>* batch);
+
+  /// Fulfills one query's promise and releases its in-flight slot.
+  void Finish(Pending* pending, Result<exec::ScanResult> result);
+
+  const store::Table* const table_;
+  const ServiceOptions options_;
+  /// The batch ExecContext: caller's pool, priority raised to kHigh.
+  ExecContext ctx_;
+
+  /// Null when options_.reuse_selection_vectors is false.
+  std::unique_ptr<SelectionVectorCache> selection_cache_;
+  std::unique_ptr<DecodedChunkCache> decoded_cache_;
+
+  /// Dispatcher-thread-only: the snapshot served while table_->version()
+  /// stands. Never read from other threads, so unguarded by design.
+  std::optional<store::TableSnapshot> snapshot_;
+
+  mutable Mutex mu_;
+  /// Wakes the dispatcher on submit and stop.
+  CondVar cv_;
+  /// Wakes Flush() when a batch finishes.
+  CondVar idle_cv_;
+  bool stop_ RECOMP_GUARDED_BY(mu_) = false;
+  std::deque<Pending> queue_ RECOMP_GUARDED_BY(mu_);
+  /// Per-client queued-or-executing counts; registration inserts, Finish
+  /// decrements.
+  std::unordered_map<uint64_t, uint64_t> in_flight_ RECOMP_GUARDED_BY(mu_);
+  uint64_t next_client_ RECOMP_GUARDED_BY(mu_) = 0;
+  bool executing_ RECOMP_GUARDED_BY(mu_) = false;
+  ServiceStats totals_ RECOMP_GUARDED_BY(mu_);
+
+  /// Started last in Create (after construction), joined by Stop.
+  std::thread dispatcher_;
+};
+
+}  // namespace recomp::service
+
+#endif  // RECOMP_SERVICE_QUERY_SERVICE_H_

@@ -1,0 +1,57 @@
+#include "service/selection_cache.h"
+
+#include "obs/service_metrics.h"
+
+namespace recomp::service {
+
+void SelectionVectorCache::PurgeIfStaleLocked(uint64_t version) {
+  if (version <= version_) return;
+  if (!entries_.empty()) {
+    obs::ServiceMetrics::Get().selection_cache_invalidations->Increment();
+    entries_.clear();
+    fifo_.clear();
+  }
+  version_ = version;
+}
+
+bool SelectionVectorCache::Lookup(uint64_t version, const SelectionKey& key,
+                                  exec::SelectionResult* out) {
+  const obs::ServiceMetrics& metrics = obs::ServiceMetrics::Get();
+  MutexLock lock(&mu_);
+  PurgeIfStaleLocked(version);
+  const auto it = entries_.find(key);
+  if (it == entries_.end() || version != version_) {
+    metrics.selection_cache_misses->Increment();
+    return false;
+  }
+  *out = it->second;
+  metrics.selection_cache_hits->Increment();
+  return true;
+}
+
+void SelectionVectorCache::Insert(uint64_t version, const SelectionKey& key,
+                                  const exec::SelectionResult& result) {
+  if (capacity_ == 0) return;
+  MutexLock lock(&mu_);
+  PurgeIfStaleLocked(version);
+  if (version != version_) return;  // Stale straggler: drop.
+  if (entries_.count(key) != 0) return;
+  while (entries_.size() >= capacity_) {
+    entries_.erase(fifo_.front());
+    fifo_.pop_front();
+  }
+  entries_.emplace(key, result);
+  fifo_.push_back(key);
+}
+
+uint64_t SelectionVectorCache::size() const {
+  MutexLock lock(&mu_);
+  return entries_.size();
+}
+
+uint64_t SelectionVectorCache::version() const {
+  MutexLock lock(&mu_);
+  return version_;
+}
+
+}  // namespace recomp::service

@@ -1,0 +1,100 @@
+// Selection-vector reuse across batches: the "recycling intermediates" leg
+// of shared-scan execution.
+//
+// Concurrent dashboards re-issue the same predicates every window. Once a
+// (column, chunk, predicate) selection has been computed against some table
+// version, every later query asking the same question against the *same*
+// version can reuse the positions verbatim — the data cannot have changed,
+// because appends are the only mutation that alters logical rows and every
+// append bumps the version (store/table.h). Sealing and background
+// recompression rewrite the representation only, so they neither bump the
+// version nor invalidate cached selections.
+//
+// The cache therefore keys on one current version: a lookup or insert
+// carrying a newer version purges everything from the older one first (a
+// table's versions move forward, so stale entries can never be asked for
+// again). Capacity is bounded by entry count with FIFO eviction — selection
+// vectors are small (positions only), so a simple bound beats byte
+// accounting here.
+
+#ifndef RECOMP_SERVICE_SELECTION_CACHE_H_
+#define RECOMP_SERVICE_SELECTION_CACHE_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "exec/selection.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace recomp::service {
+
+/// Identity of one cached per-chunk selection: which chunk of which column,
+/// filtered by which inclusive range.
+struct SelectionKey {
+  uint64_t column = 0;
+  uint64_t chunk = 0;
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  bool operator==(const SelectionKey& other) const {
+    return column == other.column && chunk == other.chunk && lo == other.lo &&
+           hi == other.hi;
+  }
+};
+
+/// Thread-safe (version, column, chunk, predicate) → selection-vector cache.
+/// All methods may be called concurrently from pool workers.
+class SelectionVectorCache {
+ public:
+  /// `capacity` = max cached entries; 0 disables caching (every lookup
+  /// misses, every insert is dropped).
+  explicit SelectionVectorCache(uint64_t capacity) : capacity_(capacity) {}
+
+  /// On hit, copies the cached selection into `*out` and returns true.
+  /// A `version` newer than the cache's purges every entry first (counted
+  /// once per purge in service.selection_cache.invalidations).
+  bool Lookup(uint64_t version, const SelectionKey& key,
+              exec::SelectionResult* out);
+
+  /// Caches `result` for `key` at `version`, evicting the oldest entry at
+  /// capacity. Inserts for an older version than the cache's are dropped
+  /// (a racing straggler must not resurrect stale data).
+  void Insert(uint64_t version, const SelectionKey& key,
+              const exec::SelectionResult& result);
+
+  /// Current entry count (point-in-time).
+  uint64_t size() const;
+
+  /// The version the cached entries belong to (point-in-time; 0 when empty
+  /// and never advanced).
+  uint64_t version() const;
+
+ private:
+  struct KeyHash {
+    size_t operator()(const SelectionKey& key) const {
+      // FNV-1a over the four words: cheap and good enough for a cache map.
+      uint64_t h = 1469598103934665603ull;
+      for (const uint64_t w : {key.column, key.chunk, key.lo, key.hi}) {
+        h = (h ^ w) * 1099511628211ull;
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+
+  /// Drops every entry when `version` is newer than the cached one.
+  void PurgeIfStaleLocked(uint64_t version) RECOMP_REQUIRES(mu_);
+
+  const uint64_t capacity_;
+  mutable Mutex mu_;
+  uint64_t version_ RECOMP_GUARDED_BY(mu_) = 0;
+  std::unordered_map<SelectionKey, exec::SelectionResult, KeyHash> entries_
+      RECOMP_GUARDED_BY(mu_);
+  /// Insertion order for FIFO eviction.
+  std::deque<SelectionKey> fifo_ RECOMP_GUARDED_BY(mu_);
+};
+
+}  // namespace recomp::service
+
+#endif  // RECOMP_SERVICE_SELECTION_CACHE_H_

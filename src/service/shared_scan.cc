@@ -1,0 +1,266 @@
+#include "service/shared_scan.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/fused.h"
+#include "obs/service_metrics.h"
+
+namespace recomp::service {
+
+namespace {
+
+/// Reads one element of a decoded (plain, unsigned) chunk as uint64.
+uint64_t ValueAt(const AnyColumn& values, uint64_t index) {
+  return values.VisitPlain([&](const auto& col) -> uint64_t {
+    return static_cast<uint64_t>(col[index]);
+  });
+}
+
+/// The shared per-chunk execution: one pipeline instance serves every query
+/// of a batch concurrently. SelectChunk answers from the selection cache
+/// when it can, otherwise scans the shared decoded buffer; GatherRows reads
+/// the shared buffers directly. All counters are atomics — pool workers
+/// running different queries call in simultaneously.
+class SharedScanPipeline final : public exec::ChunkPipeline {
+ public:
+  SharedScanPipeline(const store::TableSnapshot& snapshot,
+                     SelectionVectorCache* selection_cache,
+                     DecodedChunkCache* decoded_cache)
+      : version_(snapshot.version()),
+        selection_cache_(selection_cache),
+        decoded_cache_(decoded_cache) {
+    columns_.reserve(snapshot.num_columns());
+    for (uint64_t i = 0; i < snapshot.num_columns(); ++i) {
+      columns_.push_back(&snapshot.column(i).chunked());
+    }
+  }
+
+  Result<exec::SelectionResult> SelectChunk(
+      uint64_t column, uint64_t chunk,
+      const exec::RangePredicate& predicate) override {
+    chunk_evaluations_.fetch_add(1, std::memory_order_relaxed);
+    const SelectionKey key{column, chunk, predicate.lo, predicate.hi};
+    if (selection_cache_ != nullptr) {
+      exec::SelectionResult cached;
+      if (selection_cache_->Lookup(version_, key, &cached)) {
+        selection_hits_.fetch_add(1, std::memory_order_relaxed);
+        return cached;
+      }
+    }
+    RECOMP_ASSIGN_OR_RETURN(const std::shared_ptr<const AnyColumn> values,
+                            Decoded(column, chunk));
+    exec::SelectionResult result;
+    result.stats.strategy = exec::Strategy::kDecompressScan;
+    result.stats.values_decoded = values->size();
+    const uint64_t n = values->size();
+    for (uint64_t i = 0; i < n; ++i) {
+      const uint64_t v = ValueAt(*values, i);
+      if (v >= predicate.lo && v <= predicate.hi) {
+        result.positions.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    if (selection_cache_ != nullptr) {
+      selection_cache_->Insert(version_, key, result);
+    }
+    return result;
+  }
+
+  Result<exec::GatherResult> GatherRows(uint64_t column,
+                                        const std::vector<uint64_t>& rows,
+                                        const ExecContext& ctx) override {
+    (void)ctx;  // Buffers are already decoded; nothing to fan out.
+    const ChunkedCompressedColumn& chunked = *columns_[column];
+    exec::GatherResult out;
+    out.stats.rows = rows.size();
+    out.points.resize(rows.size());
+    // Rows arrive ascending (the driver gathers its sorted selection), so a
+    // forward walk visits each touched chunk once; the reset handles any
+    // out-of-order caller.
+    uint64_t chunk = 0;
+    bool loaded = false;
+    std::shared_ptr<const AnyColumn> values;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const uint64_t row = rows[i];
+      if (row >= chunked.size()) {
+        return Status::OutOfRange("row out of range");
+      }
+      if (loaded && row < chunked.chunk(chunk).zone.row_begin) {
+        chunk = 0;
+        loaded = false;
+      }
+      while (row >= chunked.chunk(chunk).zone.row_begin +
+                        chunked.chunk(chunk).zone.row_count) {
+        ++chunk;
+        loaded = false;
+      }
+      if (!loaded) {
+        RECOMP_ASSIGN_OR_RETURN(values, Decoded(column, chunk));
+        loaded = true;
+        ++out.stats.chunks_touched;
+      }
+      const uint64_t local = row - chunked.chunk(chunk).zone.row_begin;
+      out.points[i] = {ValueAt(*values, local),
+                       exec::Strategy::kDecompressScan};
+    }
+    out.stats.strategy_rows[static_cast<int>(
+        exec::Strategy::kDecompressScan)] = rows.size();
+    return out;
+  }
+
+  uint64_t chunk_evaluations() const {
+    return chunk_evaluations_.load(std::memory_order_relaxed);
+  }
+  uint64_t selection_hits() const {
+    return selection_hits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Result<std::shared_ptr<const AnyColumn>> Decoded(uint64_t column,
+                                                   uint64_t chunk) {
+    return decoded_cache_->GetOrDecode(
+        version_, column, chunk, columns_[column]->chunk(chunk).column);
+  }
+
+  const uint64_t version_;
+  std::vector<const ChunkedCompressedColumn*> columns_;
+  SelectionVectorCache* const selection_cache_;
+  DecodedChunkCache* const decoded_cache_;
+  std::atomic<uint64_t> chunk_evaluations_{0};
+  std::atomic<uint64_t> selection_hits_{0};
+};
+
+}  // namespace
+
+void DecodedChunkCache::PurgeIfStaleLocked(uint64_t version) {
+  if (version <= version_) return;
+  cells_.clear();
+  fifo_.clear();
+  bytes_ = 0;
+  version_ = version;
+}
+
+Result<std::shared_ptr<const AnyColumn>> DecodedChunkCache::GetOrDecode(
+    uint64_t version, uint64_t column, uint64_t chunk,
+    const CompressedColumn& compressed) {
+  std::shared_ptr<Cell> cell;
+  bool decoder = false;
+  {
+    MutexLock lock(&mu_);
+    PurgeIfStaleLocked(version);
+    if (version == version_) {
+      const uint64_t key = Key(column, chunk);
+      const auto it = cells_.find(key);
+      if (it != cells_.end()) {
+        cell = it->second;
+      } else {
+        cell = std::make_shared<Cell>();
+        cells_.emplace(key, cell);
+        fifo_.push_back(key);
+        decoder = true;
+      }
+    }
+  }
+  if (cell == nullptr) {
+    // A version older than the cache's (a straggling batch): decode without
+    // caching — stale data must never enter the map.
+    decodes_.fetch_add(1, std::memory_order_relaxed);
+    obs::ServiceMetrics::Get().chunks_decoded->Increment();
+    RECOMP_ASSIGN_OR_RETURN(AnyColumn decoded, FusedDecompress(compressed));
+    return std::make_shared<const AnyColumn>(std::move(decoded));
+  }
+  if (decoder) {
+    decodes_.fetch_add(1, std::memory_order_relaxed);
+    obs::ServiceMetrics::Get().chunks_decoded->Increment();
+    Result<AnyColumn> decoded = FusedDecompress(compressed);
+    uint64_t added_bytes = 0;
+    {
+      MutexLock lock(&cell->mu);
+      if (decoded.ok()) {
+        cell->values = std::make_shared<const AnyColumn>(
+            std::move(decoded).ValueUnsafe());
+        added_bytes = cell->values->ByteSize();
+      } else {
+        cell->status = std::move(decoded).status();
+      }
+      cell->done = true;
+    }
+    cell->cv.NotifyAll();
+    if (added_bytes != 0) {
+      MutexLock lock(&mu_);
+      bytes_ += added_bytes;
+    }
+  } else {
+    MutexLock lock(&cell->mu);
+    while (!cell->done) cell->cv.Wait(lock);
+  }
+  MutexLock lock(&cell->mu);
+  if (!cell->status.ok()) return cell->status;
+  return cell->values;
+}
+
+void DecodedChunkCache::EvictToBudget() {
+  MutexLock lock(&mu_);
+  while (bytes_ > max_bytes_ && !fifo_.empty()) {
+    const uint64_t key = fifo_.front();
+    fifo_.pop_front();
+    const auto it = cells_.find(key);
+    if (it == cells_.end()) continue;
+    {
+      // Only settled cells carry bytes; an in-flight cell (still decoding)
+      // accounts its bytes after we dropped it from the map, which is fine:
+      // bytes_ only ever overestimates until the next eviction pass.
+      MutexLock cell_lock(&it->second->mu);
+      if (it->second->done && it->second->values != nullptr) {
+        bytes_ -= std::min(bytes_, it->second->values->ByteSize());
+      }
+    }
+    cells_.erase(it);
+  }
+}
+
+uint64_t DecodedChunkCache::size() const {
+  MutexLock lock(&mu_);
+  return cells_.size();
+}
+
+uint64_t DecodedChunkCache::bytes() const {
+  MutexLock lock(&mu_);
+  return bytes_;
+}
+
+std::vector<Result<exec::ScanResult>> ExecuteBatch(
+    const store::TableSnapshot& snapshot,
+    const std::vector<const exec::ScanSpec*>& specs, const ExecContext& ctx,
+    SelectionVectorCache* selection_cache, DecodedChunkCache* decoded_cache,
+    BatchStats* stats) {
+  // Without a caller-retained working set, decode-once still holds within
+  // the batch via a batch-local cache.
+  DecodedChunkCache local_cache(0);
+  DecodedChunkCache* cache =
+      decoded_cache != nullptr ? decoded_cache : &local_cache;
+  const uint64_t decodes_before = cache->decodes();
+
+  SharedScanPipeline pipeline(snapshot, selection_cache, cache);
+  std::vector<Result<exec::ScanResult>> results(
+      specs.size(),
+      Result<exec::ScanResult>(Status::InvalidArgument("query not executed")));
+  ParallelFor(ctx, specs.size(), [&](uint64_t q) {
+    // Each query's driver runs sequentially inside its own task: nesting a
+    // fan-out on the shared pool would deadlock a saturated fixed-size pool,
+    // and cross-query parallelism already covers the batch.
+    results[q] = exec::ScanWithPipeline(snapshot, *specs[q], ExecContext{},
+                                        pipeline);
+  });
+
+  BatchStats batch;
+  batch.queries = specs.size();
+  batch.chunks_decoded = cache->decodes() - decodes_before;
+  batch.chunk_evaluations = pipeline.chunk_evaluations();
+  batch.selection_cache_hits = pipeline.selection_hits();
+  obs::ServiceMetrics::Get().chunk_evaluations->Add(batch.chunk_evaluations);
+  if (stats != nullptr) *stats = batch;
+  return results;
+}
+
+}  // namespace recomp::service

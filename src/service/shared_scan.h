@@ -1,0 +1,135 @@
+// Shared-scan batch execution: many queries, one pass over the data.
+//
+// The query service's core bet (after "Main-Memory Scan Sharing For
+// Multi-Core CPUs" and the cooperative-scans line of work, PAPERS.md): when
+// thousands of clients scan the same table, the dominant cost — fused
+// decompression of the surviving chunks — is identical work repeated per
+// query. A batch executor runs every query of a window through the factored
+// scan driver (exec::ScanWithPipeline), substituting a SharedScanPipeline
+// that serves all of them from one decoded copy of each chunk:
+//
+//   * zone-map planning stays *per query* (each query prunes independently,
+//     so a selective query never pays for a broad one's chunks);
+//   * a chunk needed by any query is fused-decoded exactly once per batch —
+//     and, via the DecodedChunkCache, at most once per table version while
+//     it stays within the byte budget;
+//   * each query's predicate then evaluates against the shared decoded
+//     buffer, and per-chunk selection vectors are recycled across queries
+//     and batches through the SelectionVectorCache.
+//
+// Outputs are bit-identical to running each query through solo exec::Scan
+// (exec::ScanOutputsEqual); only the execution stats differ — a shared
+// chunk reports decompress-scan instead of whatever pushdown strategy the
+// solo path would have picked. Results are deterministic for any thread
+// count: each query writes its own slot, and within a query the factored
+// driver keeps its usual index-order merges.
+
+#ifndef RECOMP_SERVICE_SHARED_SCAN_H_
+#define RECOMP_SERVICE_SHARED_SCAN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/scan.h"
+#include "service/selection_cache.h"
+#include "store/table.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace recomp::service {
+
+/// Decoded chunks shared by every query in a batch and kept warm across
+/// batching windows while the table version stands. Keyed (column, chunk)
+/// under one current version — a newer version purges everything, exactly
+/// like the selection cache. Thread-safe; concurrent requests for the same
+/// chunk block until the single decode finishes (per-entry latch), so a
+/// chunk is never decoded twice within a version no matter how many queries
+/// race for it.
+class DecodedChunkCache {
+ public:
+  /// `max_bytes` bounds the *retained* working set: EvictToBudget() drops
+  /// the oldest decoded chunks beyond it between batches. During a batch
+  /// the cache grows as needed — evicting mid-batch would just force
+  /// re-decodes.
+  explicit DecodedChunkCache(uint64_t max_bytes) : max_bytes_(max_bytes) {}
+
+  /// The decoded values of chunk `chunk` of column `column` (whose payload
+  /// is `compressed`), decoding via FusedDecompress on first touch. The
+  /// returned buffer is immutable and stays valid independent of eviction.
+  Result<std::shared_ptr<const AnyColumn>> GetOrDecode(
+      uint64_t version, uint64_t column, uint64_t chunk,
+      const CompressedColumn& compressed);
+
+  /// Drops oldest entries until the retained bytes fit max_bytes.
+  void EvictToBudget();
+
+  /// Physical decodes performed so far (monotonic; snapshot before/after a
+  /// batch for per-batch counts).
+  uint64_t decodes() const { return decodes_.load(std::memory_order_relaxed); }
+
+  /// Current retained entry count / byte footprint (point-in-time).
+  uint64_t size() const;
+  uint64_t bytes() const;
+
+ private:
+  /// One chunk's decode latch: filled exactly once, then immutable.
+  struct Cell {
+    Mutex mu;
+    CondVar cv;
+    bool done RECOMP_GUARDED_BY(mu) = false;
+    Status status RECOMP_GUARDED_BY(mu);
+    std::shared_ptr<const AnyColumn> values RECOMP_GUARDED_BY(mu);
+  };
+
+  static uint64_t Key(uint64_t column, uint64_t chunk) {
+    // Columns are few and chunk indices fit 32 bits (rows < 2^32).
+    return (column << 32) | chunk;
+  }
+
+  void PurgeIfStaleLocked(uint64_t version) RECOMP_REQUIRES(mu_);
+
+  const uint64_t max_bytes_;
+  std::atomic<uint64_t> decodes_{0};
+  mutable Mutex mu_;
+  uint64_t version_ RECOMP_GUARDED_BY(mu_) = 0;
+  std::unordered_map<uint64_t, std::shared_ptr<Cell>> cells_
+      RECOMP_GUARDED_BY(mu_);
+  std::deque<uint64_t> fifo_ RECOMP_GUARDED_BY(mu_);
+  uint64_t bytes_ RECOMP_GUARDED_BY(mu_) = 0;
+};
+
+/// Work accounting of one executed batch. The sharing ratio is
+/// chunk_evaluations / chunks_decoded: how many per-query evaluations each
+/// physical decode served (1 ≈ no sharing, N ≈ perfect sharing across an
+/// N-query batch).
+struct BatchStats {
+  uint64_t queries = 0;
+  uint64_t chunks_decoded = 0;      ///< FusedDecompress calls this batch.
+  uint64_t chunk_evaluations = 0;   ///< Per-query chunk filter evaluations.
+  uint64_t selection_cache_hits = 0;
+};
+
+/// Executes every spec in `specs` against `snapshot` as one shared-scan
+/// batch: queries fan out over `ctx` (each driver running sequentially
+/// inside its task — the pool is never nested), per-chunk work routes
+/// through the shared pipeline. results[i] is query i's outcome; a failing
+/// query (bad column name, unsupported type) fails only its own slot.
+///
+/// `selection_cache` and `decoded_cache` may be null: without a selection
+/// cache every evaluation scans the shared buffer; without a decoded cache
+/// a batch-local cache is used (decode-once within the batch, nothing
+/// retained). `stats`, when non-null, receives this batch's accounting;
+/// the same numbers also fold into the service.* registry metrics.
+std::vector<Result<exec::ScanResult>> ExecuteBatch(
+    const store::TableSnapshot& snapshot,
+    const std::vector<const exec::ScanSpec*>& specs, const ExecContext& ctx,
+    SelectionVectorCache* selection_cache, DecodedChunkCache* decoded_cache,
+    BatchStats* stats = nullptr);
+
+}  // namespace recomp::service
+
+#endif  // RECOMP_SERVICE_SHARED_SCAN_H_

@@ -270,6 +270,12 @@ uint64_t Table::num_rows() const {
   return columns_.empty() ? 0 : columns_[0]->size();
 }
 
+uint64_t Table::version() const {
+  LockedState& s = *state_;
+  MutexLock lock(&s.mu);
+  return s.version;
+}
+
 obs::MetricsSnapshot Table::MetricsSnapshot() {
   return obs::Registry::Get().Snapshot();
 }
@@ -353,6 +359,7 @@ Status Table::AppendRow(const std::vector<uint64_t>& values) {
     RECOMP_RETURN_NOT_OK(RecordMisalignmentLocked(
         s, columns_[i]->Append(values[i]), i));
   }
+  ++s.version;
   return Status::OK();
 }
 
@@ -379,6 +386,7 @@ Status Table::AppendBatch(const std::vector<AnyColumn>& columns) {
     RECOMP_RETURN_NOT_OK(RecordMisalignmentLocked(
         s, columns_[i]->AppendBatch(columns[i]), i));
   }
+  ++s.version;
   return Status::OK();
 }
 
@@ -404,6 +412,7 @@ Result<TableSnapshot> Table::Snapshot() const {
   MutexLock lock(&s.mu);
   RECOMP_RETURN_NOT_OK(s.table_status);
   TableSnapshot snap;
+  snap.version_ = s.version;
   snap.names_ = names_;
   for (uint64_t i = 0; i < names_.size(); ++i) {
     snap.index_.emplace(names_[i], i);

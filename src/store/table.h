@@ -41,6 +41,13 @@ class TableSnapshot {
   uint64_t num_columns() const { return columns_.size(); }
   const std::vector<std::string>& names() const { return names_; }
 
+  /// The table data version this snapshot was cut at (see Table::version):
+  /// two snapshots with the same version hold the same logical rows, so a
+  /// cached snapshot — and any selection vectors computed against it — can
+  /// be reused while the version stands. Stamped under the table mutex in
+  /// the same critical section that cuts the columns.
+  uint64_t version() const { return version_; }
+
   /// Index of the named column, or KeyError. O(1): the name→index map is
   /// built once when the snapshot is cut, not per lookup — scans resolve
   /// every referenced column through this.
@@ -54,6 +61,7 @@ class TableSnapshot {
  private:
   friend class Table;
   uint64_t rows_ = 0;
+  uint64_t version_ = 0;
   std::vector<std::string> names_;
   std::vector<ColumnSnapshot> columns_;
   std::unordered_map<std::string, uint64_t> index_;
@@ -83,9 +91,18 @@ class Table {
   /// Rows fully appended so far.
   uint64_t num_rows() const;
 
+  /// The table's data version: starts at 0 and increments on every
+  /// successful AppendRow/AppendBatch. Sealing and background recompression
+  /// do NOT bump it — they change the representation, never the logical
+  /// rows — so version equality means "same data", the invariant the query
+  /// service's snapshot and selection-vector caches key on.
+  uint64_t version() const;
+
   /// The live column, or KeyError — for per-column appends, snapshots, or
   /// introspection. Per-column appends break row alignment; mixing them
-  /// with AppendRow is the caller's responsibility.
+  /// with AppendRow is the caller's responsibility. They also bypass the
+  /// table version counter: a caller appending through this handle must not
+  /// rely on version() to invalidate snapshot caches.
   Result<AppendableColumn*> column(const std::string& name);
 
   /// Appends one row: values[i] goes to column i (unsigned columns; each
@@ -177,6 +194,8 @@ class Table {
     Mutex mu;
     /// Sticky: set when a mid-row append failure broke row alignment.
     Status table_status RECOMP_GUARDED_BY(mu);
+    /// Data version; bumped by successful appends, stamped into snapshots.
+    uint64_t version RECOMP_GUARDED_BY(mu) = 0;
     /// The guarded part is the *pointer* — replaced by StartMaintenance
     /// while report readers pin it; the state behind it has its own locks.
     std::shared_ptr<Maintenance> maintenance RECOMP_GUARDED_BY(mu);

@@ -21,6 +21,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Key error";
     case StatusCode::kUnknown:
       return "Unknown";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
   }
   return "Unknown";
 }

@@ -24,6 +24,9 @@ enum class StatusCode : int {
   kCorruption = 4,        ///< Compressed form failed validation.
   kKeyError = 5,          ///< Lookup of a named part/attribute failed.
   kUnknown = 6,
+  kResourceExhausted = 7, ///< Admission control refused more work (queue
+                          ///< depth, per-client in-flight limits).
+  kDeadlineExceeded = 8,  ///< The caller's deadline passed before execution.
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "Invalid argument").
@@ -65,6 +68,12 @@ class Status {
   }
   static Status KeyError(std::string msg) {
     return Status(StatusCode::kKeyError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -9,34 +9,43 @@ namespace recomp {
 
 namespace {
 
-/// Pool metrics, resolved once. Indexed [priority] where it applies
-/// (0 = normal, 1 = low, matching TaskPriority's enumerator values).
+/// Pool metrics, resolved once. Indexed [PriorityIndex(priority)] where it
+/// applies (0 = normal, 1 = low, 2 = high).
 struct PoolMetrics {
-  obs::Counter* tasks[2];
+  obs::Counter* tasks[kNumTaskPriorities];
   obs::Counter* tasks_inline;
-  obs::Histogram* wait_ns[2];
+  obs::Histogram* wait_ns[kNumTaskPriorities];
   obs::Histogram* run_ns;
   obs::Counter* busy_ns;
-  obs::Gauge* depth[2];
+  obs::Gauge* depth[kNumTaskPriorities];
 
   static const PoolMetrics& Get() {
     static const PoolMetrics metrics = [] {
       PoolMetrics m;
       obs::Registry& registry = obs::Registry::Get();
-      m.tasks[0] = &registry.GetCounter("pool.tasks.normal");
-      m.tasks[1] = &registry.GetCounter("pool.tasks.low");
+      static constexpr const char* kNames[kNumTaskPriorities] = {
+          "normal", "low", "high"};
+      for (int p = 0; p < kNumTaskPriorities; ++p) {
+        m.tasks[p] =
+            &registry.GetCounter(std::string("pool.tasks.") + kNames[p]);
+        m.wait_ns[p] =
+            &registry.GetHistogram(std::string("pool.wait_ns.") + kNames[p]);
+        m.depth[p] =
+            &registry.GetGauge(std::string("pool.queue_depth.") + kNames[p]);
+      }
       m.tasks_inline = &registry.GetCounter("pool.tasks.inline");
-      m.wait_ns[0] = &registry.GetHistogram("pool.wait_ns.normal");
-      m.wait_ns[1] = &registry.GetHistogram("pool.wait_ns.low");
       m.run_ns = &registry.GetHistogram("pool.run_ns");
       m.busy_ns = &registry.GetCounter("pool.busy_ns");
-      m.depth[0] = &registry.GetGauge("pool.queue_depth.normal");
-      m.depth[1] = &registry.GetGauge("pool.queue_depth.low");
       return m;
     }();
     return metrics;
   }
 };
+
+/// Queue drain order: high first, then normal, low last.
+constexpr int kDrainOrder[kNumTaskPriorities] = {
+    PriorityIndex(TaskPriority::kHigh), PriorityIndex(TaskPriority::kNormal),
+    PriorityIndex(TaskPriority::kLow)};
 
 }  // namespace
 
@@ -69,12 +78,11 @@ void ThreadPool::Submit(std::function<void()> task, TaskPriority priority) {
     task();
     return;
   }
-  const int pri = priority == TaskPriority::kLow ? 1 : 0;
+  const int pri = PriorityIndex(priority);
   metrics.tasks[pri]->Increment();
   {
     MutexLock lock(&mu_);
-    std::deque<QueuedTask>& target =
-        priority == TaskPriority::kLow ? low_queue_ : queue_;
+    std::deque<QueuedTask>& target = queues_[pri];
     target.push_back({std::move(task), obs::MonotonicNanos()});
     metrics.depth[pri]->Set(static_cast<int64_t>(target.size()));
   }
@@ -83,7 +91,7 @@ void ThreadPool::Submit(std::function<void()> task, TaskPriority priority) {
 
 uint64_t ThreadPool::queue_depth(TaskPriority priority) const {
   MutexLock lock(&mu_);
-  return priority == TaskPriority::kLow ? low_queue_.size() : queue_.size();
+  return queues_[PriorityIndex(priority)].size();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -95,12 +103,21 @@ void ThreadPool::WorkerLoop() {
       MutexLock lock(&mu_);
       // Inline wait loop, not a predicate lambda: the lambda body would be
       // analyzed as a function that does not hold mu_ (see util/mutex.h).
-      while (!stop_ && queue_.empty() && low_queue_.empty()) cv_.Wait(lock);
-      // Drain both queues even when stopping: destruction must not drop work
+      while (!stop_ && queues_[0].empty() && queues_[1].empty() &&
+             queues_[2].empty()) {
+        cv_.Wait(lock);
+      }
+      // Drain every queue even when stopping: destruction must not drop work
       // a ParallelFor or TaskGroup caller is still waiting on.
-      pri = !queue_.empty() ? 0 : 1;
-      std::deque<QueuedTask>& source = pri == 0 ? queue_ : low_queue_;
-      if (source.empty()) return;
+      pri = -1;
+      for (const int candidate : kDrainOrder) {
+        if (!queues_[candidate].empty()) {
+          pri = candidate;
+          break;
+        }
+      }
+      if (pri < 0) return;
+      std::deque<QueuedTask>& source = queues_[pri];
       task = std::move(source.front());
       source.pop_front();
       metrics.depth[pri]->Set(static_cast<int64_t>(source.size()));
@@ -136,11 +153,13 @@ void ParallelFor(const ExecContext& ctx, uint64_t n,
   for (uint64_t task = 1; task < num_tasks; ++task) {
     const uint64_t begin = task * grain;
     const uint64_t end = std::min(n, begin + grain);
-    ctx.pool->Submit([&, begin, end] {
-      for (uint64_t i = begin; i < end; ++i) fn(i);
-      MutexLock lock(&mu);
-      if (--pending == 0) done.NotifyOne();
-    });
+    ctx.pool->Submit(
+        [&, begin, end] {
+          for (uint64_t i = begin; i < end; ++i) fn(i);
+          MutexLock lock(&mu);
+          if (--pending == 0) done.NotifyOne();
+        },
+        ctx.priority);
   }
   // The calling thread takes the first range instead of idling.
   for (uint64_t i = 0; i < std::min(n, grain); ++i) fn(i);

@@ -28,14 +28,26 @@
 namespace recomp {
 
 /// Queue priority of one submitted task. Low-priority work (the store's
-/// background recompression jobs) runs only when no normal-priority task is
-/// queued, so maintenance never delays ingest seal jobs or scan fan-out
-/// sharing the same pool. Starvation is acceptable by design: a low task
-/// runs eventually because normal work is finite per operation.
-enum class TaskPriority { kNormal = 0, kLow = 1 };
+/// background recompression jobs) runs only when no normal- or high-priority
+/// task is queued, so maintenance never delays ingest seal jobs or scan
+/// fan-out sharing the same pool. High-priority work (the query service's
+/// batch scans) jumps ahead of queued normal tasks, so an interactive query
+/// never waits behind a burst of seal jobs. Starvation is acceptable by
+/// design: every queue drains eventually because work per operation is
+/// finite at each priority.
+enum class TaskPriority { kNormal = 0, kLow = 1, kHigh = 2 };
 
-/// A fixed-size pool of worker threads draining one shared FIFO queue (plus
-/// a low-priority queue drained only when the main queue is empty).
+/// Number of priorities (queue/metric array index = PriorityIndex below).
+inline constexpr int kNumTaskPriorities = 3;
+
+/// Stable array index of a priority: 0 = normal, 1 = low, 2 = high
+/// (the enumerator values, kept explicit so metric arrays stay aligned).
+constexpr int PriorityIndex(TaskPriority priority) {
+  return static_cast<int>(priority);
+}
+
+/// A fixed-size pool of worker threads draining one FIFO queue per priority
+/// (high before normal, low only when both others are empty).
 /// Tasks must not throw and must not block on work scheduled behind them in
 /// the same queue (no nested ParallelFor over the same pool).
 class ThreadPool {
@@ -58,8 +70,8 @@ class ThreadPool {
   static uint64_t DefaultThreadCount();
 
   /// Enqueues one task for execution on a worker thread; with zero workers,
-  /// runs it inline before returning. Low-priority tasks wait behind every
-  /// queued normal task (see TaskPriority).
+  /// runs it inline before returning. High-priority tasks run before queued
+  /// normal tasks; low-priority tasks wait behind both (see TaskPriority).
   void Submit(std::function<void()> task,
               TaskPriority priority = TaskPriority::kNormal);
 
@@ -84,12 +96,12 @@ class ThreadPool {
 
   void WorkerLoop();
 
-  /// Serializes queue state; workers block on cv_ while both queues are
+  /// Serializes queue state; workers block on cv_ while every queue is
   /// empty. Never held while a task runs.
   mutable Mutex mu_;
   CondVar cv_;
-  std::deque<QueuedTask> queue_ RECOMP_GUARDED_BY(mu_);
-  std::deque<QueuedTask> low_queue_ RECOMP_GUARDED_BY(mu_);
+  /// One FIFO queue per priority, indexed by PriorityIndex.
+  std::deque<QueuedTask> queues_[kNumTaskPriorities] RECOMP_GUARDED_BY(mu_);
   bool stop_ RECOMP_GUARDED_BY(mu_) = false;
   /// Workers running a task right now; relaxed — a count, not a lock.
   std::atomic<uint64_t> active_workers_{0};
@@ -107,6 +119,10 @@ class ThreadPool {
 struct ExecContext {
   ThreadPool* pool = nullptr;
   uint64_t min_chunks_per_task = 1;
+  /// The queue every ParallelFor fan-out submits at. kNormal for the
+  /// library's own operators; the query service raises its batch execution
+  /// to kHigh so interactive scans jump ahead of queued seal jobs.
+  TaskPriority priority = TaskPriority::kNormal;
 
   /// True when work can actually fan out.
   bool parallel() const { return pool != nullptr && pool->num_threads() > 1; }

@@ -152,6 +152,67 @@ TEST(ScanTest, UnknownSnapshotColumnRejected) {
   }
 }
 
+TEST(ScanTest, LookupErrorsNameTheRoleAndColumn) {
+  // A failing multi-column spec must say which reference broke and in what
+  // role — "projection column 'gone': …", not a bare "no column named".
+  auto table = store::Table::Create({{"a", TypeId::kUInt32, {kChunk}, ""}});
+  ASSERT_OK(table.status());
+  ASSERT_OK(table->AppendRow({1}));
+  auto snap = table->Snapshot();
+  ASSERT_OK(snap.status());
+
+  struct Case {
+    ScanSpec spec;
+    std::string needle;
+  };
+  const Case cases[] = {
+      {ScanSpec().Filter("nope", RangePredicate{}), "filter column 'nope'"},
+      {ScanSpec().Project({"gone"}), "projection column 'gone'"},
+      {ScanSpec().Aggregate("axed", AggregateOp::kSum),
+       "aggregate column 'axed'"},
+  };
+  for (const Case& c : cases) {
+    const auto result = Scan(*snap, c.spec);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kKeyError);
+    EXPECT_NE(result.status().message().find(c.needle), std::string::npos)
+        << result.status().ToString();
+  }
+
+  // Mixed specs report the first failing reference in spec-section order
+  // (filters, then projections, then aggregates).
+  ScanSpec mixed;
+  mixed.Filter("a", RangePredicate{}).Project({"gone"}).Aggregate(
+      "axed", AggregateOp::kSum);
+  const auto result = Scan(*snap, mixed);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("projection column 'gone'"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(ScanTest, EmptyNameErrorsKeepTheLegacyMessages) {
+  // The single-column API addresses its column with the empty name; its
+  // errors must stay byte-identical to the per-operator free functions'
+  // (no "filter column ''" prefix).
+  const Column<uint32_t> col = MixedShapes(100, 7);
+  auto chunked = CompressChunkedAuto(AnyColumn(col), {kChunk});
+  ASSERT_OK(chunked.status());
+  const auto result =
+      Scan(*chunked, ScanSpec().Filter("missing", RangePredicate{}));
+  ASSERT_FALSE(result.ok());
+  // A *named* reference on the single-column API is wrapped with its role…
+  EXPECT_NE(result.status().message().find("filter column 'missing'"),
+            std::string::npos)
+      << result.status().ToString();
+  // …while empty-name specs never gain a prefix (an empty scan spec is the
+  // simplest probe: its message has no column role in it).
+  const auto empty = Scan(*chunked, ScanSpec{});
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().message().find("column '"), std::string::npos)
+      << empty.status().ToString();
+}
+
 // ---------------------------------------------------------------------------
 // Single-column scans vs the oracle and the legacy wrappers.
 // ---------------------------------------------------------------------------

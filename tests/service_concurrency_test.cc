@@ -1,0 +1,228 @@
+// QueryService under concurrency: clients racing submits against live
+// ingest (AppendBatch/Seal/MaintenanceTick), and a fuzz sweep asserting
+// batched execution is bit-identical to solo exec::Scan across pool sizes
+// and batching windows. The CI thread-sanitizer job runs the full suite, so
+// every interleaving exercised here must be TSan-clean.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "exec/scan.h"
+#include "service/query_service.h"
+#include "store/table.h"
+#include "test_util.h"
+#include "util/macros.h"
+#include "util/random.h"
+
+namespace recomp {
+namespace {
+
+using exec::AggregateOp;
+using exec::ScanOutputsEqual;
+using exec::ScanSpec;
+using service::QueryService;
+using service::ServiceOptions;
+using store::Table;
+
+constexpr uint64_t kChunk = 1024;
+constexpr uint64_t kValueBound = 1u << 20;
+
+TEST(ServiceConcurrencyTest, SubmitsRaceAppendsSealsAndMaintenance) {
+  constexpr uint64_t kRows = 24 * 1024;
+  constexpr uint64_t kBatchRows = 1024;
+  const Column<uint32_t> all_k =
+      testutil::UniformColumn<uint32_t>(kRows, kValueBound, 1101);
+  const Column<uint32_t> all_v =
+      testutil::UniformColumn<uint32_t>(kRows, kValueBound, 1102);
+  // Prefix sums let clients verify SUM over any consistent prefix in O(1).
+  std::vector<uint64_t> prefix_sum(kRows + 1, 0);
+  for (uint64_t i = 0; i < kRows; ++i) {
+    prefix_sum[i + 1] = prefix_sum[i] + all_v[i];
+  }
+
+  ThreadPool pool(4);
+  auto table = Table::Create({{"k", TypeId::kUInt32, {kChunk}, ""},
+                              {"v", TypeId::kUInt32, {kChunk}, ""}},
+                             ExecContext{&pool, 1});
+  ASSERT_OK(table.status());
+  ServiceOptions options;
+  options.batch_window = std::chrono::microseconds(100);
+  auto service =
+      QueryService::Create(&*table, options, ExecContext{&pool, 1});
+  ASSERT_OK(service.status());
+  QueryService& svc = **service;
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> queries_checked{0};
+
+  // Clients: every answer must reflect a consistent prefix of the appended
+  // rows — rows_scanned is the prefix length, the v-sum must match its
+  // prefix sum exactly. The all-pass filter keeps the selection path (and
+  // the selection cache, invalidating on every append) in the race.
+  auto client_loop = [&](uint64_t seed) {
+    Rng rng(seed);
+    const uint64_t client = svc.RegisterClient();
+    while (!done.load(std::memory_order_acquire)) {
+      ScanSpec spec;
+      if (rng.Below(2) == 0) {
+        spec.Filter("k", {0, kValueBound}).Aggregate("v", AggregateOp::kSum);
+      } else {
+        spec.Aggregate("v", AggregateOp::kSum)
+            .Aggregate("v", AggregateOp::kCount);
+      }
+      auto future = svc.Submit(client, spec);
+      if (!future.ok()) {
+        // Admission may refuse under overload; only those codes are legal.
+        ASSERT_EQ(future.status().code(), StatusCode::kResourceExhausted);
+        std::this_thread::yield();
+        continue;
+      }
+      Result<exec::ScanResult> result = future->get();
+      ASSERT_OK(result.status());
+      const uint64_t n = result->rows_scanned;
+      ASSERT_LE(n, kRows);
+      ASSERT_EQ(n % kBatchRows, 0u) << "snapshot cut mid-append";
+      if (spec.filters().empty()) {
+        ASSERT_EQ(result->aggregates[0].value(), prefix_sum[n]);
+        ASSERT_EQ(result->aggregates[1].value(), n);
+      } else {
+        ASSERT_EQ(result->rows_matched, n) << "all-pass filter dropped rows";
+        ASSERT_EQ(result->aggregates[0].value(), prefix_sum[n]);
+      }
+      queries_checked.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  std::vector<std::thread> clients;
+  for (uint64_t t = 0; t < 2; ++t) {
+    clients.emplace_back(client_loop, 1200 + t);
+  }
+
+  // Writer: appends batch by batch, racing seals and maintenance ticks into
+  // the mix (representation-only work that must never disturb answers).
+  for (uint64_t begin = 0; begin < kRows; begin += kBatchRows) {
+    Column<uint32_t> batch_k(all_k.begin() + begin,
+                             all_k.begin() + begin + kBatchRows);
+    Column<uint32_t> batch_v(all_v.begin() + begin,
+                             all_v.begin() + begin + kBatchRows);
+    ASSERT_OK(table->AppendBatch({AnyColumn(batch_k), AnyColumn(batch_v)}));
+    if ((begin / kBatchRows) % 5 == 2) ASSERT_OK(table->Seal());
+    if ((begin / kBatchRows) % 7 == 3) {
+      EXPECT_OK(table->MaintenanceTick().status());
+    }
+    std::this_thread::yield();
+  }
+  ASSERT_OK(table->Flush());
+
+  // Let the clients observe the final state at least once before stopping.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : clients) t.join();
+  svc.Stop();
+
+  EXPECT_GT(queries_checked.load(), 0u);
+
+  // The fully-appended table answers with every row.
+  auto snap = table->Snapshot();
+  ASSERT_OK(snap.status());
+  ScanSpec final_spec;
+  final_spec.Aggregate("v", AggregateOp::kSum);
+  auto final_result = exec::Scan(*snap, final_spec);
+  ASSERT_OK(final_result.status());
+  EXPECT_EQ(final_result->aggregates[0].value(), prefix_sum[kRows]);
+}
+
+/// A pseudo-random spec mixing filters, projections, aggregates, limits.
+ScanSpec FuzzSpec(Rng& rng) {
+  const uint64_t lo = rng.Below(kValueBound);
+  const uint64_t hi = lo + rng.Below(kValueBound / 3);
+  ScanSpec spec;
+  switch (rng.Below(6)) {
+    case 0:
+      spec.Filter("k", {lo, hi});
+      break;
+    case 1:
+      spec.Filter("k", {lo, hi}).Project({"v"});
+      break;
+    case 2:
+      spec.Filter("k", {lo, hi}).Aggregate("v", AggregateOp::kSum);
+      break;
+    case 3:
+      spec.Filter("k", {lo, hi})
+          .Filter("v", {0, kValueBound / 2})
+          .Aggregate("k", AggregateOp::kMin);
+      break;
+    case 4:
+      spec.Aggregate("v", AggregateOp::kMax)
+          .Aggregate("k", AggregateOp::kCount);
+      break;
+    default:
+      spec.Filter("k", {lo, hi}).Project({"v", "k"}).Limit(1 + rng.Below(300));
+      break;
+  }
+  return spec;
+}
+
+TEST(ServiceConcurrencyTest, FuzzBatchedMatchesSoloAcrossPoolsAndWindows) {
+  constexpr uint64_t kRows = 8 * kChunk;
+  ThreadPool build_pool(2);
+  auto table = Table::Create({{"k", TypeId::kUInt32, {kChunk}, ""},
+                              {"v", TypeId::kUInt32, {kChunk}, ""}},
+                             ExecContext{&build_pool, 1});
+  ASSERT_OK(table.status());
+  ASSERT_OK(table->AppendBatch(
+      {AnyColumn(testutil::UniformColumn<uint32_t>(kRows, kValueBound, 1301)),
+       AnyColumn(
+           testutil::UniformColumn<uint32_t>(kRows, kValueBound, 1302))}));
+  ASSERT_OK(table->Seal());
+  ASSERT_OK(table->Flush());
+  auto snap = table->Snapshot();
+  ASSERT_OK(snap.status());
+
+  uint64_t seed = 1303;
+  for (const uint64_t threads : {uint64_t{0}, uint64_t{2}, uint64_t{4}}) {
+    std::unique_ptr<ThreadPool> pool;
+    ExecContext ctx;
+    if (threads > 0) {
+      pool = std::make_unique<ThreadPool>(threads);
+      ctx = ExecContext{pool.get(), 1};
+    }
+    for (const uint64_t window_us : {uint64_t{0}, uint64_t{200}, uint64_t{2000}}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " window_us=" + std::to_string(window_us));
+      ServiceOptions options;
+      options.batch_window = std::chrono::microseconds(window_us);
+      auto service = QueryService::Create(&*table, options, ctx);
+      ASSERT_OK(service.status());
+      QueryService& svc = **service;
+
+      Rng rng(seed++);
+      const uint64_t client_a = svc.RegisterClient();
+      const uint64_t client_b = svc.RegisterClient();
+      std::vector<ScanSpec> specs;
+      std::vector<QueryService::ResultFuture> futures;
+      for (int q = 0; q < 32; ++q) {
+        specs.push_back(FuzzSpec(rng));
+        auto future = svc.Submit(q % 2 == 0 ? client_a : client_b,
+                                 specs.back());
+        ASSERT_OK(future.status());
+        futures.push_back(std::move(*future));
+      }
+      for (size_t q = 0; q < futures.size(); ++q) {
+        Result<exec::ScanResult> batched = futures[q].get();
+        ASSERT_OK(batched.status()) << "query " << q;
+        auto solo = exec::Scan(*snap, specs[q]);
+        ASSERT_OK(solo.status()) << "query " << q;
+        EXPECT_TRUE(ScanOutputsEqual(*batched, *solo)) << "query " << q;
+      }
+      svc.Stop();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace recomp

@@ -1,0 +1,436 @@
+// QueryService: admission control, deadlines, shared-scan batching, and the
+// recycled-intermediate caches (selection vectors, decoded chunks).
+//
+// The load-bearing property is semantic: every batched result must be
+// bit-identical (exec::ScanOutputsEqual) to running the same spec through
+// solo exec::Scan against the same snapshot — batching is an execution
+// strategy, never a semantic change. Around that: admission refusals carry
+// the right status codes, queued queries expire against their deadlines,
+// version bumps invalidate the selection-vector cache, and the sharing
+// ratio actually materializes (more chunk evaluations than decodes).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "exec/scan.h"
+#include "obs/metrics.h"
+#include "service/query_service.h"
+#include "service/selection_cache.h"
+#include "service/shared_scan.h"
+#include "store/table.h"
+#include "test_util.h"
+#include "util/macros.h"
+#include "util/random.h"
+
+namespace recomp {
+namespace {
+
+using exec::AggregateOp;
+using exec::RangePredicate;
+using exec::ScanOutputsEqual;
+using exec::ScanSpec;
+using service::QueryService;
+using service::SelectionKey;
+using service::SelectionVectorCache;
+using service::ServiceOptions;
+using store::Table;
+
+constexpr uint64_t kChunk = 1024;
+constexpr uint64_t kValueBound = 100000;
+
+/// A two-column table: "k" uniform (the filter column), "v" uniform (the
+/// projected/aggregated column), `rows` rows in kChunk-row chunks, sealed.
+Result<Table> MakeTable(uint64_t rows, uint64_t seed, ExecContext ctx = {}) {
+  RECOMP_ASSIGN_OR_RETURN(
+      Table table, Table::Create({{"k", TypeId::kUInt32, {kChunk}, ""},
+                                  {"v", TypeId::kUInt32, {kChunk}, ""}},
+                                 ctx));
+  const Column<uint32_t> k =
+      testutil::UniformColumn<uint32_t>(rows, kValueBound, seed);
+  const Column<uint32_t> v =
+      testutil::UniformColumn<uint32_t>(rows, kValueBound, seed + 1);
+  RECOMP_RETURN_NOT_OK(table.AppendBatch({AnyColumn(k), AnyColumn(v)}));
+  RECOMP_RETURN_NOT_OK(table.Flush());
+  return table;
+}
+
+/// A pseudo-random spec drawn from a few families: filter-only,
+/// filter+projection, filter+aggregate, filterless aggregate, limited.
+ScanSpec RandomSpec(Rng& rng) {
+  const uint64_t lo = rng.Below(kValueBound);
+  const uint64_t hi = lo + rng.Below(kValueBound / 4);
+  ScanSpec spec;
+  switch (rng.Below(5)) {
+    case 0:
+      spec.Filter("k", {lo, hi});
+      break;
+    case 1:
+      spec.Filter("k", {lo, hi}).Project({"v"});
+      break;
+    case 2:
+      spec.Filter("k", {lo, hi}).Aggregate("v", AggregateOp::kSum);
+      break;
+    case 3:
+      spec.Aggregate("v", AggregateOp::kMax).Aggregate("k", AggregateOp::kCount);
+      break;
+    default:
+      spec.Filter("k", {lo, hi}).Project({"v"}).Limit(1 + rng.Below(500));
+      break;
+  }
+  return spec;
+}
+
+TEST(ServiceTest, BatchedResultsMatchSoloScan) {
+  auto table = MakeTable(16 * 1024, 901);
+  ASSERT_OK(table.status());
+  auto service = QueryService::Create(&*table);
+  ASSERT_OK(service.status());
+  QueryService& svc = **service;
+
+  auto snap = table->Snapshot();
+  ASSERT_OK(snap.status());
+
+  Rng rng(902);
+  std::vector<ScanSpec> specs;
+  std::vector<QueryService::ResultFuture> futures;
+  const uint64_t client = svc.RegisterClient();
+  for (int q = 0; q < 24; ++q) {
+    specs.push_back(RandomSpec(rng));
+    auto future = svc.Submit(client, specs.back());
+    ASSERT_OK(future.status());
+    futures.push_back(std::move(*future));
+  }
+  for (size_t q = 0; q < futures.size(); ++q) {
+    Result<exec::ScanResult> batched = futures[q].get();
+    ASSERT_OK(batched.status()) << "query " << q;
+    auto solo = exec::Scan(*snap, specs[q]);
+    ASSERT_OK(solo.status()) << "query " << q;
+    EXPECT_TRUE(ScanOutputsEqual(*batched, *solo)) << "query " << q;
+  }
+  EXPECT_GE(svc.stats().queries_executed, futures.size());
+}
+
+TEST(ServiceTest, AdmissionRejectsUnknownClientsAndStoppedService) {
+  auto table = MakeTable(kChunk, 903);
+  ASSERT_OK(table.status());
+  auto service = QueryService::Create(&*table);
+  ASSERT_OK(service.status());
+  QueryService& svc = **service;
+
+  ScanSpec spec;
+  spec.Aggregate("v", AggregateOp::kCount);
+  const auto unknown = svc.Submit(77, spec);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kKeyError);
+
+  const uint64_t client = svc.RegisterClient();
+  svc.Stop();
+  const auto stopped = svc.Submit(client, spec);
+  ASSERT_FALSE(stopped.ok());
+  EXPECT_EQ(stopped.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServiceTest, AdmissionEnforcesPerClientInFlightLimit) {
+  auto table = MakeTable(kChunk, 904);
+  ASSERT_OK(table.status());
+  ServiceOptions options;
+  options.max_in_flight_per_client = 2;
+  // A wide-open window parks submissions in the queue so the limit binds.
+  options.batch_window = std::chrono::microseconds(200 * 1000);
+  auto service = QueryService::Create(&*table, options);
+  ASSERT_OK(service.status());
+  QueryService& svc = **service;
+
+  ScanSpec spec;
+  spec.Aggregate("v", AggregateOp::kCount);
+  const uint64_t a = svc.RegisterClient();
+  const uint64_t b = svc.RegisterClient();
+  auto f1 = svc.Submit(a, spec);
+  auto f2 = svc.Submit(a, spec);
+  ASSERT_OK(f1.status());
+  ASSERT_OK(f2.status());
+  const auto refused = svc.Submit(a, spec);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  // Another client is unaffected: the limit is per client.
+  auto f3 = svc.Submit(b, spec);
+  ASSERT_OK(f3.status());
+
+  // Once the batch executes, the client's slots free up again.
+  ASSERT_OK(f1->get().status());
+  ASSERT_OK(f2->get().status());
+  auto f4 = svc.Submit(a, spec);
+  EXPECT_OK(f4.status());
+}
+
+TEST(ServiceTest, AdmissionEnforcesGlobalQueueDepth) {
+  auto table = MakeTable(kChunk, 905);
+  ASSERT_OK(table.status());
+  ServiceOptions options;
+  options.max_queue_depth = 3;
+  options.batch_window = std::chrono::microseconds(200 * 1000);
+  auto service = QueryService::Create(&*table, options);
+  ASSERT_OK(service.status());
+  QueryService& svc = **service;
+
+  ScanSpec spec;
+  spec.Aggregate("v", AggregateOp::kCount);
+  std::vector<QueryService::ResultFuture> futures;
+  // Distinct clients, so only the global queue bound can refuse. The
+  // dispatcher may pick up the first window's queries at any moment, so
+  // keep submitting until a refusal lands — it must be ResourceExhausted.
+  Status refused = Status::OK();
+  for (int i = 0; i < 64 && refused.ok(); ++i) {
+    auto future = svc.Submit(svc.RegisterClient(), spec);
+    if (future.ok()) {
+      futures.push_back(std::move(*future));
+    } else {
+      refused = future.status();
+    }
+  }
+  ASSERT_FALSE(refused.ok()) << "queue bound never bound";
+  EXPECT_EQ(refused.code(), StatusCode::kResourceExhausted);
+  for (auto& future : futures) EXPECT_OK(future.get().status());
+}
+
+TEST(ServiceTest, QueuedDeadlineExpiresWithoutExecuting) {
+  auto table = MakeTable(kChunk, 906);
+  ASSERT_OK(table.status());
+  ServiceOptions options;
+  options.batch_window = std::chrono::microseconds(20 * 1000);
+  auto service = QueryService::Create(&*table, options);
+  ASSERT_OK(service.status());
+  QueryService& svc = **service;
+
+  ScanSpec spec;
+  spec.Aggregate("v", AggregateOp::kCount);
+  const uint64_t client = svc.RegisterClient();
+  // An already-expired deadline: the window holds the query long enough
+  // that pickup happens strictly after it.
+  auto expired = svc.Submit(client, spec, std::chrono::nanoseconds(0));
+  ASSERT_OK(expired.status());
+  // A generous deadline on the same window must still execute.
+  auto alive = svc.Submit(client, spec, std::chrono::seconds(60));
+  ASSERT_OK(alive.status());
+
+  Result<exec::ScanResult> expired_result = expired->get();
+  ASSERT_FALSE(expired_result.ok());
+  EXPECT_EQ(expired_result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_OK(alive->get().status());
+}
+
+TEST(ServiceTest, PerQueryErrorsFailOnlyTheirSlotAndNameTheColumn) {
+  auto table = MakeTable(4 * kChunk, 907);
+  ASSERT_OK(table.status());
+  auto service = QueryService::Create(&*table);
+  ASSERT_OK(service.status());
+  QueryService& svc = **service;
+
+  const uint64_t client = svc.RegisterClient();
+  ScanSpec good;
+  good.Filter("k", {0, kValueBound / 2}).Aggregate("v", AggregateOp::kSum);
+  ScanSpec bad;
+  bad.Filter("nope", {0, 10});
+  auto good_future = svc.Submit(client, good);
+  auto bad_future = svc.Submit(client, bad);
+  ASSERT_OK(good_future.status());
+  ASSERT_OK(bad_future.status());
+
+  EXPECT_OK(good_future->get().status());
+  Result<exec::ScanResult> bad_result = bad_future->get();
+  ASSERT_FALSE(bad_result.ok());
+  EXPECT_EQ(bad_result.status().code(), StatusCode::kKeyError);
+  EXPECT_NE(bad_result.status().message().find("filter column 'nope'"),
+            std::string::npos)
+      << bad_result.status().ToString();
+}
+
+TEST(ServiceTest, SelectionCacheHitsAcrossQueriesAndInvalidatesOnVersion) {
+  SelectionVectorCache cache(/*capacity=*/8);
+  exec::SelectionResult result;
+  result.positions = {1, 5, 9};
+  const SelectionKey key{0, 2, 10, 20};
+
+  exec::SelectionResult out;
+  EXPECT_FALSE(cache.Lookup(1, key, &out));
+  cache.Insert(1, key, result);
+  ASSERT_TRUE(cache.Lookup(1, key, &out));
+  EXPECT_EQ(out.positions, result.positions);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // A newer version purges everything; the old entry is gone even when the
+  // old version asks again (stale versions never resurrect).
+  EXPECT_FALSE(cache.Lookup(2, key, &out));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.version(), 2u);
+  EXPECT_FALSE(cache.Lookup(1, key, &out));
+  cache.Insert(1, key, result);  // Stale insert: dropped.
+  EXPECT_EQ(cache.size(), 0u);
+
+  // FIFO eviction at capacity.
+  for (uint64_t i = 0; i < 10; ++i) {
+    cache.Insert(3, {0, i, 0, 5}, result);
+  }
+  EXPECT_EQ(cache.size(), 8u);
+  EXPECT_FALSE(cache.Lookup(3, {0, 0, 0, 5}, &out));  // Oldest two evicted.
+  EXPECT_FALSE(cache.Lookup(3, {0, 1, 0, 5}, &out));
+  EXPECT_TRUE(cache.Lookup(3, {0, 2, 0, 5}, &out));
+
+  // Capacity 0 disables caching entirely.
+  SelectionVectorCache disabled(0);
+  disabled.Insert(1, key, result);
+  EXPECT_FALSE(disabled.Lookup(1, key, &out));
+  EXPECT_EQ(disabled.size(), 0u);
+}
+
+TEST(ServiceTest, AppendInvalidatesCachedSelectionsAndResultsStayFresh) {
+  auto table = MakeTable(8 * kChunk, 908);
+  ASSERT_OK(table.status());
+  auto service = QueryService::Create(&*table);
+  ASSERT_OK(service.status());
+  QueryService& svc = **service;
+
+  ScanSpec spec;
+  spec.Filter("k", {0, kValueBound / 3});
+  const uint64_t client = svc.RegisterClient();
+
+  auto first = svc.Submit(client, spec);
+  ASSERT_OK(first.status());
+  Result<exec::ScanResult> before = first->get();
+  ASSERT_OK(before.status());
+
+  // Append rows that all match the filter: the version bumps, cached
+  // selection vectors for the old version must not leak into the answer.
+  const uint64_t appended = 3 * kChunk;
+  Column<uint32_t> extra_k(appended, 1);
+  Column<uint32_t> extra_v(appended, 2);
+  ASSERT_OK(table->AppendBatch({AnyColumn(extra_k), AnyColumn(extra_v)}));
+  ASSERT_OK(table->Flush());
+
+  auto second = svc.Submit(client, spec);
+  ASSERT_OK(second.status());
+  Result<exec::ScanResult> after = second->get();
+  ASSERT_OK(after.status());
+  EXPECT_EQ(after->rows_scanned, before->rows_scanned + appended);
+  EXPECT_EQ(after->rows_matched, before->rows_matched + appended);
+
+  // And the batched answer still matches solo execution post-append.
+  auto snap = table->Snapshot();
+  ASSERT_OK(snap.status());
+  auto solo = exec::Scan(*snap, spec);
+  ASSERT_OK(solo.status());
+  EXPECT_TRUE(ScanOutputsEqual(*after, *solo));
+}
+
+TEST(ServiceTest, SharedDecodingBeatsPerQueryDecoding) {
+  auto table = MakeTable(16 * kChunk, 909);
+  ASSERT_OK(table.status());
+  ServiceOptions options;
+  options.batch_window = std::chrono::microseconds(50 * 1000);
+  auto service = QueryService::Create(&*table, options);
+  ASSERT_OK(service.status());
+  QueryService& svc = **service;
+
+  // Eight filter queries over the same column: wherever the batching falls,
+  // the decoded-chunk and selection caches guarantee each chunk decodes at
+  // most once per version while every query still evaluates it.
+  const uint64_t client = svc.RegisterClient();
+  std::vector<QueryService::ResultFuture> futures;
+  for (int q = 0; q < 8; ++q) {
+    ScanSpec spec;
+    // Mid-range: every chunk straddles both bounds, so none is zone-pruned
+    // or contained — each one genuinely selects against decoded values.
+    spec.Filter("k", {1000, kValueBound / 2});
+    auto future = svc.Submit(client, spec);
+    ASSERT_OK(future.status());
+    futures.push_back(std::move(*future));
+  }
+  for (auto& future : futures) ASSERT_OK(future.get().status());
+
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.queries_executed, 8u);
+  EXPECT_GT(stats.chunk_evaluations, 0u);
+  EXPECT_GT(stats.chunks_decoded, 0u);
+  // 8 queries × 16 chunks of evaluations over at most 16 decodes.
+  EXPECT_GE(stats.sharing_ratio(), 4.0)
+      << "evaluations=" << stats.chunk_evaluations
+      << " decodes=" << stats.chunks_decoded;
+  EXPECT_LE(stats.chunks_decoded, 16u);
+}
+
+TEST(ServiceTest, ServiceMetricsLandInTheRegistry) {
+  const obs::MetricsSnapshot before = Table::MetricsSnapshot();
+  auto table = MakeTable(4 * kChunk, 910);
+  ASSERT_OK(table.status());
+  auto service = QueryService::Create(&*table);
+  ASSERT_OK(service.status());
+  QueryService& svc = **service;
+
+  const uint64_t client = svc.RegisterClient();
+  ScanSpec spec;
+  // Mid-range so no chunk is zone-contained: selection must decode.
+  spec.Filter("k", {1000, kValueBound / 2});
+  auto future = svc.Submit(client, spec);
+  ASSERT_OK(future.status());
+  ASSERT_OK(future->get().status());
+  svc.Flush();
+
+  const obs::MetricsSnapshot after = Table::MetricsSnapshot();
+  EXPECT_GT(after.counter("service.queries.admitted"),
+            before.counter("service.queries.admitted"));
+  EXPECT_GT(after.counter("service.queries.succeeded"),
+            before.counter("service.queries.succeeded"));
+  EXPECT_GT(after.counter("service.batches"), before.counter("service.batches"));
+  EXPECT_GT(after.counter("service.chunk_evaluations"),
+            before.counter("service.chunk_evaluations"));
+  EXPECT_GT(after.counter("service.chunks_decoded"),
+            before.counter("service.chunks_decoded"));
+}
+
+TEST(ServiceTest, StopDrainsQueuedQueriesBeforeJoining) {
+  auto table = MakeTable(2 * kChunk, 911);
+  ASSERT_OK(table.status());
+  ServiceOptions options;
+  options.batch_window = std::chrono::microseconds(10 * 1000 * 1000);  // 10s.
+  auto service = QueryService::Create(&*table, options);
+  ASSERT_OK(service.status());
+  QueryService& svc = **service;
+
+  ScanSpec spec;
+  spec.Aggregate("v", AggregateOp::kCount);
+  const uint64_t client = svc.RegisterClient();
+  std::vector<QueryService::ResultFuture> futures;
+  for (int q = 0; q < 5; ++q) {
+    auto future = svc.Submit(client, spec);
+    ASSERT_OK(future.status());
+    futures.push_back(std::move(*future));
+  }
+  // Stop must cut the 10s window short AND answer everything queued.
+  svc.Stop();
+  for (auto& future : futures) {
+    Result<exec::ScanResult> result = future.get();
+    ASSERT_OK(result.status());
+    EXPECT_EQ(result->aggregates[0].value(), 2 * kChunk);
+  }
+}
+
+TEST(ServiceTest, OptionsValidate) {
+  auto table = MakeTable(kChunk, 912);
+  ASSERT_OK(table.status());
+  ServiceOptions bad;
+  bad.max_batch_queries = 0;
+  EXPECT_FALSE(QueryService::Create(&*table, bad).ok());
+  bad = ServiceOptions{};
+  bad.max_queue_depth = 0;
+  EXPECT_FALSE(QueryService::Create(&*table, bad).ok());
+  bad = ServiceOptions{};
+  bad.max_in_flight_per_client = 0;
+  EXPECT_FALSE(QueryService::Create(&*table, bad).ok());
+  EXPECT_FALSE(QueryService::Create(nullptr).ok());
+}
+
+}  // namespace
+}  // namespace recomp

@@ -193,6 +193,116 @@ TEST(ThreadPoolTest, LowPriorityTasksRunAfterQueuedNormalWork) {
   EXPECT_EQ(order, expected);
 }
 
+TEST(ThreadPoolTest, HighPriorityTasksJumpAheadOfQueuedNormalAndLowWork) {
+  // With the single worker wedged, queue normal and low work first and high
+  // work last: the worker must still drain high → normal → low — the
+  // property that lets the query service's batch scans overtake a burst of
+  // queued seal jobs.
+  ThreadPool pool(1);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  // The worker must be provably wedged before the batches below are
+  // queued: the gate task sits at normal priority, so a high task already
+  // queued by the time the worker first dequeues would run ahead of the
+  // gate and corrupt the observed order.
+  std::promise<void> wedged;
+  pool.Submit([gate, &wedged] {
+    wedged.set_value();
+    gate.wait();
+  });
+  wedged.get_future().wait();
+
+  std::mutex mu;
+  std::vector<int> order;
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit(
+        [&mu, &order, i] {
+          std::lock_guard<std::mutex> lock(mu);
+          order.push_back(200 + i);  // Low batch.
+        },
+        TaskPriority::kLow);
+  }
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&mu, &order, i] {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(100 + i);  // Normal batch.
+    });
+  }
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit(
+        [&mu, &order, i] {
+          std::lock_guard<std::mutex> lock(mu);
+          order.push_back(i);  // High batch, submitted last.
+        },
+        TaskPriority::kHigh);
+  }
+
+  TaskGroup fence;
+  release.set_value();
+  fence.Run(ExecContext{&pool, 1}, [] {}, TaskPriority::kLow);
+  fence.Wait();  // Low-priority fence: everything above has drained.
+
+  std::lock_guard<std::mutex> lock(mu);
+  const std::vector<int> expected = {0, 1, 100, 101, 200, 201};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, ExecContextPriorityRoutesParallelForSubmits) {
+  // A kHigh ExecContext must submit its fan-out at kHigh: wedge both
+  // workers, queue a normal marker, then ParallelFor at kHigh from another
+  // thread — the queued fan-out ranges must all overtake the marker.
+  ThreadPool pool(2);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  // Both workers must be provably wedged before anything else is
+  // submitted: a kHigh task queued while a worker is still on its way to
+  // its gate task would be drained first (high beats normal), and the
+  // queue-depth wait below would never be satisfied.
+  std::promise<void> wedged_a, wedged_b;
+  pool.Submit([gate, &wedged_a] {
+    wedged_a.set_value();
+    gate.wait();
+  });
+  pool.Submit([gate, &wedged_b] {
+    wedged_b.set_value();
+    gate.wait();
+  });
+  wedged_a.get_future().wait();
+  wedged_b.get_future().wait();
+
+  std::mutex mu;
+  std::vector<int> order;
+  pool.Submit([&mu, &order] {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(999);  // Normal marker, queued first.
+  });
+
+  ExecContext high{&pool, 1, TaskPriority::kHigh};
+  std::thread runner([&] {
+    // Four indices → three submitted tasks (the runner thread takes the
+    // first range itself); the submitted ranges must overtake the marker.
+    ParallelFor(high, 4, [&](uint64_t i) {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(static_cast<int>(i));
+    });
+  });
+  // Wait until the fan-out is queued behind the wedge, then release.
+  while (pool.queue_depth(TaskPriority::kHigh) < 3) {
+    std::this_thread::yield();
+  }
+  release.set_value();
+  runner.join();
+
+  TaskGroup fence;
+  fence.Run(ExecContext{&pool, 1}, [] {}, TaskPriority::kLow);
+  fence.Wait();
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order.back(), 999)
+      << "high-priority fan-out should run before the queued normal marker";
+}
+
 TEST(ThreadPoolTest, ZeroThreadsRunsLowPriorityInline) {
   ThreadPool pool(0);
   bool ran = false;
