@@ -153,9 +153,13 @@ MixResult RunMix(const std::vector<ScanSpec>& specs) {
 
   // Batched: all queries land inside one admission window. The measured
   // time includes the window itself — the real latency a client pays.
+  // Result caching is off so hot/cold keep measuring the shared-scan
+  // execution path itself (every admitted query executes, as in PR 9's
+  // numbers); the cache's own win is gated by RunRepeated below.
   ServiceOptions options;
   options.batch_window = std::chrono::microseconds(5000);
   options.max_in_flight_per_client = kQueries;
+  options.result_cache_bytes = 0;
   auto service = ValueOrDie(QueryService::Create(&table, options), "service");
   const obs::MetricsSnapshot before = Table::MetricsSnapshot();
 
@@ -200,6 +204,198 @@ MixResult RunMix(const std::vector<ScanSpec>& specs) {
                    : static_cast<double>(evaluated) /
                          static_cast<double>(decoded);
   service->Stop();
+  return result;
+}
+
+/// REPEATED mix: ~90% duplicates — 64 queries drawn from 6 distinct specs,
+/// the dashboard-refresh shape the result cache exists for.
+std::vector<ScanSpec> RepeatedSpecs() {
+  std::vector<ScanSpec> specs;
+  specs.reserve(kQueries);
+  for (uint64_t q = 0; q < kQueries; ++q) {
+    const uint64_t band = q % 6;
+    const uint64_t lo = kValueBound / 10 + band * (kValueBound / 12);
+    const uint64_t hi = lo + kValueBound / 8;
+    ScanSpec spec;
+    spec.Filter("k", {lo, hi}).Aggregate("v", AggregateOp::kSum);
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+struct RepeatedResult {
+  double uncached_seconds = 0;
+  double cached_seconds = 0;
+  double hit_ratio = 0;
+
+  double speedup() const { return uncached_seconds / cached_seconds; }
+};
+
+/// Submits `specs` through `service` and drains every future, returning the
+/// wall time and the results (bit-identity is the caller's concern).
+double DrainBurst(QueryService& service, uint64_t client,
+                  const std::vector<ScanSpec>& specs,
+                  std::vector<exec::ScanResult>* out) {
+  std::vector<QueryService::ResultFuture> futures;
+  futures.reserve(specs.size());
+  const auto start = std::chrono::steady_clock::now();
+  for (const ScanSpec& spec : specs) {
+    futures.push_back(ValueOrDie(service.Submit(client, spec), "submit"));
+  }
+  for (auto& future : futures) {
+    out->push_back(ValueOrDie(future.get(), "result"));
+  }
+  return SecondsSince(start);
+}
+
+/// The repeated-workload phase: the same 90%-duplicate burst through a
+/// cache-disabled service (every query executes, PR 9's behavior) and a
+/// warm cache-enabled one (every query is a result-cache hit). The gate is
+/// the hits actually being cheap: >= 5x on wall time.
+RepeatedResult RunRepeated() {
+  const Table& table = SharedTable();
+  const auto snapshot = ValueOrDie(table.Snapshot(), "snapshot");
+  const std::vector<ScanSpec> specs = RepeatedSpecs();
+  std::vector<exec::ScanResult> solo;
+  solo.reserve(specs.size());
+  for (const ScanSpec& spec : specs) {
+    solo.push_back(ValueOrDie(exec::Scan(snapshot, spec), "solo scan"));
+  }
+
+  ServiceOptions options;
+  options.batch_window = std::chrono::microseconds(5000);
+  // A full burst dispatches the moment the last query queues, so neither
+  // side's time is dominated by waiting out the window.
+  options.max_batch_queries = kQueries;
+  options.max_in_flight_per_client = kQueries;
+  RepeatedResult result;
+
+  // Cache off: all 64 execute (shared-scan batched, as before this PR).
+  {
+    ServiceOptions off = options;
+    off.result_cache_bytes = 0;
+    auto service = ValueOrDie(QueryService::Create(&table, off), "service");
+    const uint64_t client = service->RegisterClient();
+    std::vector<exec::ScanResult> batched;
+    result.uncached_seconds = DrainBurst(*service, client, specs, &batched);
+    for (size_t q = 0; q < specs.size(); ++q) {
+      if (!exec::ScanOutputsEqual(batched[q], solo[q])) {
+        std::fprintf(stderr, "FATAL repeated/off query %zu != solo\n", q);
+        std::exit(1);
+      }
+    }
+    service->Stop();
+  }
+
+  // Cache on: a cold pass populates (and re-checks identity), then the
+  // measured burst is served entirely from the result cache.
+  {
+    auto service = ValueOrDie(QueryService::Create(&table, options), "service");
+    const uint64_t client = service->RegisterClient();
+    std::vector<exec::ScanResult> cold;
+    DrainBurst(*service, client, specs, &cold);
+    const obs::MetricsSnapshot before = Table::MetricsSnapshot();
+    std::vector<exec::ScanResult> warm;
+    result.cached_seconds = DrainBurst(*service, client, specs, &warm);
+    const obs::MetricsSnapshot after = Table::MetricsSnapshot();
+    for (size_t q = 0; q < specs.size(); ++q) {
+      if (!exec::ScanOutputsEqual(cold[q], solo[q]) ||
+          !exec::ScanOutputsEqual(warm[q], solo[q])) {
+        std::fprintf(stderr, "FATAL repeated/on query %zu != solo\n", q);
+        std::exit(1);
+      }
+    }
+    const uint64_t hits = after.counter("service.result_cache.hits") -
+                          before.counter("service.result_cache.hits");
+    result.hit_ratio =
+        static_cast<double>(hits) / static_cast<double>(specs.size());
+    service->Stop();
+  }
+  return result;
+}
+
+struct NestedResult {
+  double sharing_off = 0;
+  double sharing_on = 0;
+  uint64_t subsumed_evaluations = 0;
+  uint64_t chunk_evaluations = 0;
+
+  double subsumption_ratio() const {
+    return chunk_evaluations == 0
+               ? 0.0
+               : static_cast<double>(subsumed_evaluations) /
+                     static_cast<double>(chunk_evaluations);
+  }
+};
+
+/// One generation of the nested mix: 8 disjoint families of mid-range bands
+/// on "k", each generation strictly inside the previous one. Filter-only:
+/// the decode cost under measurement is the filter column's.
+ScanSpec NestedSpec(uint64_t family, uint64_t generation) {
+  const uint64_t width = kValueBound / 8;
+  const uint64_t lo0 = family * width + width / 8;
+  const uint64_t hi0 = (family + 1) * width - width / 8;
+  const uint64_t step = (hi0 - lo0) / 20;
+  ScanSpec spec;
+  spec.Filter("k", {lo0 + generation * step, hi0 - generation * step});
+  return spec;
+}
+
+/// Runs the nested mix through one service configuration and returns its
+/// stats. Window g batches generation g together with generation g-1; with
+/// the decoded-chunk cache disabled (budget 0, evicted between windows),
+/// generation g-1 is answered by the cross-window selection cache, and the
+/// only way generation g avoids re-decoding every chunk is subsuming into
+/// g-1's cached (position, value) pairs. Sharing ratio — evaluations per
+/// physical decode — is exactly what subsumption should move.
+service::ServiceStats RunNestedConfig(bool subsume) {
+  const Table& table = SharedTable();
+  const auto snapshot = ValueOrDie(table.Snapshot(), "snapshot");
+  constexpr uint64_t kFamilies = 8;
+  constexpr uint64_t kGenerations = 8;
+
+  ServiceOptions options;
+  options.batch_window = std::chrono::microseconds(10000);
+  options.max_batch_queries = 2 * kFamilies;
+  options.max_in_flight_per_client = kQueries;
+  options.decoded_cache_bytes = 0;
+  // The result cache would serve the repeated g-1 specs without executing,
+  // leaving the batch without the containing bands the lattice needs.
+  options.result_cache_bytes = 0;
+  options.subsume_predicates = subsume;
+  auto service = ValueOrDie(QueryService::Create(&table, options), "service");
+  const uint64_t client = service->RegisterClient();
+
+  for (uint64_t generation = 0; generation < kGenerations; ++generation) {
+    std::vector<ScanSpec> window;
+    for (uint64_t family = 0; family < kFamilies; ++family) {
+      if (generation > 0) window.push_back(NestedSpec(family, generation - 1));
+      window.push_back(NestedSpec(family, generation));
+    }
+    std::vector<exec::ScanResult> batched;
+    DrainBurst(*service, client, window, &batched);
+    for (size_t q = 0; q < window.size(); ++q) {
+      const auto solo = ValueOrDie(exec::Scan(snapshot, window[q]), "solo");
+      if (!exec::ScanOutputsEqual(batched[q], solo)) {
+        std::fprintf(stderr, "FATAL nested gen %llu query %zu != solo\n",
+                     static_cast<unsigned long long>(generation), q);
+        std::exit(1);
+      }
+    }
+  }
+  const service::ServiceStats stats = service->stats();
+  service->Stop();
+  return stats;
+}
+
+NestedResult RunNested() {
+  const service::ServiceStats off = RunNestedConfig(false);
+  const service::ServiceStats on = RunNestedConfig(true);
+  NestedResult result;
+  result.sharing_off = off.sharing_ratio();
+  result.sharing_on = on.sharing_ratio();
+  result.subsumed_evaluations = on.subsumed_evaluations;
+  result.chunk_evaluations = on.chunk_evaluations;
   return result;
 }
 
@@ -248,6 +444,45 @@ void PrintTables() {
   if (hot.sharing_ratio <= 1.0) {
     std::fprintf(stderr, "FATAL hot-mix sharing ratio %.2f <= 1\n",
                  hot.sharing_ratio);
+    std::exit(1);
+  }
+
+  bench::Section("E18: result cache, 90%-duplicate burst (64 queries / 6 specs)");
+  const RepeatedResult repeated = RunRepeated();
+  std::printf("%-10s %10s %10s %8s %9s\n", "mix", "off_ms", "warm_ms",
+              "speedup", "hit_ratio");
+  std::printf("%-10s %10.2f %10.2f %7.2fx %9.2f\n", "repeated",
+              repeated.uncached_seconds * 1e3, repeated.cached_seconds * 1e3,
+              repeated.speedup(), repeated.hit_ratio);
+  report.Set("e18.repeated.uncached_ms", repeated.uncached_seconds * 1e3);
+  report.Set("e18.repeated.cached_ms", repeated.cached_seconds * 1e3);
+  report.Set("e18.repeated.speedup", repeated.speedup());
+  report.Set("e18.repeated.hit_ratio", repeated.hit_ratio);
+  if (repeated.speedup() < 5.0) {
+    std::fprintf(stderr, "FATAL repeated-mix cache speedup %.2fx < 5.0x gate\n",
+                 repeated.speedup());
+    std::exit(1);
+  }
+
+  bench::Section("E18: predicate subsumption, nested bands (8 families x 8 gens)");
+  const NestedResult nested = RunNested();
+  std::printf("%-10s %12s %12s %12s\n", "mix", "share_off", "share_on",
+              "subsumed");
+  std::printf("%-10s %12.2f %12.2f %12llu\n", "nested", nested.sharing_off,
+              nested.sharing_on,
+              static_cast<unsigned long long>(nested.subsumed_evaluations));
+  report.Set("e18.nested.sharing_off", nested.sharing_off);
+  report.Set("e18.nested.sharing_on", nested.sharing_on);
+  report.Set("e18.nested.subsumption_ratio", nested.subsumption_ratio());
+  // Subsumption must strictly raise the sharing ratio over the PR 9
+  // behavior (same mix, subsumption off), and must actually fire.
+  if (nested.sharing_on <= nested.sharing_off) {
+    std::fprintf(stderr, "FATAL nested sharing %.2f (on) <= %.2f (off)\n",
+                 nested.sharing_on, nested.sharing_off);
+    std::exit(1);
+  }
+  if (nested.subsumed_evaluations == 0) {
+    std::fprintf(stderr, "FATAL nested mix subsumed 0 evaluations\n");
     std::exit(1);
   }
 }

@@ -707,4 +707,58 @@ bool ScanOutputsEqual(const ScanResult& a, const ScanResult& b) {
   return true;
 }
 
+std::string CanonicalSpecKey(const ScanSpec& spec) {
+  // Length-prefix every column name ("<len>:<name>") so a crafted name
+  // containing the section markers cannot forge another spec's key.
+  const auto append_name = [](std::string* key, const std::string& name) {
+    key->append(std::to_string(name.size()));
+    key->push_back(':');
+    key->append(name);
+  };
+  // Filters sort by (column, lo, hi): the driver intersects selections, so
+  // any permutation of the same conjunction yields identical outputs.
+  std::vector<const ScanSpec::FilterSpec*> filters;
+  filters.reserve(spec.filters().size());
+  for (const ScanSpec::FilterSpec& f : spec.filters()) filters.push_back(&f);
+  std::sort(filters.begin(), filters.end(),
+            [](const ScanSpec::FilterSpec* a, const ScanSpec::FilterSpec* b) {
+              if (a->column != b->column) return a->column < b->column;
+              if (a->predicate.lo != b->predicate.lo) {
+                return a->predicate.lo < b->predicate.lo;
+              }
+              return a->predicate.hi < b->predicate.hi;
+            });
+  std::string key;
+  for (const ScanSpec::FilterSpec* f : filters) {
+    key.push_back('f');
+    append_name(&key, f->column);
+    key.push_back('[');
+    key.append(std::to_string(f->predicate.lo));
+    key.push_back(',');
+    key.append(std::to_string(f->predicate.hi));
+    key.push_back(']');
+  }
+  for (const std::string& column : spec.projections()) {
+    key.push_back('p');
+    append_name(&key, column);
+  }
+  for (const ScanSpec::AggregateSpec& agg : spec.aggregates()) {
+    key.push_back('a');
+    append_name(&key, agg.column);
+    key.append(AggregateOpName(agg.op));
+  }
+  key.push_back('l');
+  key.append(std::to_string(spec.limit()));
+  return key;
+}
+
+uint64_t CanonicalSpecHash(const ScanSpec& spec) {
+  const std::string key = CanonicalSpecKey(spec);
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : key) {
+    h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+  }
+  return h;
+}
+
 }  // namespace recomp::exec

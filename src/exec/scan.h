@@ -260,6 +260,21 @@ Result<ScanResult> ScanWithPipeline(const store::TableSnapshot& snapshot,
 /// tests and bench_e18 assert.
 bool ScanOutputsEqual(const ScanResult& a, const ScanResult& b);
 
+/// The canonical identity of a spec's *outputs*: two specs with the same
+/// key produce ScanOutputsEqual results against the same snapshot. Filters
+/// are order-normalized (a conjunction commutes; the driver intersects, so
+/// filter order never changes positions, projections, or aggregates) while
+/// projections, aggregates, and the limit keep their order — each is part
+/// of the output shape. Column names are length-prefixed so no name can
+/// collide with the key's own delimiters. This is the result cache's key
+/// (service/result_cache.h).
+std::string CanonicalSpecKey(const ScanSpec& spec);
+
+/// FNV-1a of CanonicalSpecKey — a compact spec fingerprint for logs and
+/// metrics labels; the cache itself keys on the full canonical string (a
+/// 64-bit hash alone could alias two specs).
+uint64_t CanonicalSpecHash(const ScanSpec& spec);
+
 }  // namespace recomp::exec
 
 #endif  // RECOMP_EXEC_SCAN_H_

@@ -25,6 +25,25 @@ namespace recomp::exec {
 struct RangePredicate {
   uint64_t lo = 0;
   uint64_t hi = ~uint64_t{0};
+
+  /// True iff every value this band accepts, `other` would accept too —
+  /// the containment order cross-query predicate subsumption is built on
+  /// (service/shared_scan.h): when A contains B, B's selection is a subset
+  /// of A's, so B can re-filter A's matches instead of the whole chunk.
+  bool Contains(const RangePredicate& other) const {
+    return lo <= other.lo && other.hi <= hi;
+  }
+
+  /// Contains, excluding the band itself (equal bands are the *same*
+  /// predicate and belong to the selection cache, not the subsumption
+  /// lattice).
+  bool StrictlyContains(const RangePredicate& other) const {
+    return Contains(other) && (lo != other.lo || hi != other.hi);
+  }
+
+  bool operator==(const RangePredicate& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
 };
 
 /// How a selection was executed, for inspection and benchmarks.

@@ -15,8 +15,11 @@ const ServiceMetrics& ServiceMetrics::Get() {
         &registry.GetCounter("service.queries.deadline_expired");
     m.succeeded = &registry.GetCounter("service.queries.succeeded");
     m.failed = &registry.GetCounter("service.queries.failed");
+    m.deadline_missed_in_flight =
+        &registry.GetCounter("service.deadline_missed_in_flight");
     m.batches = &registry.GetCounter("service.batches");
     m.batch_size = &registry.GetHistogram("service.batch_size");
+    m.window_early_cuts = &registry.GetCounter("service.window_early_cuts");
     m.chunks_decoded = &registry.GetCounter("service.chunks_decoded");
     m.chunk_evaluations = &registry.GetCounter("service.chunk_evaluations");
     m.selection_cache_hits =
@@ -28,6 +31,20 @@ const ServiceMetrics& ServiceMetrics::Get() {
     m.snapshot_cache_hits = &registry.GetCounter("service.snapshot_cache.hits");
     m.snapshot_cache_misses =
         &registry.GetCounter("service.snapshot_cache.misses");
+    m.result_cache_hits = &registry.GetCounter("service.result_cache.hits");
+    m.result_cache_misses = &registry.GetCounter("service.result_cache.misses");
+    m.result_cache_insertions =
+        &registry.GetCounter("service.result_cache.insertions");
+    m.result_cache_evictions =
+        &registry.GetCounter("service.result_cache.evictions");
+    m.result_cache_invalidations =
+        &registry.GetCounter("service.result_cache.invalidations");
+    m.result_cache_dedup_hits =
+        &registry.GetCounter("service.result_cache.dedup_hits");
+    m.subsumed_evaluations =
+        &registry.GetCounter("service.subsumed_evaluations");
+    m.subsumption_values_examined =
+        &registry.GetCounter("service.subsumption.values_examined");
     m.queue_wait_ns = &registry.GetHistogram("service.queue_wait_ns");
     m.e2e_ns = &registry.GetHistogram("service.e2e_ns");
     return m;

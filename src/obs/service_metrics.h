@@ -28,10 +28,16 @@ struct ServiceMetrics {
   Counter* deadline_expired;      ///< Deadline passed before execution.
   Counter* succeeded;             ///< Executed and returned a result.
   Counter* failed;                ///< Executed and returned an error.
+  /// Deadline passed *during* execution: the result existed but arrived
+  /// late, so the client was answered DeadlineExceeded anyway.
+  Counter* deadline_missed_in_flight;
 
   // Batch formation.
   Counter* batches;        ///< Batches dispatched (service.batches).
   Histogram* batch_size;   ///< Queries per batch (service.batch_size).
+  /// Windows cut before batch_window elapsed because a queued query's
+  /// deadline would not have survived the full hold.
+  Counter* window_early_cuts;
 
   // Shared-scan work accounting.
   Counter* chunks_decoded;     ///< Physical chunk decodes (once per chunk).
@@ -41,6 +47,20 @@ struct ServiceMetrics {
   Counter* selection_cache_invalidations;
   Counter* snapshot_cache_hits;
   Counter* snapshot_cache_misses;
+
+  // Result-level cache (service.result_cache.*). dedup_hits counts queries
+  // answered by an identical companion *within* their own batch — the
+  // in-window complement of a cross-window cache hit.
+  Counter* result_cache_hits;
+  Counter* result_cache_misses;
+  Counter* result_cache_insertions;
+  Counter* result_cache_evictions;
+  Counter* result_cache_invalidations;
+  Counter* result_cache_dedup_hits;
+
+  // Predicate subsumption.
+  Counter* subsumed_evaluations;          ///< Evals served from a container.
+  Counter* subsumption_values_examined;   ///< Pairs re-filtered doing so.
 
   // Latency (nanoseconds).
   Histogram* queue_wait_ns;  ///< Submit → batch pickup.

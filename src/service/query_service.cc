@@ -62,6 +62,9 @@ QueryService::QueryService(const store::Table* table, ServiceOptions options,
   }
   decoded_cache_ =
       std::make_unique<DecodedChunkCache>(options_.decoded_cache_bytes);
+  if (options_.result_cache_bytes > 0) {
+    result_cache_ = std::make_unique<ResultCache>(options_.result_cache_bytes);
+  }
 }
 
 QueryService::~QueryService() { Stop(); }
@@ -149,12 +152,31 @@ void QueryService::DispatcherLoop() {
       if (queue_.empty()) return;  // Stopped with nothing left to drain.
       // Hold the window open for companion queries — unless stopping, the
       // batch is full, or the window (anchored at the oldest queued query)
-      // has already closed.
+      // has already closed. A queued deadline earlier than the window
+      // deadline cuts the hold IMMEDIATELY: that query cannot survive the
+      // full window (pickup would find it expired), so batching gains
+      // nothing a live answer wouldn't lose. Submits notify cv_, so a
+      // tight-deadline query arriving mid-hold re-runs this scan.
       const auto window_deadline =
           queue_.front().enqueued + options_.batch_window;
-      while (!stop_ && queue_.size() < options_.max_batch_queries &&
-             std::chrono::steady_clock::now() < window_deadline) {
+      bool early_cut = false;
+      for (;;) {
+        if (stop_ || queue_.size() >= options_.max_batch_queries) break;
+        if (std::chrono::steady_clock::now() >= window_deadline) break;
+        auto earliest = window_deadline;
+        for (const Pending& pending : queue_) {
+          if (pending.has_deadline && pending.deadline < earliest) {
+            earliest = pending.deadline;
+          }
+        }
+        if (earliest < window_deadline) {
+          early_cut = true;
+          break;
+        }
         cv_.WaitUntil(lock, window_deadline);
+      }
+      if (early_cut) {
+        obs::ServiceMetrics::Get().window_early_cuts->Increment();
       }
       const uint64_t take = std::min<uint64_t>(
           queue_.size(), options_.max_batch_queries);
@@ -214,35 +236,116 @@ void QueryService::ExecuteWindow(std::vector<Pending>* batch) {
     metrics.snapshot_cache_hits->Increment();
   }
 
-  metrics.batches->Increment();
-  metrics.batch_size->Record(live.size());
+  const uint64_t version = snapshot_->version();
 
-  std::vector<const exec::ScanSpec*> specs;
-  specs.reserve(live.size());
-  for (const Pending* pending : live) specs.push_back(&pending->spec);
-  BatchStats stats;
-  std::vector<Result<exec::ScanResult>> results =
-      ExecuteBatch(*snapshot_, specs, ctx_, selection_cache_.get(),
-                   decoded_cache_.get(), &stats);
-
-  // Fold the accounting BEFORE fulfilling any promise: a client that
-  // observes its future ready must see its query in stats().
-  {
-    MutexLock lock(&mu_);
-    ++totals_.batches;
-    totals_.queries_executed += stats.queries;
-    totals_.chunks_decoded += stats.chunks_decoded;
-    totals_.chunk_evaluations += stats.chunk_evaluations;
-    totals_.selection_cache_hits += stats.selection_cache_hits;
+  // Result-level reuse pass: a spec cached at this version is answered
+  // without executing; of identical specs within the window, only the
+  // first executes and the rest receive copies of its result.
+  std::vector<Pending*> to_run;
+  std::vector<std::string> run_keys;  // Aligned with to_run; result_cache_ on.
+  std::vector<std::pair<Pending*, size_t>> duplicates;  // (query, to_run idx).
+  std::vector<std::pair<Pending*, exec::ScanResult>> hits;
+  std::unordered_map<std::string, size_t> first_by_key;
+  to_run.reserve(live.size());
+  for (Pending* pending : live) {
+    if (result_cache_ == nullptr) {
+      to_run.push_back(pending);
+      continue;
+    }
+    std::string key = exec::CanonicalSpecKey(pending->spec);
+    exec::ScanResult cached;
+    if (result_cache_->Lookup(version, key, &cached)) {
+      hits.emplace_back(pending, std::move(cached));
+      continue;
+    }
+    const auto [it, inserted] = first_by_key.emplace(std::move(key),
+                                                    to_run.size());
+    if (inserted) {
+      to_run.push_back(pending);
+      run_keys.push_back(it->first);
+    } else {
+      duplicates.emplace_back(pending, it->second);
+    }
   }
 
-  for (size_t i = 0; i < live.size(); ++i) {
-    (results[i].ok() ? metrics.succeeded : metrics.failed)->Increment();
-    Finish(live[i], std::move(results[i]));
+  // Fold the accounting BEFORE fulfilling any promise: a client that
+  // observes its future ready must see its query in stats(). Cache hits
+  // deliver before the batch runs — they owe the pipeline nothing.
+  if (!hits.empty()) {
+    {
+      MutexLock lock(&mu_);
+      totals_.result_cache_hits += hits.size();
+    }
+    const auto served = std::chrono::steady_clock::now();
+    for (auto& [pending, result] : hits) {
+      Deliver(pending, std::move(result), served);
+    }
+  }
+
+  if (!to_run.empty()) {
+    metrics.batches->Increment();
+    metrics.batch_size->Record(to_run.size());
+
+    std::vector<const exec::ScanSpec*> specs;
+    specs.reserve(to_run.size());
+    for (const Pending* pending : to_run) specs.push_back(&pending->spec);
+    BatchStats stats;
+    std::vector<Result<exec::ScanResult>> results =
+        ExecuteBatch(*snapshot_, specs, ctx_, selection_cache_.get(),
+                     decoded_cache_.get(), &stats,
+                     options_.subsume_predicates);
+    const auto completed = std::chrono::steady_clock::now();
+
+    if (result_cache_ != nullptr) {
+      for (size_t i = 0; i < to_run.size(); ++i) {
+        // Never cache errors: a transient failure must not poison retries.
+        if (results[i].ok()) {
+          result_cache_->Insert(version, run_keys[i], *results[i]);
+        }
+      }
+    }
+
+    {
+      MutexLock lock(&mu_);
+      ++totals_.batches;
+      totals_.queries_executed += stats.queries;
+      totals_.chunks_decoded += stats.chunks_decoded;
+      totals_.chunk_evaluations += stats.chunk_evaluations;
+      totals_.selection_cache_hits += stats.selection_cache_hits;
+      totals_.subsumed_evaluations += stats.subsumed_evaluations;
+      totals_.batch_dedup_hits += duplicates.size();
+    }
+    metrics.result_cache_dedup_hits->Add(duplicates.size());
+
+    // Duplicates first: their promises must not outwait their runner's by
+    // more than delivery order (copies, so the runner's slot stays intact).
+    for (const auto& [pending, runner] : duplicates) {
+      Deliver(pending, results[runner], completed);
+    }
+    for (size_t i = 0; i < to_run.size(); ++i) {
+      Deliver(to_run[i], std::move(results[i]), completed);
+    }
   }
 
   // Shrink the warm decoded working set back to budget between batches.
   decoded_cache_->EvictToBudget();
+}
+
+void QueryService::Deliver(Pending* pending, Result<exec::ScanResult> result,
+                           std::chrono::steady_clock::time_point completed) {
+  const obs::ServiceMetrics& metrics = obs::ServiceMetrics::Get();
+  // The post-execution deadline check: a result completed past its deadline
+  // is useless to the client and must be reported as the miss it is — the
+  // queued-expiry path and this one together make DeadlineExceeded the
+  // answer whenever the deadline passed, no matter where it passed.
+  if (pending->has_deadline && completed > pending->deadline) {
+    metrics.deadline_missed_in_flight->Increment();
+    Finish(pending, Status::DeadlineExceeded(
+                        "deadline passed while the query was executing"));
+    return;
+  }
+  (result.ok() ? metrics.succeeded : metrics.failed)->Increment();
+  Finish(pending, std::move(result));
 }
 
 void QueryService::Finish(Pending* pending, Result<exec::ScanResult> result) {

@@ -9,13 +9,26 @@
 // query of the window executes as ONE shared-scan batch over one table
 // snapshot (service/shared_scan.h): surviving chunks are fused-decoded once
 // and every query's predicate evaluates against the shared buffer, with
-// selection vectors recycled across queries and windows.
+// selection vectors recycled across queries and windows, nested predicates
+// subsumed into their containing bands, and whole results recycled through
+// the ResultCache — an identical spec at the same data version never
+// touches the pipeline at all (and identical specs *within* one window
+// execute once, the rest deduplicated onto that execution).
 //
 // The batching window is the classic shared-scan latency/throughput knob: a
 // longer window groups more queries per pass (higher sharing ratio, higher
 // throughput) at the cost of adding up to one window to each query's
 // latency. Batches run at TaskPriority::kHigh on the shared pool, so
 // interactive queries jump ahead of queued seal and recompression jobs.
+//
+// Deadlines are honored at three points: the dispatcher cuts the window
+// early when the oldest queued deadline precedes the window deadline (a
+// query that could still execute must not die waiting for companions); a
+// query whose deadline already passed at batch pickup is refused without
+// executing (service.queries.deadline_expired); and every result is
+// re-checked after execution — a result that arrived past its deadline is
+// reported DeadlineExceeded (service.deadline_missed_in_flight), never a
+// late OK, so clients see one consistent contract.
 //
 // Results are bit-identical to running each spec through solo exec::Scan
 // against the same snapshot (exec::ScanOutputsEqual) — batching is purely
@@ -34,6 +47,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "service/result_cache.h"
 #include "service/shared_scan.h"
 #include "store/table.h"
 #include "util/mutex.h"
@@ -61,6 +75,12 @@ struct ServiceOptions {
   uint64_t selection_cache_capacity = 1u << 16;
   /// Byte budget of decoded chunks kept warm across windows.
   uint64_t decoded_cache_bytes = uint64_t{256} << 20;
+  /// Byte budget of whole cached results; 0 disables result caching *and*
+  /// in-batch deduplication (every admitted query then executes).
+  uint64_t result_cache_bytes = uint64_t{64} << 20;
+  /// Evaluate a band nested inside another band of the same batch over the
+  /// containing band's selection instead of the full chunk.
+  bool subsume_predicates = true;
 
   Status Validate() const;
 };
@@ -73,6 +93,12 @@ struct ServiceStats {
   uint64_t chunks_decoded = 0;
   uint64_t chunk_evaluations = 0;
   uint64_t selection_cache_hits = 0;
+  /// Queries answered from the result cache without executing.
+  uint64_t result_cache_hits = 0;
+  /// Queries answered by an identical companion within their own batch.
+  uint64_t batch_dedup_hits = 0;
+  /// Chunk evaluations served by re-filtering a containing band's selection.
+  uint64_t subsumed_evaluations = 0;
 
   /// chunk_evaluations per physical decode; the shared-scan win.
   double sharing_ratio() const {
@@ -110,7 +136,10 @@ class QueryService {
   /// Submits `spec` for client `client`. On admission, returns the future
   /// delivering the scan result (or its per-query error); the optional
   /// `deadline` is relative to now — a query still queued when it passes is
-  /// answered DeadlineExceeded instead of executing. Refusals:
+  /// answered DeadlineExceeded instead of executing, and a result completed
+  /// past it is answered DeadlineExceeded as well (never a late OK). A
+  /// queued deadline tighter than the batching window cuts the window
+  /// early. Refusals:
   ///   InvalidArgument    the service is stopped,
   ///   KeyError           unknown client id,
   ///   ResourceExhausted  client at max in-flight, or queue full.
@@ -149,9 +178,17 @@ class QueryService {
   void DispatcherLoop();
 
   /// Executes one popped window: answers expired deadlines, resolves the
-  /// snapshot (cached while the table version stands), runs the shared-scan
-  /// batch, fulfills every promise. Runs on the dispatcher thread only.
+  /// snapshot (cached while the table version stands), serves result-cache
+  /// hits and in-batch duplicates without executing, runs the rest as one
+  /// shared-scan batch, fulfills every promise (re-checking deadlines
+  /// post-execution). Runs on the dispatcher thread only.
   void ExecuteWindow(std::vector<Pending>* batch);
+
+  /// Delivers one executed (or cache-served) result: a query whose deadline
+  /// passed before `completed` is answered DeadlineExceeded instead — a
+  /// result the client could no longer use must not masquerade as OK.
+  void Deliver(Pending* pending, Result<exec::ScanResult> result,
+               std::chrono::steady_clock::time_point completed);
 
   /// Fulfills one query's promise and releases its in-flight slot.
   void Finish(Pending* pending, Result<exec::ScanResult> result);
@@ -164,6 +201,7 @@ class QueryService {
   /// Null when options_.reuse_selection_vectors is false.
   std::unique_ptr<SelectionVectorCache> selection_cache_;
   std::unique_ptr<DecodedChunkCache> decoded_cache_;
+  std::unique_ptr<ResultCache> result_cache_;
 
   /// Dispatcher-thread-only: the snapshot served while table_->version()
   /// stands. Never read from other threads, so unguarded by design.

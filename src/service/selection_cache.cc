@@ -15,7 +15,7 @@ void SelectionVectorCache::PurgeIfStaleLocked(uint64_t version) {
 }
 
 bool SelectionVectorCache::Lookup(uint64_t version, const SelectionKey& key,
-                                  exec::SelectionResult* out) {
+                                  CachedSelection* out) {
   const obs::ServiceMetrics& metrics = obs::ServiceMetrics::Get();
   MutexLock lock(&mu_);
   PurgeIfStaleLocked(version);
@@ -30,7 +30,7 @@ bool SelectionVectorCache::Lookup(uint64_t version, const SelectionKey& key,
 }
 
 void SelectionVectorCache::Insert(uint64_t version, const SelectionKey& key,
-                                  const exec::SelectionResult& result) {
+                                  const CachedSelection& entry) {
   if (capacity_ == 0) return;
   MutexLock lock(&mu_);
   PurgeIfStaleLocked(version);
@@ -40,7 +40,7 @@ void SelectionVectorCache::Insert(uint64_t version, const SelectionKey& key,
     entries_.erase(fifo_.front());
     fifo_.pop_front();
   }
-  entries_.emplace(key, result);
+  entries_.emplace(key, entry);
   fifo_.push_back(key);
 }
 

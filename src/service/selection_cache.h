@@ -14,8 +14,14 @@
 // carrying a newer version purges everything from the older one first (a
 // table's versions move forward, so stale entries can never be asked for
 // again). Capacity is bounded by entry count with FIFO eviction — selection
-// vectors are small (positions only), so a simple bound beats byte
-// accounting here.
+// vectors are small (positions plus matched values), so a simple bound
+// beats byte accounting here.
+//
+// Entries carry the matched VALUES alongside the positions. That is what
+// predicate subsumption (shared_scan.cc) feeds on: a band nested inside a
+// cached band re-filters the cached (position, value) pairs directly — no
+// chunk decode, no full scan — because a row passing the narrow band
+// necessarily passed the wide one.
 
 #ifndef RECOMP_SERVICE_SELECTION_CACHE_H_
 #define RECOMP_SERVICE_SELECTION_CACHE_H_
@@ -44,6 +50,26 @@ struct SelectionKey {
   }
 };
 
+struct SelectionKeyHash {
+  size_t operator()(const SelectionKey& key) const {
+    // FNV-1a over the four words: cheap and good enough for a cache map.
+    uint64_t h = 1469598103934665603ull;
+    for (const uint64_t w : {key.column, key.chunk, key.lo, key.hi}) {
+      h = (h ^ w) * 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// One cached per-chunk selection: the matching chunk-local positions plus
+/// the column values at those positions (index-aligned with
+/// selection.positions). The values make the entry a self-contained
+/// evaluation substrate for any predicate nested inside this one.
+struct CachedSelection {
+  exec::SelectionResult selection;
+  Column<uint64_t> values;
+};
+
 /// Thread-safe (version, column, chunk, predicate) → selection-vector cache.
 /// All methods may be called concurrently from pool workers.
 class SelectionVectorCache {
@@ -55,14 +81,13 @@ class SelectionVectorCache {
   /// On hit, copies the cached selection into `*out` and returns true.
   /// A `version` newer than the cache's purges every entry first (counted
   /// once per purge in service.selection_cache.invalidations).
-  bool Lookup(uint64_t version, const SelectionKey& key,
-              exec::SelectionResult* out);
+  bool Lookup(uint64_t version, const SelectionKey& key, CachedSelection* out);
 
-  /// Caches `result` for `key` at `version`, evicting the oldest entry at
+  /// Caches `entry` for `key` at `version`, evicting the oldest entry at
   /// capacity. Inserts for an older version than the cache's are dropped
   /// (a racing straggler must not resurrect stale data).
   void Insert(uint64_t version, const SelectionKey& key,
-              const exec::SelectionResult& result);
+              const CachedSelection& entry);
 
   /// Current entry count (point-in-time).
   uint64_t size() const;
@@ -72,24 +97,13 @@ class SelectionVectorCache {
   uint64_t version() const;
 
  private:
-  struct KeyHash {
-    size_t operator()(const SelectionKey& key) const {
-      // FNV-1a over the four words: cheap and good enough for a cache map.
-      uint64_t h = 1469598103934665603ull;
-      for (const uint64_t w : {key.column, key.chunk, key.lo, key.hi}) {
-        h = (h ^ w) * 1099511628211ull;
-      }
-      return static_cast<size_t>(h);
-    }
-  };
-
   /// Drops every entry when `version` is newer than the cached one.
   void PurgeIfStaleLocked(uint64_t version) RECOMP_REQUIRES(mu_);
 
   const uint64_t capacity_;
   mutable Mutex mu_;
   uint64_t version_ RECOMP_GUARDED_BY(mu_) = 0;
-  std::unordered_map<SelectionKey, exec::SelectionResult, KeyHash> entries_
+  std::unordered_map<SelectionKey, CachedSelection, SelectionKeyHash> entries_
       RECOMP_GUARDED_BY(mu_);
   /// Insertion order for FIFO eviction.
   std::deque<SelectionKey> fifo_ RECOMP_GUARDED_BY(mu_);

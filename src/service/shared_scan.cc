@@ -19,51 +19,35 @@ uint64_t ValueAt(const AnyColumn& values, uint64_t index) {
 
 /// The shared per-chunk execution: one pipeline instance serves every query
 /// of a batch concurrently. SelectChunk answers from the selection cache
-/// when it can, otherwise scans the shared decoded buffer; GatherRows reads
-/// the shared buffers directly. All counters are atomics — pool workers
-/// running different queries call in simultaneously.
+/// when it can, re-filters a containing band's cached selection when the
+/// batch's containment lattice offers one, and only otherwise scans the
+/// shared decoded buffer; GatherRows reads the shared buffers directly. All
+/// counters are atomics — pool workers running different queries call in
+/// simultaneously.
 class SharedScanPipeline final : public exec::ChunkPipeline {
  public:
   SharedScanPipeline(const store::TableSnapshot& snapshot,
+                     const std::vector<const exec::ScanSpec*>& specs,
                      SelectionVectorCache* selection_cache,
-                     DecodedChunkCache* decoded_cache)
+                     DecodedChunkCache* decoded_cache, bool subsume_predicates)
       : version_(snapshot.version()),
         selection_cache_(selection_cache),
-        decoded_cache_(decoded_cache) {
+        decoded_cache_(decoded_cache),
+        subsume_(subsume_predicates) {
     columns_.reserve(snapshot.num_columns());
     for (uint64_t i = 0; i < snapshot.num_columns(); ++i) {
       columns_.push_back(&snapshot.column(i).chunked());
     }
+    if (subsume_) BuildLattice(snapshot, specs);
   }
 
   Result<exec::SelectionResult> SelectChunk(
       uint64_t column, uint64_t chunk,
       const exec::RangePredicate& predicate) override {
     chunk_evaluations_.fetch_add(1, std::memory_order_relaxed);
-    const SelectionKey key{column, chunk, predicate.lo, predicate.hi};
-    if (selection_cache_ != nullptr) {
-      exec::SelectionResult cached;
-      if (selection_cache_->Lookup(version_, key, &cached)) {
-        selection_hits_.fetch_add(1, std::memory_order_relaxed);
-        return cached;
-      }
-    }
-    RECOMP_ASSIGN_OR_RETURN(const std::shared_ptr<const AnyColumn> values,
-                            Decoded(column, chunk));
-    exec::SelectionResult result;
-    result.stats.strategy = exec::Strategy::kDecompressScan;
-    result.stats.values_decoded = values->size();
-    const uint64_t n = values->size();
-    for (uint64_t i = 0; i < n; ++i) {
-      const uint64_t v = ValueAt(*values, i);
-      if (v >= predicate.lo && v <= predicate.hi) {
-        result.positions.push_back(static_cast<uint32_t>(i));
-      }
-    }
-    if (selection_cache_ != nullptr) {
-      selection_cache_->Insert(version_, key, result);
-    }
-    return result;
+    RECOMP_ASSIGN_OR_RETURN(const std::shared_ptr<const CachedSelection> entry,
+                            EvalBand(column, chunk, predicate));
+    return entry->selection;
   }
 
   Result<exec::GatherResult> GatherRows(uint64_t column,
@@ -114,8 +98,142 @@ class SharedScanPipeline final : public exec::ChunkPipeline {
   uint64_t selection_hits() const {
     return selection_hits_.load(std::memory_order_relaxed);
   }
+  uint64_t subsumed_evaluations() const {
+    return subsumed_.load(std::memory_order_relaxed);
+  }
+  uint64_t subsumption_values_examined() const {
+    return values_examined_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// Identity of one filter band on one (snapshot-indexed) column.
+  struct BandKey {
+    uint64_t column = 0;
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+
+    bool operator==(const BandKey& other) const {
+      return column == other.column && lo == other.lo && hi == other.hi;
+    }
+  };
+  struct BandKeyHash {
+    size_t operator()(const BandKey& key) const {
+      uint64_t h = 1469598103934665603ull;
+      for (const uint64_t w : {key.column, key.lo, key.hi}) {
+        h = (h ^ w) * 1099511628211ull;
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+
+  /// Maps every band of the batch to its *narrowest strict container* on
+  /// the same column (absent = a maximal band that must scan). Narrowest
+  /// wins because a tighter parent leaves fewer pairs to re-filter; chains
+  /// resolve recursively, so the widest band of a nest scans once and each
+  /// tier below it filters its parent's survivors.
+  void BuildLattice(const store::TableSnapshot& snapshot,
+                    const std::vector<const exec::ScanSpec*>& specs) {
+    std::unordered_map<uint64_t, std::vector<exec::RangePredicate>> bands;
+    for (const exec::ScanSpec* spec : specs) {
+      for (const exec::ScanSpec::FilterSpec& filter : spec->filters()) {
+        // A name the snapshot cannot resolve fails that query in its own
+        // slot later; it contributes nothing to the lattice.
+        const Result<uint64_t> column = snapshot.column_index(filter.column);
+        if (!column.ok()) continue;
+        std::vector<exec::RangePredicate>& column_bands = bands[*column];
+        if (std::find(column_bands.begin(), column_bands.end(),
+                      filter.predicate) == column_bands.end()) {
+          column_bands.push_back(filter.predicate);
+        }
+      }
+    }
+    for (const auto& [column, column_bands] : bands) {
+      for (const exec::RangePredicate& band : column_bands) {
+        const exec::RangePredicate* best = nullptr;
+        for (const exec::RangePredicate& candidate : column_bands) {
+          if (!candidate.StrictlyContains(band)) continue;
+          if (best == nullptr ||
+              candidate.hi - candidate.lo < best->hi - best->lo ||
+              (candidate.hi - candidate.lo == best->hi - best->lo &&
+               candidate.lo < best->lo)) {
+            best = &candidate;
+          }
+        }
+        if (best != nullptr) {
+          parents_.emplace(BandKey{column, band.lo, band.hi}, *best);
+        }
+      }
+    }
+  }
+
+  const exec::RangePredicate* FindParent(uint64_t column,
+                                         const exec::RangePredicate& band)
+      const {
+    const auto it = parents_.find(BandKey{column, band.lo, band.hi});
+    return it == parents_.end() ? nullptr : &it->second;
+  }
+
+  /// Evaluates one band over one chunk, preferring (in order) the
+  /// cross-batch selection cache, the batch-local memo, a containing band's
+  /// selection (recursively), and only last a scan of the shared decoded
+  /// buffer. Returns the positions *and* the matched values so callers one
+  /// tier down can do the same.
+  Result<std::shared_ptr<const CachedSelection>> EvalBand(
+      uint64_t column, uint64_t chunk, const exec::RangePredicate& pred) {
+    const SelectionKey key{column, chunk, pred.lo, pred.hi};
+    if (selection_cache_ != nullptr) {
+      CachedSelection cached;
+      if (selection_cache_->Lookup(version_, key, &cached)) {
+        selection_hits_.fetch_add(1, std::memory_order_relaxed);
+        return std::make_shared<const CachedSelection>(std::move(cached));
+      }
+    }
+    if (subsume_) {
+      MutexLock lock(&memo_mu_);
+      const auto it = memo_.find(key);
+      if (it != memo_.end()) return it->second;
+    }
+    std::shared_ptr<CachedSelection> entry = std::make_shared<CachedSelection>();
+    entry->selection.stats.strategy = exec::Strategy::kDecompressScan;
+    const exec::RangePredicate* parent =
+        subsume_ ? FindParent(column, pred) : nullptr;
+    if (parent != nullptr) {
+      RECOMP_ASSIGN_OR_RETURN(
+          const std::shared_ptr<const CachedSelection> base,
+          EvalBand(column, chunk, *parent));
+      const uint64_t n = base->selection.positions.size();
+      subsumed_.fetch_add(1, std::memory_order_relaxed);
+      values_examined_.fetch_add(n, std::memory_order_relaxed);
+      for (uint64_t i = 0; i < n; ++i) {
+        const uint64_t v = base->values[i];
+        if (v >= pred.lo && v <= pred.hi) {
+          entry->selection.positions.push_back(base->selection.positions[i]);
+          entry->values.push_back(v);
+        }
+      }
+    } else {
+      RECOMP_ASSIGN_OR_RETURN(const std::shared_ptr<const AnyColumn> values,
+                              Decoded(column, chunk));
+      entry->selection.stats.values_decoded = values->size();
+      const uint64_t n = values->size();
+      for (uint64_t i = 0; i < n; ++i) {
+        const uint64_t v = ValueAt(*values, i);
+        if (v >= pred.lo && v <= pred.hi) {
+          entry->selection.positions.push_back(static_cast<uint32_t>(i));
+          entry->values.push_back(v);
+        }
+      }
+    }
+    if (selection_cache_ != nullptr) {
+      selection_cache_->Insert(version_, key, *entry);
+    }
+    if (subsume_) {
+      MutexLock lock(&memo_mu_);
+      memo_.emplace(key, entry);  // First computation wins; dups are equal.
+    }
+    return std::shared_ptr<const CachedSelection>(std::move(entry));
+  }
+
   Result<std::shared_ptr<const AnyColumn>> Decoded(uint64_t column,
                                                    uint64_t chunk) {
     return decoded_cache_->GetOrDecode(
@@ -126,8 +244,19 @@ class SharedScanPipeline final : public exec::ChunkPipeline {
   std::vector<const ChunkedCompressedColumn*> columns_;
   SelectionVectorCache* const selection_cache_;
   DecodedChunkCache* const decoded_cache_;
+  const bool subsume_;
+  /// Read-only after construction: band → narrowest strict container.
+  std::unordered_map<BandKey, exec::RangePredicate, BandKeyHash> parents_;
+  /// Batch-local memo so a band evaluates once per chunk even with the
+  /// selection cache disabled (and so parent selections stay shared).
+  Mutex memo_mu_;
+  std::unordered_map<SelectionKey, std::shared_ptr<const CachedSelection>,
+                     SelectionKeyHash>
+      memo_ RECOMP_GUARDED_BY(memo_mu_);
   std::atomic<uint64_t> chunk_evaluations_{0};
   std::atomic<uint64_t> selection_hits_{0};
+  std::atomic<uint64_t> subsumed_{0};
+  std::atomic<uint64_t> values_examined_{0};
 };
 
 }  // namespace
@@ -136,6 +265,7 @@ void DecodedChunkCache::PurgeIfStaleLocked(uint64_t version) {
   if (version <= version_) return;
   cells_.clear();
   fifo_.clear();
+  settled_bytes_.clear();
   bytes_ = 0;
   version_ = version;
 }
@@ -186,9 +316,18 @@ Result<std::shared_ptr<const AnyColumn>> DecodedChunkCache::GetOrDecode(
       cell->done = true;
     }
     cell->cv.NotifyAll();
-    if (added_bytes != 0) {
+    {
+      // Settle the accounting only if this cell is still the mapped one: a
+      // version purge may have dropped it while we decoded, and charging a
+      // dropped cell's bytes would leak them forever (nothing could ever
+      // evict them back out). A failed decode settles at 0 bytes so the
+      // dead cell stays evictable.
       MutexLock lock(&mu_);
-      bytes_ += added_bytes;
+      const auto it = cells_.find(Key(column, chunk));
+      if (it != cells_.end() && it->second == cell) {
+        settled_bytes_[Key(column, chunk)] = added_bytes;
+        bytes_ += added_bytes;
+      }
     }
   } else {
     MutexLock lock(&cell->mu);
@@ -201,22 +340,28 @@ Result<std::shared_ptr<const AnyColumn>> DecodedChunkCache::GetOrDecode(
 
 void DecodedChunkCache::EvictToBudget() {
   MutexLock lock(&mu_);
+  // An unsettled key is a decode still in flight: evicting it would strand
+  // its eventual bytes with no owner (the decoder would charge a cell no
+  // longer in the map — or, with the identity check, never charge it, and
+  // waiters would re-decode a chunk we just paid for). Skip it; it keeps
+  // its place in eviction order for the next pass.
+  std::vector<uint64_t> in_flight;
   while (bytes_ > max_bytes_ && !fifo_.empty()) {
     const uint64_t key = fifo_.front();
     fifo_.pop_front();
     const auto it = cells_.find(key);
     if (it == cells_.end()) continue;
-    {
-      // Only settled cells carry bytes; an in-flight cell (still decoding)
-      // accounts its bytes after we dropped it from the map, which is fine:
-      // bytes_ only ever overestimates until the next eviction pass.
-      MutexLock cell_lock(&it->second->mu);
-      if (it->second->done && it->second->values != nullptr) {
-        bytes_ -= std::min(bytes_, it->second->values->ByteSize());
-      }
+    const auto settled = settled_bytes_.find(key);
+    if (settled == settled_bytes_.end()) {
+      in_flight.push_back(key);
+      continue;
     }
+    bytes_ -= std::min(bytes_, settled->second);
+    settled_bytes_.erase(settled);
     cells_.erase(it);
   }
+  // Back at the front: a skipped cell keeps its oldest-first priority.
+  fifo_.insert(fifo_.begin(), in_flight.begin(), in_flight.end());
 }
 
 uint64_t DecodedChunkCache::size() const {
@@ -233,7 +378,7 @@ std::vector<Result<exec::ScanResult>> ExecuteBatch(
     const store::TableSnapshot& snapshot,
     const std::vector<const exec::ScanSpec*>& specs, const ExecContext& ctx,
     SelectionVectorCache* selection_cache, DecodedChunkCache* decoded_cache,
-    BatchStats* stats) {
+    BatchStats* stats, bool subsume_predicates) {
   // Without a caller-retained working set, decode-once still holds within
   // the batch via a batch-local cache.
   DecodedChunkCache local_cache(0);
@@ -241,7 +386,8 @@ std::vector<Result<exec::ScanResult>> ExecuteBatch(
       decoded_cache != nullptr ? decoded_cache : &local_cache;
   const uint64_t decodes_before = cache->decodes();
 
-  SharedScanPipeline pipeline(snapshot, selection_cache, cache);
+  SharedScanPipeline pipeline(snapshot, specs, selection_cache, cache,
+                              subsume_predicates);
   std::vector<Result<exec::ScanResult>> results(
       specs.size(),
       Result<exec::ScanResult>(Status::InvalidArgument("query not executed")));
@@ -258,7 +404,12 @@ std::vector<Result<exec::ScanResult>> ExecuteBatch(
   batch.chunks_decoded = cache->decodes() - decodes_before;
   batch.chunk_evaluations = pipeline.chunk_evaluations();
   batch.selection_cache_hits = pipeline.selection_hits();
-  obs::ServiceMetrics::Get().chunk_evaluations->Add(batch.chunk_evaluations);
+  batch.subsumed_evaluations = pipeline.subsumed_evaluations();
+  batch.subsumption_values_examined = pipeline.subsumption_values_examined();
+  const obs::ServiceMetrics& metrics = obs::ServiceMetrics::Get();
+  metrics.chunk_evaluations->Add(batch.chunk_evaluations);
+  metrics.subsumed_evaluations->Add(batch.subsumed_evaluations);
+  metrics.subsumption_values_examined->Add(batch.subsumption_values_examined);
   if (stats != nullptr) *stats = batch;
   return results;
 }

@@ -15,7 +15,15 @@
 //     it stays within the byte budget;
 //   * each query's predicate then evaluates against the shared decoded
 //     buffer, and per-chunk selection vectors are recycled across queries
-//     and batches through the SelectionVectorCache.
+//     and batches through the SelectionVectorCache;
+//   * nested predicates subsume: the batch builds a containment lattice
+//     over the window's filter bands, and a band strictly inside another
+//     band on the same column evaluates by re-filtering the containing
+//     band's cached (position, value) pairs — no decode, no full scan —
+//     because a row passing the narrow band necessarily passed the wide
+//     one. Chains compose (each band leans on its narrowest strict
+//     container), and the cached values let the reuse span windows even
+//     after the decoded chunks were evicted.
 //
 // Outputs are bit-identical to running each query through solo exec::Scan
 // (exec::ScanOutputsEqual); only the execution stats differ — a shared
@@ -64,7 +72,12 @@ class DecodedChunkCache {
       uint64_t version, uint64_t column, uint64_t chunk,
       const CompressedColumn& compressed);
 
-  /// Drops oldest entries until the retained bytes fit max_bytes.
+  /// Drops oldest settled entries until the retained bytes fit max_bytes.
+  /// Cells still decoding (or that a straggler just latched onto) are never
+  /// evicted out from under their decoder — an unsettled cell is skipped
+  /// and stays in eviction order for the next pass. Never blocks on a
+  /// decode: settlement is tracked in the cache's own ledger, so eviction
+  /// takes no per-cell locks.
   void EvictToBudget();
 
   /// Physical decodes performed so far (monotonic; snapshot before/after a
@@ -100,6 +113,11 @@ class DecodedChunkCache {
       RECOMP_GUARDED_BY(mu_);
   std::deque<uint64_t> fifo_ RECOMP_GUARDED_BY(mu_);
   uint64_t bytes_ RECOMP_GUARDED_BY(mu_) = 0;
+  /// Bytes each *settled* cell contributed to bytes_ (0 for a failed
+  /// decode). A key absent here is still decoding and must not be evicted;
+  /// a decoder only settles if its cell is still the mapped one, so a purge
+  /// or eviction racing the decode can never corrupt the accounting.
+  std::unordered_map<uint64_t, uint64_t> settled_bytes_ RECOMP_GUARDED_BY(mu_);
 };
 
 /// Work accounting of one executed batch. The sharing ratio is
@@ -111,6 +129,12 @@ struct BatchStats {
   uint64_t chunks_decoded = 0;      ///< FusedDecompress calls this batch.
   uint64_t chunk_evaluations = 0;   ///< Per-query chunk filter evaluations.
   uint64_t selection_cache_hits = 0;
+  /// Evaluations answered by re-filtering a containing band's selection
+  /// instead of scanning the chunk.
+  uint64_t subsumed_evaluations = 0;
+  /// Cached (position, value) pairs those subsumed evaluations examined —
+  /// the work that replaced full-chunk scans.
+  uint64_t subsumption_values_examined = 0;
 };
 
 /// Executes every spec in `specs` against `snapshot` as one shared-scan
@@ -124,11 +148,13 @@ struct BatchStats {
 /// a batch-local cache is used (decode-once within the batch, nothing
 /// retained). `stats`, when non-null, receives this batch's accounting;
 /// the same numbers also fold into the service.* registry metrics.
+/// `subsume_predicates` enables the containment lattice; off, every band
+/// evaluates independently (PR 9 behavior).
 std::vector<Result<exec::ScanResult>> ExecuteBatch(
     const store::TableSnapshot& snapshot,
     const std::vector<const exec::ScanSpec*>& specs, const ExecContext& ctx,
     SelectionVectorCache* selection_cache, DecodedChunkCache* decoded_cache,
-    BatchStats* stats = nullptr);
+    BatchStats* stats = nullptr, bool subsume_predicates = true);
 
 }  // namespace recomp::service
 

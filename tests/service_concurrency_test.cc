@@ -13,6 +13,7 @@
 
 #include "exec/scan.h"
 #include "service/query_service.h"
+#include "service/shared_scan.h"
 #include "store/table.h"
 #include "test_util.h"
 #include "util/macros.h"
@@ -62,7 +63,10 @@ TEST(ServiceConcurrencyTest, SubmitsRaceAppendsSealsAndMaintenance) {
   // Clients: every answer must reflect a consistent prefix of the appended
   // rows — rows_scanned is the prefix length, the v-sum must match its
   // prefix sum exactly. The all-pass filter keeps the selection path (and
-  // the selection cache, invalidating on every append) in the race.
+  // the selection cache, invalidating on every append) in the race; the two
+  // spec shapes repeat constantly, so the result cache serves hits between
+  // version bumps and its invalidation races AppendBatch the whole run — a
+  // stale cached result would break the prefix-sum invariant immediately.
   auto client_loop = [&](uint64_t seed) {
     Rng rng(seed);
     const uint64_t client = svc.RegisterClient();
@@ -222,6 +226,157 @@ TEST(ServiceConcurrencyTest, FuzzBatchedMatchesSoloAcrossPoolsAndWindows) {
       svc.Stop();
     }
   }
+}
+
+TEST(ServiceConcurrencyTest, FuzzDuplicatesAndNestedBandsMatchSolo) {
+  constexpr uint64_t kRows = 8 * kChunk;
+  ThreadPool build_pool(2);
+  auto table = Table::Create({{"k", TypeId::kUInt32, {kChunk}, ""},
+                              {"v", TypeId::kUInt32, {kChunk}, ""}},
+                             ExecContext{&build_pool, 1});
+  ASSERT_OK(table.status());
+  ASSERT_OK(table->AppendBatch(
+      {AnyColumn(testutil::UniformColumn<uint32_t>(kRows, kValueBound, 1401)),
+       AnyColumn(
+           testutil::UniformColumn<uint32_t>(kRows, kValueBound, 1402))}));
+  ASSERT_OK(table->Seal());
+  ASSERT_OK(table->Flush());
+  auto snap = table->Snapshot();
+  ASSERT_OK(snap.status());
+
+  uint64_t seed = 1403;
+  for (const uint64_t threads : {uint64_t{0}, uint64_t{2}, uint64_t{4}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    std::unique_ptr<ThreadPool> pool;
+    ExecContext ctx;
+    if (threads > 0) {
+      pool = std::make_unique<ThreadPool>(threads);
+      ctx = ExecContext{pool.get(), 1};
+    }
+    ServiceOptions options;
+    options.batch_window = std::chrono::microseconds(2000);
+    auto service = QueryService::Create(&*table, options, ctx);
+    ASSERT_OK(service.status());
+    QueryService& svc = **service;
+
+    // A workload that deliberately repeats itself and nests its bands:
+    // duplicates exercise the result cache / in-batch dedup, shrunken
+    // copies of earlier bands exercise the subsumption lattice.
+    Rng rng(seed++);
+    std::vector<ScanSpec> specs;
+    for (int q = 0; q < 32; ++q) {
+      const uint64_t roll = rng.Below(4);
+      if (roll == 0 && !specs.empty()) {
+        specs.push_back(specs[rng.Below(specs.size())]);  // Duplicate.
+      } else if (roll == 1 && !specs.empty()) {
+        // Nest strictly inside an earlier filtered band when one exists.
+        const ScanSpec& base = specs[rng.Below(specs.size())];
+        if (!base.filters().empty()) {
+          const exec::RangePredicate outer = base.filters()[0].predicate;
+          const uint64_t width = outer.hi - outer.lo;
+          exec::RangePredicate inner{outer.lo + 1 + rng.Below(width / 2 + 1),
+                                     outer.hi - rng.Below(width / 4 + 1)};
+          if (inner.lo > inner.hi) inner.lo = inner.hi;
+          ScanSpec nested;
+          nested.Filter(base.filters()[0].column, inner).Project({"v"});
+          specs.push_back(nested);
+        } else {
+          specs.push_back(FuzzSpec(rng));
+        }
+      } else {
+        specs.push_back(FuzzSpec(rng));
+      }
+    }
+
+    const uint64_t client_a = svc.RegisterClient();
+    const uint64_t client_b = svc.RegisterClient();
+    const auto run_pass = [&](const char* pass) {
+      SCOPED_TRACE(pass);
+      std::vector<QueryService::ResultFuture> futures;
+      for (size_t q = 0; q < specs.size(); ++q) {
+        auto future =
+            svc.Submit(q % 2 == 0 ? client_a : client_b, specs[q]);
+        ASSERT_OK(future.status());
+        futures.push_back(std::move(*future));
+      }
+      for (size_t q = 0; q < futures.size(); ++q) {
+        Result<exec::ScanResult> batched = futures[q].get();
+        ASSERT_OK(batched.status()) << "query " << q;
+        auto solo = exec::Scan(*snap, specs[q]);
+        ASSERT_OK(solo.status()) << "query " << q;
+        EXPECT_TRUE(ScanOutputsEqual(*batched, *solo)) << "query " << q;
+      }
+    };
+    run_pass("cold");
+    svc.Flush();
+    // The warm pass replays the identical workload at the same version:
+    // every spec was cached by the cold pass, so nothing executes anew.
+    const uint64_t executed_cold = svc.stats().queries_executed;
+    run_pass("warm");
+    const service::ServiceStats stats = svc.stats();
+    EXPECT_EQ(stats.queries_executed, executed_cold);
+    EXPECT_GE(stats.result_cache_hits, specs.size());
+    svc.Stop();
+  }
+}
+
+TEST(ServiceConcurrencyTest, DecodedCacheEvictionRacesDecodesSafely) {
+  constexpr uint64_t kRows = 16 * kChunk;
+  ThreadPool build_pool(2);
+  auto table = Table::Create({{"k", TypeId::kUInt32, {kChunk}, ""}},
+                             ExecContext{&build_pool, 1});
+  ASSERT_OK(table.status());
+  ASSERT_OK(table->AppendBatch(
+      {AnyColumn(testutil::UniformColumn<uint32_t>(kRows, kValueBound, 1501))}));
+  ASSERT_OK(table->Seal());
+  ASSERT_OK(table->Flush());
+  auto snap = table->Snapshot();
+  ASSERT_OK(snap.status());
+  const auto& chunked = snap->column(0).chunked();
+  const uint64_t num_chunks = chunked.num_chunks();
+  ASSERT_GE(num_chunks, 16u);
+
+  // A 1-byte budget keeps every settled cell permanently over budget, so
+  // the evictor thread is always trying to rip cells out while decoders
+  // and straggler waiters latch onto them.
+  service::DecodedChunkCache cache(/*max_bytes=*/1);
+  std::atomic<bool> stop{false};
+  std::thread evictor([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      cache.EvictToBudget();
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> decoders;
+  for (int t = 0; t < 4; ++t) {
+    decoders.emplace_back([&, t] {
+      for (int round = 0; round < 8; ++round) {
+        for (uint64_t c = 0; c < num_chunks; ++c) {
+          // Stagger start points so threads collide on different cells.
+          const uint64_t chunk = (c + t * 4) % num_chunks;
+          auto values = cache.GetOrDecode(/*version=*/1, /*column=*/0, chunk,
+                                          chunked.chunk(chunk).column);
+          ASSERT_OK(values.status());
+          ASSERT_NE(*values, nullptr);
+          // A cell evicted out from under its decoder (or a waiter) would
+          // surface as a wrong-sized or dead buffer here.
+          ASSERT_EQ((*values)->size(), chunked.chunk(chunk).zone.row_count);
+        }
+      }
+    });
+  }
+  for (std::thread& t : decoders) t.join();
+  stop.store(true, std::memory_order_release);
+  evictor.join();
+
+  // With every decode settled, one final pass must drain the cache to
+  // nothing — and the byte ledger must land on exactly zero. Pre-fix, a
+  // cell evicted mid-decode leaked its bytes forever: the map emptied but
+  // bytes() stayed stuck above the budget with nothing left to evict.
+  cache.EvictToBudget();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
 }
 
 }  // namespace

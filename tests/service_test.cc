@@ -11,19 +11,23 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "exec/scan.h"
 #include "obs/metrics.h"
 #include "service/query_service.h"
+#include "service/result_cache.h"
 #include "service/selection_cache.h"
 #include "service/shared_scan.h"
 #include "store/table.h"
 #include "test_util.h"
 #include "util/macros.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace recomp {
 namespace {
@@ -110,7 +114,12 @@ TEST(ServiceTest, BatchedResultsMatchSoloScan) {
     ASSERT_OK(solo.status()) << "query " << q;
     EXPECT_TRUE(ScanOutputsEqual(*batched, *solo)) << "query " << q;
   }
-  EXPECT_GE(svc.stats().queries_executed, futures.size());
+  // Every admitted query was answered by exactly one of: execution, an
+  // identical companion in its batch, or the result cache.
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_GE(stats.queries_executed + stats.batch_dedup_hits +
+                stats.result_cache_hits,
+            futures.size());
 }
 
 TEST(ServiceTest, AdmissionRejectsUnknownClientsAndStoppedService) {
@@ -250,15 +259,17 @@ TEST(ServiceTest, PerQueryErrorsFailOnlyTheirSlotAndNameTheColumn) {
 
 TEST(ServiceTest, SelectionCacheHitsAcrossQueriesAndInvalidatesOnVersion) {
   SelectionVectorCache cache(/*capacity=*/8);
-  exec::SelectionResult result;
-  result.positions = {1, 5, 9};
+  service::CachedSelection entry;
+  entry.selection.positions = {1, 5, 9};
+  entry.values = {11, 15, 19};
   const SelectionKey key{0, 2, 10, 20};
 
-  exec::SelectionResult out;
+  service::CachedSelection out;
   EXPECT_FALSE(cache.Lookup(1, key, &out));
-  cache.Insert(1, key, result);
+  cache.Insert(1, key, entry);
   ASSERT_TRUE(cache.Lookup(1, key, &out));
-  EXPECT_EQ(out.positions, result.positions);
+  EXPECT_EQ(out.selection.positions, entry.selection.positions);
+  EXPECT_EQ(out.values, entry.values);
   EXPECT_EQ(cache.size(), 1u);
 
   // A newer version purges everything; the old entry is gone even when the
@@ -267,12 +278,12 @@ TEST(ServiceTest, SelectionCacheHitsAcrossQueriesAndInvalidatesOnVersion) {
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.version(), 2u);
   EXPECT_FALSE(cache.Lookup(1, key, &out));
-  cache.Insert(1, key, result);  // Stale insert: dropped.
+  cache.Insert(1, key, entry);  // Stale insert: dropped.
   EXPECT_EQ(cache.size(), 0u);
 
   // FIFO eviction at capacity.
   for (uint64_t i = 0; i < 10; ++i) {
-    cache.Insert(3, {0, i, 0, 5}, result);
+    cache.Insert(3, {0, i, 0, 5}, entry);
   }
   EXPECT_EQ(cache.size(), 8u);
   EXPECT_FALSE(cache.Lookup(3, {0, 0, 0, 5}, &out));  // Oldest two evicted.
@@ -281,7 +292,7 @@ TEST(ServiceTest, SelectionCacheHitsAcrossQueriesAndInvalidatesOnVersion) {
 
   // Capacity 0 disables caching entirely.
   SelectionVectorCache disabled(0);
-  disabled.Insert(1, key, result);
+  disabled.Insert(1, key, entry);
   EXPECT_FALSE(disabled.Lookup(1, key, &out));
   EXPECT_EQ(disabled.size(), 0u);
 }
@@ -330,6 +341,9 @@ TEST(ServiceTest, SharedDecodingBeatsPerQueryDecoding) {
   ASSERT_OK(table.status());
   ServiceOptions options;
   options.batch_window = std::chrono::microseconds(50 * 1000);
+  // Identical specs would dedup onto one execution; this test is about the
+  // decode sharing underneath, so make all eight actually run.
+  options.result_cache_bytes = 0;
   auto service = QueryService::Create(&*table, options);
   ASSERT_OK(service.status());
   QueryService& svc = **service;
@@ -415,6 +429,277 @@ TEST(ServiceTest, StopDrainsQueuedQueriesBeforeJoining) {
     ASSERT_OK(result.status());
     EXPECT_EQ(result->aggregates[0].value(), 2 * kChunk);
   }
+}
+
+TEST(ServiceTest, CanonicalSpecKeyNormalizesConjunctionOrderOnly) {
+  ScanSpec ab;
+  ab.Filter("a", {1, 5}).Filter("b", {2, 6});
+  ScanSpec ba;
+  ba.Filter("b", {2, 6}).Filter("a", {1, 5});
+  // A conjunction commutes, so filter order must not split cache entries.
+  EXPECT_EQ(exec::CanonicalSpecKey(ab), exec::CanonicalSpecKey(ba));
+  EXPECT_EQ(exec::CanonicalSpecHash(ab), exec::CanonicalSpecHash(ba));
+
+  ScanSpec other_band;
+  other_band.Filter("a", {1, 6}).Filter("b", {2, 6});
+  EXPECT_NE(exec::CanonicalSpecKey(ab), exec::CanonicalSpecKey(other_band));
+
+  // Projection order shapes the output and must stay significant.
+  ScanSpec p1, p2;
+  p1.Project({"a", "b"});
+  p2.Project({"b", "a"});
+  EXPECT_NE(exec::CanonicalSpecKey(p1), exec::CanonicalSpecKey(p2));
+
+  ScanSpec limited = ab;
+  limited.Limit(10);
+  EXPECT_NE(exec::CanonicalSpecKey(ab), exec::CanonicalSpecKey(limited));
+}
+
+TEST(ServiceTest, ResultCacheBudgetsBytesAndInvalidatesOnVersion) {
+  exec::ScanResult result;
+  result.rows_scanned = 100;
+  result.rows_matched = 3;
+  result.positions = {1, 5, 9};
+  const uint64_t entry_bytes = service::ResultCache::ApproxResultBytes(result);
+  ASSERT_GT(entry_bytes, 0u);
+
+  // Room for two entries, not three: the third insert evicts the oldest.
+  service::ResultCache cache(2 * entry_bytes + entry_bytes / 2);
+  exec::ScanResult out;
+  EXPECT_FALSE(cache.Lookup(1, "a", &out));
+  cache.Insert(1, "a", result);
+  ASSERT_TRUE(cache.Lookup(1, "a", &out));
+  EXPECT_EQ(out.positions, result.positions);
+  EXPECT_EQ(out.rows_matched, result.rows_matched);
+  cache.Insert(1, "b", result);
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Insert(1, "c", result);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.Lookup(1, "a", &out));  // FIFO: oldest evicted.
+  EXPECT_TRUE(cache.Lookup(1, "b", &out));
+  EXPECT_TRUE(cache.Lookup(1, "c", &out));
+  EXPECT_LE(cache.bytes(), 2 * entry_bytes + entry_bytes / 2);
+
+  // A newer version purges everything; stale inserts never resurrect.
+  EXPECT_FALSE(cache.Lookup(2, "b", &out));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.version(), 2u);
+  cache.Insert(1, "stale", result);
+  EXPECT_EQ(cache.size(), 0u);
+
+  // An entry alone exceeding the budget is never cached; 0 disables.
+  service::ResultCache tiny(8);
+  tiny.Insert(1, "big", result);
+  EXPECT_EQ(tiny.size(), 0u);
+  service::ResultCache disabled(0);
+  disabled.Insert(1, "x", result);
+  EXPECT_FALSE(disabled.Lookup(1, "x", &out));
+}
+
+TEST(ServiceTest, ResultCacheServesRepeatedSpecsWithoutExecuting) {
+  const obs::MetricsSnapshot before = Table::MetricsSnapshot();
+  auto table = MakeTable(8 * kChunk, 913);
+  ASSERT_OK(table.status());
+  auto service = QueryService::Create(&*table);
+  ASSERT_OK(service.status());
+  QueryService& svc = **service;
+
+  ScanSpec spec;
+  spec.Filter("k", {1000, kValueBound / 2}).Project({"v"});
+  const uint64_t client = svc.RegisterClient();
+  auto first = svc.Submit(client, spec);
+  ASSERT_OK(first.status());
+  Result<exec::ScanResult> cold = first->get();
+  ASSERT_OK(cold.status());
+  svc.Flush();
+  const uint64_t executed_cold = svc.stats().queries_executed;
+
+  // The same spec at the same data version: answered from the result cache,
+  // bit-identical, with no new execution.
+  auto second = svc.Submit(client, spec);
+  ASSERT_OK(second.status());
+  Result<exec::ScanResult> warm = second->get();
+  ASSERT_OK(warm.status());
+  EXPECT_TRUE(ScanOutputsEqual(*warm, *cold));
+  auto snap = table->Snapshot();
+  ASSERT_OK(snap.status());
+  auto solo = exec::Scan(*snap, spec);
+  ASSERT_OK(solo.status());
+  EXPECT_TRUE(ScanOutputsEqual(*warm, *solo));
+
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_GE(stats.result_cache_hits, 1u);
+  EXPECT_EQ(stats.queries_executed, executed_cold);
+  const obs::MetricsSnapshot after = Table::MetricsSnapshot();
+  EXPECT_GE(after.counter("service.result_cache.hits"),
+            before.counter("service.result_cache.hits") + 1);
+}
+
+TEST(ServiceTest, IdenticalSpecsInOneWindowExecuteOnce) {
+  auto table = MakeTable(8 * kChunk, 914);
+  ASSERT_OK(table.status());
+  ServiceOptions options;
+  options.batch_window = std::chrono::microseconds(50 * 1000);
+  auto service = QueryService::Create(&*table, options);
+  ASSERT_OK(service.status());
+  QueryService& svc = **service;
+
+  ScanSpec spec;
+  spec.Filter("k", {1000, kValueBound / 2}).Aggregate("v", AggregateOp::kSum);
+  const uint64_t client = svc.RegisterClient();
+  std::vector<QueryService::ResultFuture> futures;
+  for (int q = 0; q < 8; ++q) {
+    auto future = svc.Submit(client, spec);
+    ASSERT_OK(future.status());
+    futures.push_back(std::move(*future));
+  }
+  auto snap = table->Snapshot();
+  ASSERT_OK(snap.status());
+  auto solo = exec::Scan(*snap, spec);
+  ASSERT_OK(solo.status());
+  for (auto& future : futures) {
+    Result<exec::ScanResult> result = future.get();
+    ASSERT_OK(result.status());
+    EXPECT_TRUE(ScanOutputsEqual(*result, *solo));
+  }
+  // Wherever the batching fell, only the FIRST occurrence executed: its
+  // window companions deduplicated onto it, later windows hit the cache.
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.queries_executed, 1u);
+  EXPECT_EQ(stats.batch_dedup_hits + stats.result_cache_hits, 7u);
+}
+
+TEST(ServiceTest, NestedBandsEvaluateOverContainingSelection) {
+  const obs::MetricsSnapshot before = Table::MetricsSnapshot();
+  auto table = MakeTable(8 * kChunk, 915);
+  ASSERT_OK(table.status());
+  ServiceOptions options;
+  options.batch_window = std::chrono::microseconds(50 * 1000);
+  auto service = QueryService::Create(&*table, options);
+  ASSERT_OK(service.status());
+  QueryService& svc = **service;
+
+  // Mid-range bands so no chunk zone-prunes or zone-contains; the narrow
+  // band sits strictly inside the wide one, so it must evaluate by
+  // re-filtering the wide band's selection, never touching the chunks.
+  ScanSpec wide;
+  wide.Filter("k", {1000, kValueBound / 2});
+  ScanSpec narrow;
+  narrow.Filter("k", {2000, kValueBound / 4}).Project({"v"});
+  const uint64_t client = svc.RegisterClient();
+  auto wide_future = svc.Submit(client, wide);
+  auto narrow_future = svc.Submit(client, narrow);
+  ASSERT_OK(wide_future.status());
+  ASSERT_OK(narrow_future.status());
+
+  auto snap = table->Snapshot();
+  ASSERT_OK(snap.status());
+  Result<exec::ScanResult> wide_batched = wide_future->get();
+  ASSERT_OK(wide_batched.status());
+  auto wide_solo = exec::Scan(*snap, wide);
+  ASSERT_OK(wide_solo.status());
+  EXPECT_TRUE(ScanOutputsEqual(*wide_batched, *wide_solo));
+  Result<exec::ScanResult> narrow_batched = narrow_future->get();
+  ASSERT_OK(narrow_batched.status());
+  auto narrow_solo = exec::Scan(*snap, narrow);
+  ASSERT_OK(narrow_solo.status());
+  EXPECT_TRUE(ScanOutputsEqual(*narrow_batched, *narrow_solo));
+  svc.Flush();
+  EXPECT_GT(svc.stats().subsumed_evaluations, 0u);
+  const obs::MetricsSnapshot after = Table::MetricsSnapshot();
+  EXPECT_GT(after.counter("service.subsumed_evaluations"),
+            before.counter("service.subsumed_evaluations"));
+}
+
+TEST(ServiceTest, QueuedDeadlineTighterThanWindowCutsTheWindowEarly) {
+  const obs::MetricsSnapshot before = Table::MetricsSnapshot();
+  auto table = MakeTable(2 * kChunk, 916);
+  ASSERT_OK(table.status());
+  ServiceOptions options;
+  // A 10-second window: without the early cut, the query would sit queued
+  // past its 500ms deadline and be refused at pickup (or the test would
+  // time out waiting) — exactly the pre-fix dispatcher bug.
+  options.batch_window = std::chrono::microseconds(10 * 1000 * 1000);
+  auto service = QueryService::Create(&*table, options);
+  ASSERT_OK(service.status());
+  QueryService& svc = **service;
+
+  ScanSpec spec;
+  spec.Filter("k", {1000, kValueBound / 2}).Aggregate("v", AggregateOp::kSum);
+  const uint64_t client = svc.RegisterClient();
+  auto future = svc.Submit(client, spec, std::chrono::milliseconds(500));
+  ASSERT_OK(future.status());
+  ASSERT_EQ(future->wait_for(std::chrono::seconds(5)),
+            std::future_status::ready)
+      << "dispatcher held the full window despite the tighter deadline";
+  EXPECT_OK(future->get().status());
+
+  const obs::MetricsSnapshot after = Table::MetricsSnapshot();
+  EXPECT_GE(after.counter("service.window_early_cuts"),
+            before.counter("service.window_early_cuts") + 1);
+}
+
+TEST(ServiceTest, DeadlineMissedDuringExecutionIsDeadlineExceeded) {
+  const obs::MetricsSnapshot before = Table::MetricsSnapshot();
+  auto table = MakeTable(2 * kChunk, 917);
+  ASSERT_OK(table.status());
+
+  // Wedge both pool workers so the batch (whose second query fans out to
+  // the pool) cannot finish until well past the queries' deadlines.
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&release] {
+      while (!release.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  while (pool.active_workers() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  ServiceOptions options;
+  options.batch_window = std::chrono::microseconds(100 * 1000);
+  auto service =
+      QueryService::Create(&*table, options, ExecContext{&pool, 1});
+  ASSERT_OK(service.status());
+  QueryService& svc = **service;
+
+  // Two DISTINCT specs: dedup must not collapse them, so the batch fans out
+  // and its pool task blocks behind the wedge. Both deadlines comfortably
+  // outlast the pickup (so the queued-expiry path stays silent) and expire
+  // mid-execution.
+  ScanSpec a;
+  a.Filter("k", {1000, kValueBound / 2});
+  ScanSpec b;
+  b.Filter("k", {1000, kValueBound / 2}).Project({"v"});
+  const uint64_t client = svc.RegisterClient();
+  auto fa = svc.Submit(client, a, std::chrono::milliseconds(400));
+  auto fb = svc.Submit(client, b, std::chrono::milliseconds(400));
+  ASSERT_OK(fa.status());
+  ASSERT_OK(fb.status());
+
+  std::thread releaser([&release] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(900));
+    release.store(true, std::memory_order_release);
+  });
+  Result<exec::ScanResult> ra = fa->get();
+  Result<exec::ScanResult> rb = fb->get();
+  releaser.join();
+
+  // Pre-fix, both came back OK: the deadline was only checked at pickup.
+  ASSERT_FALSE(ra.ok());
+  EXPECT_EQ(ra.status().code(), StatusCode::kDeadlineExceeded);
+  ASSERT_FALSE(rb.ok());
+  EXPECT_EQ(rb.status().code(), StatusCode::kDeadlineExceeded);
+
+  const obs::MetricsSnapshot after = Table::MetricsSnapshot();
+  EXPECT_GE(after.counter("service.deadline_missed_in_flight"),
+            before.counter("service.deadline_missed_in_flight") + 2);
+  EXPECT_EQ(after.counter("service.queries.deadline_expired"),
+            before.counter("service.queries.deadline_expired"));
 }
 
 TEST(ServiceTest, OptionsValidate) {
